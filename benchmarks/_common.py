@@ -1,0 +1,29 @@
+"""Shared plumbing for the benchmark harness.
+
+Every ``bench_eNN_*.py`` regenerates one experiment of DESIGN.md §4:
+it prints the paper-shaped table, writes it to
+``benchmarks/results/eNN_*.txt`` (quoted by EXPERIMENTS.md), and
+benchmarks its simulation kernel with pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only      # timings only
+    pytest benchmarks/ -s                    # tables + assertions
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: global seed base so every experiment is reproducible end to end
+SEED = 20260611
+
+
+def emit(name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")

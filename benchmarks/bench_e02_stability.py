@@ -1,0 +1,56 @@
+"""E2 — Prop 6: the stability region is exactly ``rho < 1``.
+
+Regenerated series: mean delay vs ``rho`` across the saturation point.
+Below 1 the delay stays within the Prop 12 bound; past 1 the measured
+delay grows with the horizon (no steady state) — the table reports the
+delay at two horizons and their ratio, which jumps above 1 exactly at
+saturation.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.bounds import greedy_delay_upper_bound
+from repro.core.greedy import GreedyHypercubeScheme
+from repro.core.load import lam_for_load
+
+from _common import SEED, emit
+
+D, P = 5, 0.5
+RHOS = [0.2, 0.5, 0.8, 0.9, 0.95, 1.05]
+
+
+def run_point(rho: float, horizon: float, seed: int) -> float:
+    scheme = GreedyHypercubeScheme(d=D, lam=lam_for_load(rho, P), p=P)
+    return scheme.run(horizon, rng=seed).delay_record().mean_delay(0.3, 0.0)
+
+
+def run_experiment():
+    rows = []
+    for i, rho in enumerate(RHOS):
+        t_short = run_point(rho, 400.0, SEED + i)
+        t_long = run_point(rho, 1600.0, SEED + i)
+        bound = (
+            greedy_delay_upper_bound(D, lam_for_load(rho, P), P)
+            if rho < 1
+            else float("inf")
+        )
+        rows.append((rho, t_short, t_long, t_long / t_short, bound))
+    return rows
+
+
+def test_e02_stability(benchmark):
+    benchmark.pedantic(lambda: run_point(0.8, 300.0, SEED), rounds=3, iterations=1)
+    rows = run_experiment()
+    emit(
+        "e02_stability",
+        format_table(
+            ["rho", "T (horizon 400)", "T (horizon 1600)", "ratio", "Prop12 bound"],
+            rows,
+            title="E2  Prop 6: delay stays bounded for rho < 1, diverges past saturation",
+        ),
+    )
+    for rho, _, t_long, ratio, bound in rows:
+        if rho < 1.0:
+            assert t_long <= bound * 1.1
+            assert ratio < 1.5  # converged
+        else:
+            assert ratio > 2.0  # growing with horizon: unstable

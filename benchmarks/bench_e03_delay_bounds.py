@@ -1,0 +1,52 @@
+"""E3 — Props 12+13: the delay sandwich across the load range.
+
+The paper's headline quantitative claim:
+
+    d p + p rho / (2 (1 - rho))  <=  T  <=  d p / (1 - rho).
+
+Regenerated series: measured T vs rho for d in {4, 6, 8} at p = 1/2,
+printed next to both bounds.  The shape to check: T sits between the
+curves, hugging the lower bound at small rho and bending up like
+1/(1-rho) near saturation.
+"""
+
+from repro.analysis.experiments import measure_hypercube_delay
+from repro.analysis.tables import format_table
+
+from _common import SEED, emit
+
+RHOS = [0.2, 0.4, 0.6, 0.8, 0.9]
+DIMS = [4, 6, 8]
+
+
+def run_experiment(horizon=1200.0):
+    rows = []
+    for d in DIMS:
+        for i, rho in enumerate(RHOS):
+            m = measure_hypercube_delay(
+                d, rho, p=0.5, horizon=horizon, rng=SEED + 100 * d + i
+            )
+            rows.append(
+                (d, rho, m.lower_bound, m.mean_delay, m.upper_bound, m.within_bounds)
+            )
+    return rows
+
+
+def test_e03_delay_bounds(benchmark):
+    benchmark.pedantic(
+        lambda: measure_hypercube_delay(6, 0.8, horizon=300.0, rng=SEED),
+        rounds=3,
+        iterations=1,
+    )
+    rows = run_experiment()
+    emit(
+        "e03_delay_bounds",
+        format_table(
+            ["d", "rho", "Prop13 lower", "measured T", "Prop12 upper", "inside"],
+            rows,
+            title="E3  Props 12/13: dp + p*rho/(2(1-rho)) <= T <= dp/(1-rho)  (p = 1/2)",
+        ),
+    )
+    # statistical slack: the point estimate may graze the lower bound
+    for _, _, lo, t, hi, _ in rows:
+        assert lo * 0.95 <= t <= hi * 1.05

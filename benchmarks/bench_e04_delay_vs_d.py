@@ -1,0 +1,50 @@
+"""E4 — the O(d) delay claim: T/d is flat in d at fixed rho.
+
+Prop 12 guarantees ``T <= dp/(1-rho)``: at fixed ``rho`` the delay per
+dimension is bounded by a constant.  Regenerated series: T and T/d for
+d = 3..9 at rho in {0.5, 0.8}.  The shape: T grows linearly, T/d is a
+horizontal line between ``p`` and ``p/(1-rho)``.
+"""
+
+from repro.analysis.experiments import measure_hypercube_delay
+from repro.analysis.tables import format_table
+
+from _common import SEED, emit
+
+DIMS = [3, 4, 5, 6, 7, 8, 9]
+RHOS = [0.5, 0.8]
+
+
+def run_experiment(horizon=900.0):
+    rows = []
+    for rho in RHOS:
+        for d in DIMS:
+            m = measure_hypercube_delay(
+                d, rho, p=0.5, horizon=horizon, rng=SEED + d + int(rho * 1000)
+            )
+            rows.append((rho, d, m.mean_delay, m.normalised_delay))
+    return rows
+
+
+def test_e04_delay_vs_d(benchmark):
+    benchmark.pedantic(
+        lambda: measure_hypercube_delay(9, 0.8, horizon=300.0, rng=SEED),
+        rounds=3,
+        iterations=1,
+    )
+    rows = run_experiment()
+    emit(
+        "e04_delay_vs_d",
+        format_table(
+            ["rho", "d", "measured T", "T / d"],
+            rows,
+            title="E4  O(d) delay: T/d flat in d at fixed rho (p = 1/2)",
+        ),
+    )
+    for rho in RHOS:
+        norm = [r[3] for r in rows if r[0] == rho]
+        # flatness: spread of T/d across d stays within 15%
+        assert max(norm) / min(norm) < 1.15
+        # and inside the theoretical band [p, p/(1-rho)]
+        for v in norm:
+            assert 0.5 * 0.97 <= v <= 0.5 / (1 - rho) * 1.03

@@ -1,0 +1,71 @@
+"""E5 — heavy traffic: ``p/2 <= (1-rho) T <= d p`` as rho -> 1.
+
+§3.3 proves the scaled delay ``(1-rho) T`` stays inside a window whose
+ends the paper conjectures tight (upper for p in (0,1), lower at p=1).
+Regenerated series: ``(1-rho) T`` for rho -> 0.98 at d = 5, p = 1/2,
+plus the p = 1 case where the limit is exactly ``rho/2 -> 1/2`` (the
+paper's tightness example, cf. antipodal_exact_delay).
+"""
+
+from repro.analysis.experiments import measure_hypercube_delay
+from repro.analysis.tables import format_table
+from repro.core.bounds import heavy_traffic_window
+from repro.core.greedy import GreedyHypercubeScheme
+
+from _common import SEED, emit
+
+D, P = 5, 0.5
+RHOS = [0.8, 0.9, 0.95, 0.98]
+
+
+def run_experiment():
+    lo, hi = heavy_traffic_window(D, P)
+    rows = []
+    for i, rho in enumerate(RHOS):
+        horizon = 3000.0 if rho >= 0.95 else 1500.0
+        m = measure_hypercube_delay(D, rho, p=P, horizon=horizon, rng=SEED + i)
+        rows.append((rho, m.mean_delay, (1 - rho) * m.mean_delay, lo, hi))
+    return rows
+
+
+def run_p1_case():
+    rows = []
+    for i, rho in enumerate(RHOS):
+        scheme = GreedyHypercubeScheme(d=D, lam=rho, p=1.0)
+        horizon = 3000.0 if rho >= 0.95 else 1500.0
+        t = scheme.measure_delay(horizon, rng=SEED + 50 + i)
+        rows.append((rho, t, (1 - rho) * t, rho / 2))
+    return rows
+
+
+def test_e05_heavy_traffic(benchmark):
+    benchmark.pedantic(
+        lambda: measure_hypercube_delay(D, 0.95, p=P, horizon=600.0, rng=SEED),
+        rounds=3,
+        iterations=1,
+    )
+    rows = run_experiment()
+    emit(
+        "e05_heavy_traffic",
+        format_table(
+            ["rho", "T", "(1-rho) T", "window lo (p/2)", "window hi (dp)"],
+            rows,
+            title="E5  heavy traffic: (1-rho)T inside [p/2, dp] as rho -> 1 (d=5, p=1/2)",
+        ),
+    )
+    lo, hi = heavy_traffic_window(D, P)
+    # at the heaviest point the scaled delay is inside the window
+    _, _, scaled, _, _ = rows[-1]
+    assert lo * 0.9 <= scaled <= hi * 1.05
+
+    p1_rows = run_p1_case()
+    emit(
+        "e05_heavy_traffic_p1",
+        format_table(
+            ["rho", "T", "(1-rho) T", "exact limit rho/2"],
+            p1_rows,
+            title="E5b  p = 1 tightness: (1-rho)T -> 1/2 (lower end of the window)",
+        ),
+    )
+    _, _, scaled1, limit = p1_rows[-1]
+    assert scaled1 <= limit * 1.4  # approaches the LOWER end, far from dp

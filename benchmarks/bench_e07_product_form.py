@@ -1,0 +1,82 @@
+"""E7 — the product-form PS network behind Prop 12.
+
+Walrand's theorem (quoted at Prop 12): under PS, network Q is product
+form; each server holds n packets with probability ``(1-rho) rho^n``
+and the mean total population is ``d 2^d rho/(1-rho)`` (eq. 13).
+
+Regenerated table: measured PS population and per-arc occupancy pmf vs
+the geometric prediction, plus the resulting Little's-law delay vs
+Prop 12's ``dp/(1-rho)``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.greedy import GreedyHypercubeScheme
+from repro.core.load import lam_for_load
+from repro.queueing.mm1 import geometric_pmf
+from repro.queueing.productform import hypercube_ps_mean_population
+from repro.sim.measurement import PopulationTracker
+
+from _common import SEED, emit
+
+D, P, RHO = 4, 0.5, 0.7
+HORIZON = 3000.0
+
+
+def run_ps(horizon, seed):
+    scheme = GreedyHypercubeScheme(d=D, lam=lam_for_load(RHO, P), p=P)
+    return scheme, scheme.run(horizon, rng=seed, discipline="ps", record_arc_log=True)
+
+
+def run_experiment():
+    scheme, res = run_ps(HORIZON, SEED)
+    pt = PopulationTracker.from_intervals(res.sample.times, res.delivery)
+    measured_pop = pt.time_average(HORIZON * 0.3, HORIZON * 0.9)
+    predicted_pop = hypercube_ps_mean_population(D, RHO)
+    t_ps = res.delay_record().mean_delay()
+    t_bound = scheme.delay_upper_bound()
+
+    # per-arc occupancy distribution of one arc vs geometric
+    arc0 = int(res.arc_log.arc[0])
+    m = res.arc_log.arc == arc0
+    occ = PopulationTracker.from_intervals(res.arc_log.t_in[m], res.arc_log.t_out[m])
+    grid = np.linspace(HORIZON * 0.3, HORIZON * 0.9, 4000)
+    samples = np.array([occ.at(t) for t in grid])
+    pmf_rows = []
+    for n in range(4):
+        pmf_rows.append(
+            (n, float(np.mean(samples == n)), float(geometric_pmf(RHO, n)))
+        )
+    summary = [
+        ("mean population", measured_pop, predicted_pop),
+        ("mean delay (PS)", t_ps, t_bound),
+    ]
+    return summary, pmf_rows
+
+
+def test_e07_product_form(benchmark):
+    benchmark.pedantic(lambda: run_ps(400.0, SEED), rounds=3, iterations=1)
+    summary, pmf_rows = run_experiment()
+    emit(
+        "e07_product_form",
+        format_table(
+            ["quantity", "measured (PS sim)", "product-form theory"],
+            summary,
+            title=f"E7  PS network Q~ is product form (d={D}, rho={RHO}, p={P})",
+        )
+        + "\n\n"
+        + format_table(
+            ["n", "P[occupancy = n] measured", "(1-rho) rho^n"],
+            pmf_rows,
+            title="E7b  one server's occupancy pmf vs geometric",
+        ),
+    )
+    measured_pop, predicted_pop = summary[0][1], summary[0][2]
+    assert measured_pop == pytest.approx(predicted_pop, rel=0.15)
+    t_ps, t_bound = summary[1][1], summary[1][2]
+    # Little's law on the product form is exactly Prop 12's bound
+    assert t_ps == pytest.approx(t_bound, rel=0.15)
+    for _, measured, theory in pmf_rows:
+        assert abs(measured - theory) < 0.05

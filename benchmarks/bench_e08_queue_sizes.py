@@ -1,0 +1,72 @@
+"""E8 — §3.3 queue sizes: O(d) per node, O(d 2^d) total w.h.p.
+
+Claims regenerated:
+
+* the mean number of packets per node is at most ``d rho/(1-rho)``;
+* the total population exceeds ``(1+eps) d 2^d rho/(1-rho)`` only with
+  small probability (Chernoff/geometric tail), compared against the
+  product-form Chernoff bound evaluated numerically.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.bounds import mean_queue_per_node_bound, total_population_bound
+from repro.core.greedy import GreedyHypercubeScheme
+from repro.core.load import lam_for_load
+from repro.queueing.productform import ProductFormNetwork
+from repro.sim.measurement import PopulationTracker
+
+from _common import SEED, emit
+
+D, P, RHO = 5, 0.5, 0.8
+HORIZON = 2500.0
+
+
+def run(horizon, seed):
+    scheme = GreedyHypercubeScheme(d=D, lam=lam_for_load(RHO, P), p=P)
+    res = scheme.run(horizon, rng=seed)
+    return scheme, res
+
+
+def run_experiment():
+    scheme, res = run(HORIZON, SEED)
+    pt = PopulationTracker.from_intervals(res.sample.times, res.delivery)
+    grid = np.linspace(HORIZON * 0.3, HORIZON * 0.9, 3000)
+    pops = np.array([pt.at(t) for t in grid])
+    n_nodes = scheme.cube.num_nodes
+    mean_total = float(pops.mean())
+    bound_total = total_population_bound(D, scheme.lam, P)
+    rows = [
+        ("mean packets / node", mean_total / n_nodes,
+         mean_queue_per_node_bound(D, scheme.lam, P)),
+        ("mean total population", mean_total, bound_total),
+        ("max total population", float(pops.max()), float("nan")),
+    ]
+    # empirical whp claim at eps = 0.5 vs the Chernoff bound
+    eps = 0.5
+    exceed = float(np.mean(pops > (1 + eps) * bound_total))
+    chernoff = ProductFormNetwork(
+        np.full(D * 2**D, RHO)
+    ).population_quantile_bound(eps)
+    rows.append((f"P[N > {1+eps:.1f} * bound] (emp)", exceed, chernoff))
+    return rows
+
+
+def test_e08_queue_sizes(benchmark):
+    benchmark.pedantic(lambda: run(400.0, SEED), rounds=3, iterations=1)
+    rows = run_experiment()
+    emit(
+        "e08_queue_sizes",
+        format_table(
+            ["quantity", "measured", "bound / theory"],
+            rows,
+            title=f"E8  queue sizes (d={D}, rho={RHO}): O(d) per node, Chernoff tail",
+        ),
+    )
+    per_node, per_node_bound = rows[0][1], rows[0][2]
+    assert per_node <= per_node_bound
+    total, total_bound = rows[1][1], rows[1][2]
+    assert total <= total_bound
+    exceed, chernoff = rows[3][1], rows[3][2]
+    assert exceed <= max(chernoff * 5, 0.01)  # bound holds with margin

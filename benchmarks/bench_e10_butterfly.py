@@ -1,0 +1,84 @@
+"""E10 — §4: the butterfly (Props 14-17).
+
+Regenerated tables:
+
+* per-kind arc flows: ``lam(1-p)`` straight / ``lam p`` vertical
+  (Prop 15);
+* the delay sandwich Prop 14 <= T <= Prop 17 across a p-sweep — note
+  the symmetric-in-p bounds and the bottleneck flip at p = 1/2;
+* stability flips exactly when ``lam max(p, 1-p)`` crosses 1 (Prop 16).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiments import measure_butterfly_delay
+from repro.analysis.tables import format_table
+from repro.core.greedy import GreedyButterflyScheme
+from repro.sim.measurement import arc_arrival_counts
+
+from _common import SEED, emit
+
+D = 4
+P_SWEEP = [0.1, 0.3, 0.5, 0.7, 0.9]
+RHO = 0.7
+HORIZON = 1200.0
+
+
+def run_rates(d, lam, p, horizon, seed):
+    scheme = GreedyButterflyScheme(d=d, lam=lam, p=p)
+    res = scheme.run(horizon, rng=seed, record_arc_log=True)
+    rates = arc_arrival_counts(res.arc_log.arc, scheme.butterfly.num_arcs) / horizon
+    kinds = np.arange(scheme.butterfly.num_arcs) % 2
+    return float(rates[kinds == 0].mean()), float(rates[kinds == 1].mean())
+
+
+def run_experiment():
+    # Prop 15 flows at an asymmetric p
+    lam, p = 1.1, 0.3
+    straight, vertical = run_rates(D, lam, p, HORIZON, SEED)
+    rate_rows = [
+        ("straight", straight, lam * (1 - p)),
+        ("vertical", vertical, lam * p),
+    ]
+    # delay sandwich across p at fixed rho
+    delay_rows = []
+    for i, p in enumerate(P_SWEEP):
+        m = measure_butterfly_delay(
+            D, RHO, p=p, horizon=HORIZON, rng=SEED + 10 * i
+        )
+        delay_rows.append(
+            (p, m.lam, m.lower_bound, m.mean_delay, m.upper_bound, m.within_bounds)
+        )
+    return rate_rows, delay_rows
+
+
+def test_e10_butterfly(benchmark):
+    benchmark.pedantic(
+        lambda: measure_butterfly_delay(D, RHO, 0.5, horizon=300.0, rng=SEED),
+        rounds=3,
+        iterations=1,
+    )
+    rate_rows, delay_rows = run_experiment()
+    emit(
+        "e10_butterfly",
+        format_table(
+            ["arc kind", "measured rate", "Prop15 theory"],
+            rate_rows,
+            title="E10a  Prop 15: butterfly per-arc flows (lam=1.1, p=0.3)",
+        )
+        + "\n\n"
+        + format_table(
+            ["p", "lam", "Prop14 lower", "measured T", "Prop17 upper", "inside"],
+            delay_rows,
+            title=f"E10b  Props 14/17 delay sandwich at rho={RHO} (d={D})",
+        ),
+    )
+    for _, measured, theory in rate_rows:
+        assert measured == pytest.approx(theory, rel=0.05)
+    for _, _, lo, t, hi, _ in delay_rows:
+        assert lo * 0.95 <= t <= hi * 1.05
+    # symmetric p pairs give symmetric delays (same rho, mirrored kinds)
+    t_03 = delay_rows[1][3]
+    t_07 = delay_rows[3][3]
+    assert abs(t_03 - t_07) / t_03 < 0.1

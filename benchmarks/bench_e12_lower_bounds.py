@@ -1,0 +1,73 @@
+"""E12 — Props 2/3: the universal and oblivious lower bounds hold.
+
+Regenerated table: the measured greedy delay vs the universal bound
+(Prop 2, any scheme), the oblivious bound (Prop 3 — greedy is
+oblivious), and the scheme-specific Prop 13 bound — ordered
+``Prop2 <= Prop3 <= Prop13 <= measured``.
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.bounds import (
+    greedy_delay_lower_bound,
+    oblivious_delay_lower_bound,
+    universal_delay_lower_bound,
+    universal_delay_lower_bound_simplified,
+)
+from repro.core.greedy import GreedyHypercubeScheme
+from repro.core.load import lam_for_load
+
+from _common import SEED, emit
+
+CASES = [(4, 0.5), (5, 0.7), (6, 0.9), (4, 0.95)]
+P = 0.5
+
+
+def run_point(d, rho, horizon, seed):
+    lam = lam_for_load(rho, P)
+    return GreedyHypercubeScheme(d=d, lam=lam, p=P).measure_delay(horizon, rng=seed)
+
+
+def run_experiment():
+    rows = []
+    for i, (d, rho) in enumerate(CASES):
+        lam = lam_for_load(rho, P)
+        horizon = 2500.0 if rho >= 0.9 else 1200.0
+        t = run_point(d, rho, horizon, SEED + i)
+        rows.append(
+            (
+                d,
+                rho,
+                universal_delay_lower_bound_simplified(d, lam, P),
+                universal_delay_lower_bound(d, lam, P),
+                oblivious_delay_lower_bound(d, lam, P),
+                greedy_delay_lower_bound(d, lam, P),
+                t,
+            )
+        )
+    return rows
+
+
+def test_e12_lower_bounds(benchmark):
+    benchmark.pedantic(lambda: run_point(5, 0.7, 300.0, SEED), rounds=3, iterations=1)
+    rows = run_experiment()
+    emit(
+        "e12_lower_bounds",
+        format_table(
+            [
+                "d",
+                "rho",
+                "Prop2 (displayed)",
+                "Prop2 (max form)",
+                "Prop3 oblivious",
+                "Prop13 greedy",
+                "measured T",
+            ],
+            rows,
+            title="E12  lower-bound hierarchy: Prop2 <= Prop3 <= Prop13 <= measured T",
+        ),
+    )
+    for _, _, p2s, p2, p3, p13, t in rows:
+        assert p2s <= p2 + 1e-9
+        assert p2 <= p3 + 1e-9
+        assert p3 <= p13 + 1e-9
+        assert p13 * 0.95 <= t

@@ -1,0 +1,59 @@
+"""E14 — baseline: deflection (hot-potato) routing vs greedy.
+
+§1.2 positions greedy store-and-forward against the deflection schemes
+of [GrH89]/[Var90].  Regenerated table: mean delay and mean extra hops
+(deflections) vs load, next to the greedy scheme's slotted delay at the
+same parameters.  The shape: deflection matches greedy at light load
+(no contention, both follow shortest paths) and degrades as load
+grows, paying extra hops instead of queueing time.
+"""
+
+from repro.analysis.tables import format_table
+from repro.schemes.deflection import DeflectionRouter
+from repro.sim.slotted import SlottedGreedyHypercube
+
+from _common import SEED, emit
+
+D, P = 5, 0.5
+LAMS = [0.2, 0.8, 1.4]  # rho = 0.1, 0.4, 0.7
+SLOTS = 600
+
+
+def run_deflection(lam, slots, seed):
+    return DeflectionRouter(d=D, lam=lam, p=P).run(slots, rng=seed)
+
+
+def run_experiment():
+    rows = []
+    for i, lam in enumerate(LAMS):
+        res = run_deflection(lam, SLOTS, SEED + i)
+        greedy = SlottedGreedyHypercube(d=D, lam=lam, p=P, tau=1.0)
+        t_greedy = greedy.measure_delay(float(SLOTS), rng=SEED + 10 + i)
+        rows.append(
+            (
+                lam,
+                lam * P,
+                res.mean_delay(),
+                res.mean_deflections(),
+                t_greedy,
+            )
+        )
+    return rows
+
+
+def test_e14_deflection(benchmark):
+    benchmark.pedantic(lambda: run_deflection(0.8, 80, SEED), rounds=3, iterations=1)
+    rows = run_experiment()
+    emit(
+        "e14_deflection",
+        format_table(
+            ["lam", "rho", "deflection T", "mean extra hops", "greedy slotted T"],
+            rows,
+            title=f"E14  deflection vs greedy on the d={D} cube (slotted, p={P})",
+        ),
+    )
+    light = rows[0]
+    assert light[3] < 0.1  # no deflections at light load
+    assert abs(light[2] - light[4]) < 1.0  # both ~ shortest path time
+    heavy = rows[-1]
+    assert heavy[3] > light[3]  # deflections grow with load

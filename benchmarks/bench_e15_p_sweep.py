@@ -1,0 +1,63 @@
+"""E15 — p-dependence: localized vs antipodal traffic.
+
+Eq. (1)'s parameter p interpolates from fully local (p -> 0) through
+uniform (p = 1/2) to antipodal (p = 1) traffic.  At fixed load factor
+rho = lam p the paper's bounds scale as dp (paths lengthen with p even
+as per-arc load stays constant).  Regenerated table: measured T vs p at
+fixed rho, with the bound bracket — plus the p = 1 endpoint where the
+paper gives the exact value d + rho/(2(1-rho)) (tight lower bound).
+"""
+
+from repro.analysis.experiments import measure_hypercube_delay
+from repro.analysis.tables import format_table
+from repro.core.bounds import antipodal_exact_delay
+from repro.core.greedy import GreedyHypercubeScheme
+
+from _common import SEED, emit
+
+D, RHO = 6, 0.7
+PS = [0.1, 0.25, 0.5, 0.75, 0.9]
+HORIZON = 1500.0
+
+
+def run_point(p, horizon, seed):
+    return measure_hypercube_delay(D, RHO, p=p, horizon=horizon, rng=seed)
+
+
+def run_experiment():
+    rows = []
+    for i, p in enumerate(PS):
+        m = run_point(p, HORIZON, SEED + i)
+        rows.append((p, m.lower_bound, m.mean_delay, m.upper_bound, m.mean_delay / p))
+    # exact p = 1 endpoint
+    lam = RHO
+    scheme = GreedyHypercubeScheme(d=D, lam=lam, p=1.0)
+    t1 = scheme.measure_delay(2000.0, rng=SEED + 99)
+    exact = antipodal_exact_delay(D, lam)
+    return rows, (1.0, exact, t1)
+
+
+def test_e15_p_sweep(benchmark):
+    benchmark.pedantic(lambda: run_point(0.5, 300.0, SEED), rounds=3, iterations=1)
+    rows, p1 = run_experiment()
+    emit(
+        "e15_p_sweep",
+        format_table(
+            ["p", "Prop13 lower", "measured T", "Prop12 upper", "T/p"],
+            rows,
+            title=f"E15  p-sweep at fixed rho={RHO} (d={D}): delay scales like dp",
+        )
+        + "\n\n"
+        + format_table(
+            ["p", "exact theory d + rho/(2(1-rho))", "measured T"],
+            [p1],
+            title="E15b  antipodal endpoint p=1: paths disjoint, formula exact",
+        ),
+    )
+    for _, lo, t, hi, _ in rows:
+        assert lo * 0.95 <= t <= hi * 1.05
+    # delay grows with p at fixed rho
+    ts = [r[2] for r in rows]
+    assert ts == sorted(ts)
+    _, exact, t1 = p1
+    assert abs(t1 - exact) / exact < 0.05

@@ -1,0 +1,74 @@
+"""E20 — regenerate the paper's figures (network diagrams).
+
+Fig. 1a (3-cube), Fig. 1b (network Q for the 3-cube), Fig. 2 (the
+Lemma 9 gadgets), Fig. 3a (2-butterfly), Fig. 3b (network R for the
+2-butterfly) are emitted as Graphviz DOT files under
+``benchmarks/results/figures/`` — render with ``dot -Tpdf``.
+
+Structural assertions check each diagram against the paper's counts
+(nodes, arcs, routing edges).
+"""
+
+from repro.core.qnetwork import ButterflyRSpec, HypercubeQSpec
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+from repro.viz.diagrams import (
+    butterfly_dot,
+    fig2_networks_dot,
+    hypercube_dot,
+    qnetwork_dot,
+    rnetwork_dot,
+)
+
+from _common import RESULTS_DIR
+
+
+FIGURES = {
+    # name -> (generator, expected node-count substring checks)
+    "fig1a_hypercube_d3": lambda: hypercube_dot(Hypercube(3)),
+    "fig1b_network_q_d3": lambda: qnetwork_dot(HypercubeQSpec(Hypercube(3), 0.5)),
+    "fig2_lemma9_networks": fig2_networks_dot,
+    "fig3a_butterfly_d2": lambda: butterfly_dot(Butterfly(2)),
+    "fig3b_network_r_d2": lambda: rnetwork_dot(ButterflyRSpec(Butterfly(2), 0.5)),
+}
+
+
+def write_figures():
+    fig_dir = RESULTS_DIR / "figures"
+    fig_dir.mkdir(parents=True, exist_ok=True)
+    out = {}
+    for name, gen in FIGURES.items():
+        text = gen()
+        (fig_dir / f"{name}.dot").write_text(text + "\n")
+        out[name] = text
+    return out
+
+
+def test_e20_figures(benchmark):
+    figs = benchmark(write_figures)
+
+    # Fig 1a: 8 nodes, 12 undirected (24 directed) cube edges
+    fig1a = figs["fig1a_hypercube_d3"]
+    assert fig1a.count("[label=\"") >= 8
+    assert fig1a.count("dir=both") == 12
+
+    # Fig 1b: 24 servers; routing edges = per (dim i, x): d-1-i targets
+    fig1b = figs["fig1b_network_q_d3"]
+    assert fig1b.count("shape=box") == 1
+    assert fig1b.count(" -> ") == 8 * (2 + 1 + 0)  # 24 routing edges
+
+    # Fig 2: three subgraphs, 2 edges each
+    fig2 = figs["fig2_lemma9_networks"]
+    assert fig2.count("subgraph cluster_") == 3
+    assert fig2.count(" -> ") == 6
+
+    # Fig 3a: 12 nodes, 16 arcs for d=2
+    fig3a = figs["fig3a_butterfly_d2"]
+    assert fig3a.count(" -> ") == 16
+
+    # Fig 3b: 16 servers, routing only between levels 0 and 1:
+    # 8 sources x 2 targets
+    fig3b = figs["fig3b_network_r_d2"]
+    assert fig3b.count(" -> ") == 16
+
+    print(f"\n[figures written to {RESULTS_DIR / 'figures'}]")

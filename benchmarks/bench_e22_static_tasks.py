@@ -1,0 +1,68 @@
+"""E22 — §1.2 context: static permutation routing.
+
+The paper's survey contrasts static algorithms ([VaB81], [Val82]) with
+its dynamic problem.  Regenerated table: one-shot makespans of
+
+* greedy dimension-order routing on a random permutation — O(d);
+* greedy on bit reversal — Theta(2^{d/2}) (Borodin–Hopcroft adversary);
+* Valiant–Brebner two-phase on bit reversal — back to O(d) w.h.p.
+
+This is the static ancestor of the dynamic E18 result.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.schemes.static_tasks import (
+    route_permutation_greedy,
+    route_permutation_valiant,
+)
+from repro.topology.hypercube import Hypercube
+from repro.traffic.destinations import bit_reversal_permutation
+
+from _common import SEED, emit
+
+DIMS = [4, 6, 8]
+
+
+def run_case(d, seed):
+    cube = Hypercube(d)
+    gen = np.random.default_rng(seed)
+    random_perm = gen.permutation(cube.num_nodes)
+    bitrev = bit_reversal_permutation(d)
+    return {
+        "greedy / random perm": route_permutation_greedy(cube, random_perm),
+        "greedy / bit reversal": route_permutation_greedy(cube, bitrev),
+        "valiant / bit reversal": route_permutation_valiant(cube, bitrev, rng=seed),
+    }
+
+
+def run_experiment():
+    rows = []
+    for i, d in enumerate(DIMS):
+        results = run_case(d, SEED + i)
+        for name, res in results.items():
+            rows.append((d, name, res.completion_time, res.mean_delay))
+    return rows
+
+
+def test_e22_static_tasks(benchmark):
+    benchmark.pedantic(lambda: run_case(6, SEED), rounds=3, iterations=1)
+    rows = run_experiment()
+    emit(
+        "e22_static_tasks",
+        format_table(
+            ["d", "scheme / permutation", "makespan", "mean delay"],
+            rows,
+            title="E22  static one-shot permutations: greedy vs Valiant-Brebner",
+        ),
+    )
+    for d in DIMS:
+        case = {name: make for dd, name, make, _ in rows if dd == d}
+        assert case["greedy / random perm"] <= 4 * d
+        assert case["valiant / bit reversal"] <= 4 * d
+        if d >= 6:
+            assert case["greedy / bit reversal"] >= 2 ** (d // 2 - 1)
+    # adversarial blow-up grows with d while valiant stays linear
+    blowups = [r[2] for r in rows if r[1] == "greedy / bit reversal"]
+    assert blowups == sorted(blowups)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Beyond the paper's model: adversarial traffic and two-phase mixing.
+
+The paper's analysis assumes translation-invariant destinations (eq. 1
+or the §2.2 generalisation).  Its concluding remarks (§5) point at the
+general case: "it may be profitable to 'mix' the packets by first
+sending each of them to a random intermediate node... at the expense of
+reducing the maximum traffic that may be sustained."
+
+This example makes that trade concrete with the classic adversary —
+bit-reversal permutation traffic, whose canonical dimension-order paths
+funnel 2^(d/2-1) flows through single arcs:
+
+ * direct greedy routing saturates at lam ~ 2^-(d/2-1);
+ * two-phase (Valiant) routing sustains any lam < 1, paying ~2x hops.
+
+Run:  python examples/adversarial_traffic_mixing.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.schemes.twophase import TwoPhaseScheme, direct_greedy_arc_loads
+from repro.sim.feedforward import simulate_hypercube_greedy
+from repro.topology.hypercube import Hypercube
+from repro.traffic.destinations import PermutationTraffic, bit_reversal_permutation
+from repro.traffic.workload import HypercubeWorkload
+
+
+def main() -> None:
+    d, lam = 6, 0.4
+    cube = Hypercube(d)
+    law = PermutationTraffic(d, bit_reversal_permutation(d))
+
+    loads = direct_greedy_arc_loads(cube, law, lam)
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ("traffic", "bit-reversal permutation"),
+                ("per-node rate lam", lam),
+                ("mean arc load (direct greedy)", float(loads.mean())),
+                ("max arc load (direct greedy)", float(loads.max())),
+                ("arcs overloaded (load >= 1)", int((loads >= 1.0).sum())),
+            ],
+            title=f"Direct greedy routing under bit reversal (d={d})",
+        )
+    )
+
+    # direct greedy: measure the blow-up
+    wl = HypercubeWorkload(cube, lam, law)
+    rows = []
+    for horizon in (150.0, 300.0, 600.0):
+        s = wl.generate(horizon, rng=5)
+        res = simulate_hypercube_greedy(cube, s)
+        mask = s.times >= 0.3 * horizon
+        rows.append(
+            ("direct", horizon, float((res.delivery[mask] - s.times[mask]).mean()))
+        )
+    # two-phase: stable at the same lam
+    two = TwoPhaseScheme(d=d, lam=lam, law=law)
+    for horizon in (150.0, 300.0):
+        rows.append(("two-phase", horizon, two.measure_delay(horizon, rng=6)))
+    print()
+    print(
+        format_table(
+            ["scheme", "horizon", "mean delay"],
+            rows,
+            title="Direct delay grows without bound; two-phase holds steady",
+        )
+    )
+    print(
+        "\nThe §5 trade: mixing reinstates stability for ANY traffic pattern\n"
+        f"(every arc carries ≤ lam), at ~{two.expected_hops():.0f} hops per "
+        f"packet instead of ~{d/2:.0f}."
+    )
+
+
+if __name__ == "__main__":
+    main()

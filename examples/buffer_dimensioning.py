@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""From theory to hardware: sizing router buffers with the paper's tails.
+
+The paper assumes infinite buffers, then proves occupancies are small:
+under the dominating product-form law each arc's queue is geometric(rho)
+(Prop 11 + Walrand), so a B-slot buffer overflows with stationary
+probability at most rho^B.  This example dimensions per-arc and per-node
+buffers for target overflow probabilities and validates them against a
+simulated run's actual occupancy maxima.
+
+Run:  python examples/buffer_dimensioning.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.buffers import (
+    arc_buffer_for_overflow,
+    node_buffer_for_overflow,
+)
+from repro.core.greedy import GreedyHypercubeScheme
+from repro.sim.measurement import PopulationTracker
+
+
+def main() -> None:
+    d, rho, p = 5, 0.8, 0.5
+    horizon = 1200.0
+    scheme = GreedyHypercubeScheme(d=d, lam=rho / p, p=p)
+
+    rows = []
+    for eps in (1e-2, 1e-4, 1e-6):
+        rows.append(
+            (
+                eps,
+                arc_buffer_for_overflow(rho, eps),
+                node_buffer_for_overflow(d, rho, eps),
+            )
+        )
+    print(
+        format_table(
+            ["target overflow prob", "per-arc slots", "per-node slots (d arcs)"],
+            rows,
+            title=f"Buffer sizes from the geometric tail (d={d}, rho={rho})",
+        )
+    )
+
+    # validate against a simulated run: per-arc occupancy maxima
+    res = scheme.run(horizon, rng=21, record_arc_log=True)
+    log = res.arc_log
+    maxima = []
+    for arc in range(scheme.cube.num_arcs):
+        m = log.arc == arc
+        if not m.any():
+            maxima.append(0)
+            continue
+        occ = PopulationTracker.from_intervals(log.t_in[m], log.t_out[m])
+        maxima.append(int(occ.maximum()))
+    maxima = np.array(maxima)
+    b_4 = arc_buffer_for_overflow(rho, 1e-4)
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ("simulated horizon", horizon),
+                ("packets routed", res.sample.num_packets),
+                ("max per-arc occupancy observed", int(maxima.max())),
+                ("mean per-arc occupancy max", float(maxima.mean())),
+                (f"arcs ever exceeding B(eps=1e-4) = {b_4}", int((maxima > b_4).sum())),
+            ],
+            title="Simulated occupancy vs the dimensioning rule",
+        )
+    )
+    print(
+        "\nThe geometric-tail rule B = ceil(log eps / log rho) covers the\n"
+        "simulated maxima with room to spare — the engineering payoff of\n"
+        "the paper's 'O(d) packets per node w.h.p.' analysis."
+    )
+
+
+if __name__ == "__main__":
+    main()

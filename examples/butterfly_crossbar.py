@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The butterfly as a crossbar switch (paper §4).
+
+Scenario: a d-dimensional butterfly connecting 2^d inputs to 2^d
+outputs — the crossbar-switch setting of §4.1.  Packets enter at level
+0 and exit at level d along *unique* paths; p controls how far outputs
+sit from inputs in row-address space.
+
+The interesting engineering question reproduced here: **which arcs are
+the bottleneck?**  For p > 1/2 the vertical arcs saturate first, for
+p < 1/2 the straight arcs do (Prop 15 / eq. 17); the sustainable
+per-input rate is 1/max(p, 1-p), maximised at p = 1/2.
+
+Run:  python examples/butterfly_crossbar.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.greedy import GreedyButterflyScheme
+from repro.sim.measurement import arc_arrival_counts
+
+
+def main() -> None:
+    d, horizon = 4, 1000.0
+    rows = []
+    for i, p in enumerate([0.2, 0.5, 0.8]):
+        # drive each configuration at 85% of ITS OWN capacity
+        lam = 0.85 / max(p, 1 - p)
+        scheme = GreedyButterflyScheme(d=d, lam=lam, p=p)
+        res = scheme.run(horizon, rng=2000 + i, record_arc_log=True)
+        rates = (
+            arc_arrival_counts(res.arc_log.arc, scheme.butterfly.num_arcs) / horizon
+        )
+        kinds = np.arange(scheme.butterfly.num_arcs) % 2
+        rows.append(
+            (
+                p,
+                f"{lam:.3f}",
+                scheme.rho,
+                float(rates[kinds == 0].mean()),  # straight
+                float(rates[kinds == 1].mean()),  # vertical
+                "vertical" if p > 0.5 else ("straight" if p < 0.5 else "tie"),
+                res.delay_record().mean_delay(),
+                scheme.delay_upper_bound(),
+            )
+        )
+    print(
+        format_table(
+            [
+                "p",
+                "lam",
+                "rho",
+                "straight flow",
+                "vertical flow",
+                "bottleneck",
+                "measured T",
+                "Prop17 bound",
+            ],
+            rows,
+            title=f"{d}-dimensional butterfly at 85% of capacity, by traffic skew p",
+        )
+    )
+    print(
+        "\nProp 15 in action: straight arcs carry lam(1-p), vertical arcs\n"
+        "lam*p — the switch sustains the most traffic at p = 1/2, where the\n"
+        "two arc families share the load evenly."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""The paper's proof technique, executed: FIFO vs Processor Sharing.
+
+The delay bound T <= dp/(1-rho) (Prop 12) is proved by a sample-path
+comparison: run the equivalent network Q once under FIFO and once under
+PS with the *same* arrivals and the *same* position-indexed routing
+decisions; Lemma 10 says every cumulative-departure count satisfies
+B(t) >= B~(t), so the FIFO population is dominated by the PS one —
+and the PS network is product-form, hence solvable in closed form.
+
+This script performs the coupling literally and prints:
+ * the number of domination violations (always 0),
+ * the FIFO vs PS delays, and the product-form prediction for PS,
+ * a timeline excerpt of B(t) - B~(t) (always >= 0).
+
+Run:  python examples/fifo_vs_ps_proof_device.py
+"""
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core.qnetwork import HypercubeQSpec
+from repro.queueing.productform import ProductFormNetwork
+from repro.sim.feedforward import simulate_markovian
+from repro.topology.hypercube import Hypercube
+
+
+def main() -> None:
+    d, p, rho, horizon = 4, 0.5, 0.7, 800.0
+    cube = Hypercube(d)
+    spec = HypercubeQSpec(cube, p)
+    lam = rho / p
+
+    times, arcs = spec.sample_external_arrivals(lam, horizon, rng=7)
+    fifo = simulate_markovian(spec, times, arcs, rng=8, record_decisions=True)
+    ps = simulate_markovian(
+        spec, times, arcs, discipline="ps", decisions=fifo.decisions
+    )
+
+    ef, ep = np.sort(fifo.exit_times), np.sort(ps.exit_times)
+    violations = int(np.sum(ef > ep + 1e-9))
+    t_fifo = float((fifo.exit_times - times).mean())
+    t_ps = float((ps.exit_times - times).mean())
+    pf = ProductFormNetwork(np.full(cube.num_arcs, rho))
+    t_pf = pf.mean_delay(times.shape[0] / horizon)
+
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ("packets", times.shape[0]),
+                ("domination violations (Lemma 10)", violations),
+                ("mean delay, FIFO network Q", t_fifo),
+                ("mean delay, PS network Q~ (same sample path)", t_ps),
+                ("product-form prediction for Q~", t_pf),
+                ("Prop 12 bound dp/(1-rho)", d * p / (1 - rho)),
+            ],
+            title=f"Coupled FIFO/PS run of network Q (d={d}, rho={rho})",
+        )
+    )
+
+    # B(t) - B~(t) on a grid: non-negative everywhere.
+    grid = np.linspace(0, float(max(ef.max(), ep.max())), 12)
+    rows = [
+        (
+            f"{t:.1f}",
+            int(np.searchsorted(ef, t, side="right")),
+            int(np.searchsorted(ep, t, side="right")),
+        )
+        for t in grid
+    ]
+    print()
+    print(
+        format_table(
+            ["t", "B(t) FIFO departures", "B~(t) PS departures"],
+            rows,
+            title="Lemma 10 pathwise: B(t) >= B~(t) at every instant",
+        )
+    )
+    print(
+        "\nThe chain of the proof: FIFO delay <= PS delay (coupling above),\n"
+        "PS network is product form (geometric marginals), so\n"
+        "T <= N~ * p / (rho * 2^d) = dp/(1-rho)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Why greedy? The §2.3 pitfall, measured.
+
+A natural first design for dynamic routing is to *batch*: every round,
+each node releases one packet; the batch is routed like a static
+permutation (Valiant–Brebner phase 1); the next round starts when the
+batch is done.  The paper shows this idling design is stable only for
+rho < p/(Rd) = O(1/d) — while the non-idling greedy scheme carries any
+rho < 1 with O(d) delay.
+
+This script runs both schemes at the same modest load (rho = 0.4) and
+prints what happens: greedy cruises near its lower bound, the batch
+scheme's origin queues grow without bound.
+
+Run:  python examples/nongreedy_pipelining_pitfall.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.greedy import GreedyHypercubeScheme
+from repro.schemes.valiant import PipelinedBatchScheme
+
+
+def main() -> None:
+    d, p, rho, horizon = 5, 0.5, 0.4, 500.0
+    lam = rho / p
+
+    greedy = GreedyHypercubeScheme(d=d, lam=lam, p=p)
+    t_greedy = greedy.measure_delay(horizon, rng=3)
+
+    batch = PipelinedBatchScheme(d=d, lam=lam, p=p)
+    res = batch.run(horizon, rng=4)
+    starts, waiting = res.backlog_trajectory()
+
+    print(
+        format_table(
+            ["quantity", "greedy", "pipelined batches"],
+            [
+                ("load factor rho", rho, rho),
+                ("mean delay", t_greedy, res.mean_delay_delivered()),
+                ("delivered fraction", 1.0, float(res.delivered_mask().mean())),
+                ("final backlog (packets)", 0, res.final_backlog),
+                ("mean round duration", "-", res.mean_round_duration()),
+            ],
+            title=f"Greedy vs §2.3 pipelined batching (d={d}, rho={rho})",
+        )
+    )
+
+    # backlog growth timeline: the signature of instability
+    k = max(1, len(starts) // 8)
+    rows = [
+        (f"{starts[i]:.0f}", int(waiting[i])) for i in range(0, len(starts), k)
+    ]
+    print()
+    print(
+        format_table(
+            ["round start t", "packets stuck at origins"],
+            rows,
+            title="Pipelined scheme: origin backlog grows linearly (unstable)",
+        )
+    )
+    est = batch.approximate_stability_threshold(res.mean_round_duration())
+    print(
+        f"\nEstimated pipelined stability threshold: rho* ~ {est:.3f} "
+        f"(vs 1.0 for greedy).\nEach node serves one packet per "
+        f"~{res.mean_round_duration():.1f}-unit round while its required "
+        "arcs sit idle — the idling the paper eliminates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Slotted time (§3.4): synchronous hardware, same guarantees.
+
+Real routers are clocked: packets are injected at slot boundaries, not
+at arbitrary real times.  §3.4 shows the analysis survives: with
+Poisson(lam*tau) batches every tau (1/tau integer), the mean delay
+satisfies T~ <= dp/(1-rho) + tau.
+
+This script sweeps the slot length and shows the measured slotted delay
+tracking the continuous-time system to within a slot.
+
+Run:  python examples/slotted_time.py
+"""
+
+from repro.analysis.tables import format_table
+from repro.core.greedy import GreedyHypercubeScheme
+from repro.sim.slotted import SlottedGreedyHypercube
+
+
+def main() -> None:
+    d, lam, p, horizon = 5, 1.5, 0.5, 1000.0  # rho = 0.75
+    cont = GreedyHypercubeScheme(d=d, lam=lam, p=p)
+    t_cont = cont.measure_delay(horizon, rng=11)
+
+    rows = [("continuous", "-", t_cont, cont.delay_upper_bound())]
+    for i, tau in enumerate([0.125, 0.25, 0.5, 1.0]):
+        s = SlottedGreedyHypercube(d=d, lam=lam, p=p, tau=tau)
+        t = s.measure_delay(horizon, rng=12 + i)
+        rows.append((f"slotted", tau, t, s.delay_upper_bound()))
+    print(
+        format_table(
+            ["system", "tau", "measured T", "upper bound dp/(1-rho) + tau"],
+            rows,
+            title=f"Slotted vs continuous time (d={d}, rho={lam * p})",
+        )
+    )
+    print(
+        "\nCoarser slots add at most one slot of delay (the batch that\n"
+        "arrives with you), exactly as the §3.4 coupling argument predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,167 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+* ``bounds``  — print the paper's closed-form theory for given parameters;
+* ``simulate`` — run one simulation and compare against the bounds;
+* ``sweep``   — delay-vs-load series with an ASCII plot.
+
+Examples::
+
+    python -m repro bounds --d 6 --rho 0.8
+    python -m repro simulate --network butterfly --d 5 --rho 0.7 --p 0.3
+    python -m repro sweep --d 5 --points 6
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.experiments import (
+    measure_butterfly_delay,
+    measure_hypercube_delay,
+)
+from repro.analysis.plotting import ascii_plot
+from repro.analysis.tables import format_table
+from repro.core import bounds as B
+from repro.core.load import butterfly_lam_for_load, lam_for_load
+
+
+def _cmd_bounds(args: argparse.Namespace) -> int:
+    d, rho, p = args.d, args.rho, args.p
+    if args.network == "hypercube":
+        lam = lam_for_load(rho, p)
+        rows = [
+            ("per-node rate lam", lam),
+            ("load factor rho", rho),
+            ("stable (Prop 6)", rho < 1),
+            ("zero-contention dp", B.zero_contention_delay(d, p)),
+        ]
+        if rho < 1:
+            rows += [
+                ("Prop 2 universal lower", B.universal_delay_lower_bound(d, lam, p)),
+                ("Prop 3 oblivious lower", B.oblivious_delay_lower_bound(d, lam, p)),
+                ("Prop 13 greedy lower", B.greedy_delay_lower_bound(d, lam, p)),
+                ("Prop 12 greedy upper", B.greedy_delay_upper_bound(d, lam, p)),
+                ("queue/node bound", B.mean_queue_per_node_bound(d, lam, p)),
+            ]
+    else:
+        lam = butterfly_lam_for_load(rho, p)
+        rows = [
+            ("per-input rate lam", lam),
+            ("load factor rho", rho),
+            ("stable (Prop 16)", rho < 1),
+        ]
+        if rho < 1:
+            rows += [
+                ("Prop 14 lower", B.butterfly_delay_lower_bound(d, lam, p)),
+                ("Prop 17 upper", B.butterfly_delay_upper_bound(d, lam, p)),
+            ]
+    print(
+        format_table(
+            ["quantity", "value"],
+            rows,
+            title=f"{args.network}, d={d}, rho={rho}, p={p}",
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    measure = (
+        measure_hypercube_delay
+        if args.network == "hypercube"
+        else measure_butterfly_delay
+    )
+    m = measure(
+        args.d, args.rho, p=args.p, horizon=args.horizon, rng=args.seed, with_ci=True
+    )
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ("packets simulated", m.num_packets),
+                ("lower bound", m.lower_bound),
+                ("measured mean delay", m.mean_delay),
+                ("95% CI halfwidth", m.ci.halfwidth if m.ci else float("nan")),
+                ("upper bound", m.upper_bound),
+                ("inside the bracket", m.within_bounds),
+            ],
+            title=(
+                f"{args.network} d={m.d} rho={m.rho} p={m.p} "
+                f"horizon={m.horizon} seed={args.seed}"
+            ),
+        )
+    )
+    return 0 if m.within_bounds else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    measure = (
+        measure_hypercube_delay
+        if args.network == "hypercube"
+        else measure_butterfly_delay
+    )
+    rhos = [0.95 * (i + 1) / args.points for i in range(args.points)]
+    xs, ys, rows = [], [], []
+    for i, rho in enumerate(rhos):
+        m = measure(
+            args.d, rho, p=args.p, horizon=args.horizon, rng=args.seed + i
+        )
+        xs.append(rho)
+        ys.append(m.mean_delay)
+        rows.append((rho, m.lower_bound, m.mean_delay, m.upper_bound))
+    print(
+        format_table(
+            ["rho", "lower", "measured T", "upper"],
+            rows,
+            title=f"{args.network} delay sweep, d={args.d}, p={args.p}",
+        )
+    )
+    print()
+    print(ascii_plot(xs, ys, width=60, height=14, xlabel="rho", ylabel="T"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Greedy routing in hypercubes and butterflies (SPAA 1991)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _common(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("--network", choices=["hypercube", "butterfly"],
+                        default="hypercube")
+        sp.add_argument("--d", type=int, default=6, help="dimension")
+        sp.add_argument("--rho", type=float, default=0.8, help="load factor")
+        sp.add_argument("--p", type=float, default=0.5,
+                        help="bit-flip probability (eq. 1)")
+
+    sp = sub.add_parser("bounds", help="print the closed-form theory")
+    _common(sp)
+    sp.set_defaults(func=_cmd_bounds)
+
+    sp = sub.add_parser("simulate", help="one simulation vs the bounds")
+    _common(sp)
+    sp.add_argument("--horizon", type=float, default=600.0)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(func=_cmd_simulate)
+
+    sp = sub.add_parser("sweep", help="delay-vs-load series + ASCII plot")
+    _common(sp)
+    sp.add_argument("--points", type=int, default=6)
+    sp.add_argument("--horizon", type=float, default=500.0)
+    sp.add_argument("--seed", type=int, default=0)
+    sp.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Experiment runners: parameterised delay measurements and sweeps.
+
+These wrap the scheme objects with the standard experimental protocol
+used throughout ``EXPERIMENTS.md``: fix a load factor ``rho`` (not a
+raw rate), simulate a horizon, trim warm-up/cool-down, and report the
+measurement next to the paper's closed-form bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.stats import ConfidenceInterval
+from repro.core.bounds import (
+    butterfly_delay_lower_bound,
+    butterfly_delay_upper_bound,
+    greedy_delay_lower_bound,
+    greedy_delay_upper_bound,
+)
+from repro.core.greedy import GreedyButterflyScheme, GreedyHypercubeScheme
+from repro.core.load import butterfly_lam_for_load, lam_for_load
+from repro.rng import SeedLike
+
+__all__ = [
+    "DelayMeasurement",
+    "measure_hypercube_delay",
+    "measure_butterfly_delay",
+    "sweep_load_factors",
+]
+
+
+@dataclass(frozen=True)
+class DelayMeasurement:
+    """One steady-state delay estimate with its theoretical bracket."""
+
+    network: str
+    d: int
+    rho: float
+    p: float
+    lam: float
+    horizon: float
+    num_packets: int
+    mean_delay: float
+    ci: Optional[ConfidenceInterval]
+    lower_bound: float
+    upper_bound: float
+
+    @property
+    def within_bounds(self) -> bool:
+        """Point-estimate check against the paper's bracket."""
+        return self.lower_bound <= self.mean_delay <= self.upper_bound
+
+    @property
+    def normalised_delay(self) -> float:
+        """``T / d`` — flat in d when the O(d) claim holds."""
+        return self.mean_delay / self.d
+
+
+def measure_hypercube_delay(
+    d: int,
+    rho: float,
+    p: float = 0.5,
+    horizon: float = 400.0,
+    rng: SeedLike = None,
+    warmup_fraction: float = 0.2,
+    with_ci: bool = False,
+) -> DelayMeasurement:
+    """Measure greedy hypercube delay at load factor *rho* (Props 12/13)."""
+    lam = lam_for_load(rho, p)
+    scheme = GreedyHypercubeScheme(d, lam, p)
+    rec = scheme.run(horizon, rng).delay_record()
+    ci = rec.mean_delay_ci(warmup_fraction) if with_ci else None
+    return DelayMeasurement(
+        network="hypercube",
+        d=d,
+        rho=rho,
+        p=p,
+        lam=lam,
+        horizon=horizon,
+        num_packets=rec.num_packets,
+        mean_delay=rec.mean_delay(warmup_fraction),
+        ci=ci,
+        lower_bound=greedy_delay_lower_bound(d, lam, p),
+        upper_bound=greedy_delay_upper_bound(d, lam, p),
+    )
+
+
+def measure_butterfly_delay(
+    d: int,
+    rho: float,
+    p: float = 0.5,
+    horizon: float = 400.0,
+    rng: SeedLike = None,
+    warmup_fraction: float = 0.2,
+    with_ci: bool = False,
+) -> DelayMeasurement:
+    """Measure greedy butterfly delay at load factor *rho* (Props 14/17)."""
+    lam = butterfly_lam_for_load(rho, p)
+    scheme = GreedyButterflyScheme(d, lam, p)
+    rec = scheme.run(horizon, rng).delay_record()
+    ci = rec.mean_delay_ci(warmup_fraction) if with_ci else None
+    return DelayMeasurement(
+        network="butterfly",
+        d=d,
+        rho=rho,
+        p=p,
+        lam=lam,
+        horizon=horizon,
+        num_packets=rec.num_packets,
+        mean_delay=rec.mean_delay(warmup_fraction),
+        ci=ci,
+        lower_bound=butterfly_delay_lower_bound(d, lam, p),
+        upper_bound=butterfly_delay_upper_bound(d, lam, p),
+    )
+
+
+def sweep_load_factors(
+    d: int,
+    rhos: Sequence[float],
+    p: float = 0.5,
+    horizon: float = 400.0,
+    seed: int = 0,
+    network: str = "hypercube",
+) -> list[DelayMeasurement]:
+    """Delay-vs-load series (the E3 sweep); one fresh seed per point."""
+    measure = (
+        measure_hypercube_delay if network == "hypercube" else measure_butterfly_delay
+    )
+    return [
+        measure(d, rho, p, horizon, rng=seed + 1000 * i)
+        for i, rho in enumerate(rhos)
+    ]

@@ -1,0 +1,77 @@
+"""Per-level (per-dimension) hop statistics from arc logs.
+
+§3.3's closing discussion conjectures that the Prop 12 upper bound has
+the right 1/(1-rho) character for every p in (0,1) because "each packet
+faces additional contention for each dimension it crosses".  These
+helpers slice a run's arc log by level so that the per-dimension
+waiting times can be inspected directly:
+
+* level 0 arcs are exact M/D/1 queues (wait ``rho/(2(1-rho))``, eq. 16);
+* later levels see non-renewal, partially smoothed arrivals — the open
+  question is how their waits scale (experiment E20 measures them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import MeasurementError
+from repro.sim.feedforward import ArcLog
+
+__all__ = ["LevelHopStats", "per_level_hop_stats"]
+
+
+@dataclass(frozen=True)
+class LevelHopStats:
+    """Waiting/holding statistics of one level of a levelled network."""
+
+    level: int
+    num_hops: int
+    mean_wait: float  # time queued before service (holding - 1)
+    mean_holding: float  # full time at the arc (wait + unit service)
+
+    @property
+    def mean_service(self) -> float:
+        return self.mean_holding - self.mean_wait
+
+
+def per_level_hop_stats(
+    arc_log: ArcLog,
+    arcs_per_level: int,
+    num_levels: int,
+    t0: float = 0.0,
+    t1: float = np.inf,
+) -> List[LevelHopStats]:
+    """Per-level mean waits from an arc log.
+
+    ``arcs_per_level`` is the size of each contiguous level slice in the
+    arc-id layout (``2**d`` for the cube, ``2**(d+1)`` for the
+    butterfly).  Hops whose arc entry falls outside ``[t0, t1]`` are
+    ignored (warm-up trimming).
+    """
+    if arcs_per_level < 1 or num_levels < 1:
+        raise MeasurementError("need positive level geometry")
+    if arc_log.num_hops and int(arc_log.arc.max()) >= arcs_per_level * num_levels:
+        raise MeasurementError("arc id outside the given level geometry")
+    levels = arc_log.arc // arcs_per_level
+    window = (arc_log.t_in >= t0) & (arc_log.t_in <= t1)
+    out: List[LevelHopStats] = []
+    for lvl in range(num_levels):
+        m = window & (levels == lvl)
+        count = int(m.sum())
+        if count == 0:
+            out.append(LevelHopStats(lvl, 0, float("nan"), float("nan")))
+            continue
+        holding = arc_log.t_out[m] - arc_log.t_in[m]
+        out.append(
+            LevelHopStats(
+                lvl,
+                count,
+                float(holding.mean() - 1.0),
+                float(holding.mean()),
+            )
+        )
+    return out

@@ -1,0 +1,76 @@
+"""Terminal-friendly ASCII plots for examples and the CLI.
+
+The paper's "figures" that carry data (delay-vs-load shapes, heavy
+traffic scaling) are rendered as monospace scatter/line plots so the
+whole reproduction stays dependency-light and usable over SSH.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["ascii_plot", "sparkline"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line bar sketch of a series (8 levels)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi - lo < 1e-300:
+        return _SPARK_CHARS[0] * len(vals)
+    out = []
+    for v in vals:
+        idx = int((v - lo) / (hi - lo) * (len(_SPARK_CHARS) - 1))
+        out.append(_SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def ascii_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 15,
+    xlabel: str = "x",
+    ylabel: str = "y",
+    marker: str = "*",
+) -> str:
+    """Scatter-plot (x, y) points on a character canvas with axes."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) == 0:
+        return "(empty plot)"
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+    x = [float(v) for v in xs]
+    y = [float(v) for v in ys]
+    x_lo, x_hi = min(x), max(x)
+    y_lo, y_hi = min(y), max(y)
+    x_span = x_hi - x_lo or 1.0
+    y_span = y_hi - y_lo or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for xv, yv in zip(x, y):
+        col = int((xv - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((yv - y_lo) / y_span * (height - 1))
+        grid[row][col] = marker
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_hi:8.3g} |"
+        elif i == height - 1:
+            label = f"{y_lo:8.3g} |"
+        else:
+            label = " " * 8 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 9
+        + f"{x_lo:<10.3g}"
+        + f"{xlabel:^{max(width - 20, 1)}}"
+        + f"{x_hi:>10.3g}"
+    )
+    lines.insert(0, f"{ylabel}")
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Independent-replication estimation.
+
+Batch means (``repro.stats``) squeezes one long run; the alternative
+standard method runs R short *independent* replications (distinct
+seeds), each producing one steady-state estimate, and builds a
+t-interval across replications.  Used by the heavy-traffic experiments
+where a single horizon long enough for batch means would be slow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.stats import ConfidenceInterval, mean_confidence_interval
+
+__all__ = ["ReplicationResult", "replicate"]
+
+
+@dataclass(frozen=True)
+class ReplicationResult:
+    """Estimates from R independent replications."""
+
+    estimates: np.ndarray
+    ci: ConfidenceInterval
+
+    @property
+    def num_replications(self) -> int:
+        return int(self.estimates.shape[0])
+
+    @property
+    def mean(self) -> float:
+        return self.ci.mean
+
+    @property
+    def spread(self) -> float:
+        """Max - min across replications (a quick dispersion check)."""
+        return float(self.estimates.max() - self.estimates.min())
+
+
+def replicate(
+    runner: Callable[[int], float],
+    seeds: Sequence[int],
+    confidence: float = 0.95,
+) -> ReplicationResult:
+    """Run ``runner(seed)`` for each seed and build a t-interval.
+
+    ``runner`` must return one scalar steady-state estimate per call;
+    seeds must be distinct (checked) so replications are independent.
+    """
+    seeds = list(seeds)
+    if len(seeds) < 2:
+        raise ValueError("need at least 2 replications for an interval")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("replication seeds must be distinct")
+    estimates = np.array([float(runner(s)) for s in seeds])
+    return ReplicationResult(estimates, mean_confidence_interval(estimates, confidence))

@@ -1,0 +1,21 @@
+"""Statistical utilities (re-export).
+
+The implementations live in :mod:`repro.stats` (kept below the
+simulation layer so that measurement collectors can use them without
+pulling in the experiment harness); this module re-exports them under
+the historical ``repro.analysis.stats`` name.
+"""
+
+from repro.stats import (
+    ConfidenceInterval,
+    batch_means_ci,
+    mean_confidence_interval,
+    time_average_step,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "mean_confidence_interval",
+    "batch_means_ci",
+    "time_average_step",
+]

@@ -1,0 +1,59 @@
+"""Plain-text table/series formatting for the benchmark harness.
+
+The paper is a theory paper; its "tables" are the closed-form claims.
+The benchmark scripts print, for every experiment, one table in this
+uniform format so ``EXPERIMENTS.md`` can quote them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_series", "format_cell"]
+
+
+def format_cell(value) -> str:
+    """Render one value: floats to 4 significant digits, rest via str."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned monospace table with optional title."""
+    str_rows = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} does not match header width {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, xs: Sequence[object], ys: Sequence[object], xlabel: str = "x"
+) -> str:
+    """Render an (x, y) series as a two-column table."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    return format_table([xlabel, name], zip(xs, ys))

@@ -1,0 +1,77 @@
+"""Initial-transient (warm-up) detection — Welch's procedure.
+
+Steady-state delay estimation requires discarding the start-up
+transient.  The fixed-fraction defaults in
+:class:`~repro.sim.measurement.DelayRecord` are robust but wasteful;
+this module implements the classical alternative:
+
+* :func:`welch_moving_average` — smooth the time-ordered observations
+  with a centred window;
+* :func:`detect_warmup` — pick the first index after which the smoothed
+  curve stays inside a band around its final level (Welch's visual rule
+  made programmatic).
+
+Used by long-horizon experiments (heavy traffic) where throwing away
+20% of a 10^4-unit run would dominate the budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["welch_moving_average", "detect_warmup"]
+
+
+def welch_moving_average(samples: np.ndarray, window: int) -> np.ndarray:
+    """Centred moving average with shrinking edge windows (Welch 1983).
+
+    Interior points average ``2*window + 1`` neighbours; points closer
+    than *window* to the start average the symmetric neighbourhood that
+    fits (so the curve has the same length as the input).
+    """
+    x = np.asarray(samples, dtype=float)
+    n = x.shape[0]
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if n == 0:
+        return np.zeros(0)
+    out = np.empty(n)
+    csum = np.concatenate(([0.0], np.cumsum(x)))
+    for i in range(n):
+        w = min(window, i, n - 1 - i)
+        out[i] = (csum[i + w + 1] - csum[i - w]) / (2 * w + 1)
+    return out
+
+
+def detect_warmup(
+    samples: np.ndarray,
+    window: int = 50,
+    band: float = 0.05,
+    tail_fraction: float = 0.5,
+) -> int:
+    """Index where the smoothed series first enters (and stays near) its
+    steady level.
+
+    The steady level is the mean of the trailing *tail_fraction* of the
+    smoothed curve; the warm-up end is the first index from which the
+    smoothed curve never leaves ``level * (1 ± band)``.  Returns 0 when
+    the series starts in band, and ``len(samples)`` when it never
+    settles (caller should lengthen the run).
+    """
+    x = np.asarray(samples, dtype=float)
+    n = x.shape[0]
+    if n == 0:
+        return 0
+    smooth = welch_moving_average(x, min(window, max(1, n // 4)))
+    tail = smooth[int(n * (1.0 - tail_fraction)) :]
+    level = float(tail.mean())
+    if level == 0.0:
+        return 0
+    lo, hi = level * (1.0 - band), level * (1.0 + band)
+    inside = (smooth >= min(lo, hi)) & (smooth <= max(lo, hi))
+    # first index from which `inside` holds for the rest of the series
+    outside_idx = np.flatnonzero(~inside)
+    if outside_idx.shape[0] == 0:
+        return 0
+    last_outside = int(outside_idx[-1])
+    return last_outside + 1 if last_outside + 1 < n else n

@@ -1,0 +1,98 @@
+"""The paper's primary contribution: greedy routing and its analysis.
+
+* :mod:`repro.core.greedy` — the greedy dimension-order scheme on the
+  hypercube (§3) and greedy routing on the butterfly (§4), as
+  ready-to-run scheme objects.
+* :mod:`repro.core.qnetwork` — the equivalent queueing networks Q
+  (Fig. 1b) and R (Fig. 3b) with their Markovian routing (Lemma 4,
+  Properties A–C), plus explicit levelled networks (Fig. 2).
+* :mod:`repro.core.load` — load factors and the stability conditions
+  (eq. (2), Prop 6, eq. (17), Prop 16).
+* :mod:`repro.core.bounds` — every closed-form delay bound in the paper
+  (Props 2, 3, 12, 13, 14, 17, §3.4, heavy-traffic windows).
+"""
+
+from repro.core.bounds import (
+    antipodal_exact_delay,
+    butterfly_delay_lower_bound,
+    butterfly_delay_upper_bound,
+    butterfly_heavy_traffic_window,
+    greedy_delay_lower_bound,
+    greedy_delay_upper_bound,
+    heavy_traffic_window,
+    mean_queue_per_node_bound,
+    oblivious_delay_lower_bound,
+    slotted_delay_upper_bound,
+    total_population_bound,
+    universal_delay_lower_bound,
+    zero_contention_delay,
+)
+from repro.core.buffers import (
+    arc_buffer_for_overflow,
+    arc_overflow_probability,
+    node_buffer_for_overflow,
+)
+from repro.core.general import (
+    general_arc_rates,
+    general_load_factor,
+    general_load_vector,
+    general_oblivious_lower_bound,
+    general_stable,
+    general_universal_lower_bound,
+    general_zero_contention_delay,
+)
+from repro.core.greedy import GreedyButterflyScheme, GreedyHypercubeScheme
+from repro.core.load import (
+    butterfly_load_factor,
+    butterfly_stable,
+    hypercube_load_factor,
+    hypercube_load_vector,
+    hypercube_stable,
+    lam_for_load,
+)
+from repro.core.qnetwork import (
+    ButterflyRSpec,
+    ExplicitLevelledSpec,
+    HypercubeQSpec,
+    butterfly_external_from_sample,
+    hypercube_external_from_sample,
+)
+
+__all__ = [
+    "GreedyHypercubeScheme",
+    "GreedyButterflyScheme",
+    "HypercubeQSpec",
+    "ButterflyRSpec",
+    "ExplicitLevelledSpec",
+    "hypercube_external_from_sample",
+    "butterfly_external_from_sample",
+    "hypercube_load_factor",
+    "hypercube_load_vector",
+    "hypercube_stable",
+    "butterfly_load_factor",
+    "butterfly_stable",
+    "lam_for_load",
+    "universal_delay_lower_bound",
+    "oblivious_delay_lower_bound",
+    "greedy_delay_upper_bound",
+    "greedy_delay_lower_bound",
+    "slotted_delay_upper_bound",
+    "butterfly_delay_lower_bound",
+    "butterfly_delay_upper_bound",
+    "heavy_traffic_window",
+    "butterfly_heavy_traffic_window",
+    "mean_queue_per_node_bound",
+    "total_population_bound",
+    "zero_contention_delay",
+    "antipodal_exact_delay",
+    "arc_overflow_probability",
+    "arc_buffer_for_overflow",
+    "node_buffer_for_overflow",
+    "general_load_vector",
+    "general_load_factor",
+    "general_stable",
+    "general_zero_contention_delay",
+    "general_arc_rates",
+    "general_oblivious_lower_bound",
+    "general_universal_lower_bound",
+]

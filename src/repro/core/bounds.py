@@ -1,0 +1,266 @@
+"""Closed-form delay bounds — every bound stated in the paper.
+
+All bounds are for the steady-state mean per-packet delay ``T`` under
+the §1.1 traffic model (per-node Poisson rate ``lam``, bit-flip
+probability ``p``, load factor ``rho = lam * p``), unit service times.
+Functions raise :class:`~repro.errors.UnstableSystemError` whenever the
+requested quantity needs ``rho < 1`` (or the butterfly analogue).
+
+Hypercube
+---------
+* :func:`universal_delay_lower_bound` — Prop 2 (any scheme), via the
+  M/D/2^d delay ``D(2^d; rho)``;
+* :func:`oblivious_delay_lower_bound` — Prop 3 (oblivious schemes);
+* :func:`greedy_delay_upper_bound` — Prop 12: ``dp / (1 - rho)``;
+* :func:`greedy_delay_lower_bound` — Prop 13:
+  ``dp + p rho / (2 (1 - rho))``;
+* :func:`slotted_delay_upper_bound` — §3.4;
+* :func:`heavy_traffic_window` — the §3.3 two-sided bound on
+  ``lim_{rho->1} (1 - rho) T``;
+* :func:`antipodal_exact_delay` — the exact ``p = 1`` delay noted at
+  the end of §3.3.
+
+Butterfly
+---------
+* :func:`butterfly_delay_lower_bound` — Prop 14 (any scheme);
+* :func:`butterfly_delay_upper_bound` — Prop 17;
+* :func:`butterfly_heavy_traffic_window` — §4.3 closing remark.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ConfigurationError, UnstableSystemError
+from repro.queueing.md1 import md1_sojourn
+from repro.queueing.mdc import (
+    mdc_sojourn_brumelle_lower,
+    mdc_sojourn_cosmetatos,
+    mdc_sojourn_exact,
+    mdc_sojourn_mc,
+)
+
+__all__ = [
+    "zero_contention_delay",
+    "universal_delay_lower_bound",
+    "universal_delay_lower_bound_simplified",
+    "oblivious_delay_lower_bound",
+    "greedy_delay_upper_bound",
+    "greedy_delay_lower_bound",
+    "slotted_delay_upper_bound",
+    "heavy_traffic_window",
+    "antipodal_exact_delay",
+    "mean_queue_per_node_bound",
+    "total_population_bound",
+    "butterfly_delay_lower_bound",
+    "butterfly_delay_upper_bound",
+    "butterfly_heavy_traffic_window",
+]
+
+
+def _check(d: int, lam: float, p: float) -> Tuple[int, float, float]:
+    d = int(d)
+    if d < 1:
+        raise ConfigurationError(f"dimension must be >= 1, got {d}")
+    if lam < 0:
+        raise ConfigurationError(f"rate must be >= 0, got {lam}")
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must lie in [0, 1], got {p}")
+    return d, float(lam), float(p)
+
+
+def zero_contention_delay(d: int, p: float) -> float:
+    """Mean delay with no queueing at all: the mean path length ``d p``.
+
+    Lemma 1 gives ``E[H(x, z)] = d p``; any scheme needs at least this
+    long on average (§2.1), so all delay bounds are compared to it.
+    """
+    d, _, p = _check(d, 0.0, p)
+    return d * p
+
+
+def universal_delay_lower_bound(
+    d: int, lam: float, p: float, mdc_method: str = "brumelle"
+) -> float:
+    """Prop 2: ``T >= max{d p, p D(2^d; rho)}`` for **any** scheme.
+
+    ``D(2^d; rho)`` is the mean sojourn of an M/D/2^d queue with unit
+    service at utilisation ``rho``; *mdc_method* selects its evaluation:
+    ``"brumelle"`` (the form the paper substitutes — heavy-traffic
+    exact), ``"exact"`` (Crommelin embedded-chain solution — makes the
+    result a certified lower bound), ``"cosmetatos"`` (closed-form
+    approximation), or ``"mc"`` (Monte-Carlo, slow).
+    """
+    d, lam, p = _check(d, lam, p)
+    rho = lam * p
+    if rho >= 1.0:
+        raise UnstableSystemError(rho, "universal delay lower bound")
+    c = 1 << d
+    if mdc_method == "brumelle":
+        dd = mdc_sojourn_brumelle_lower(c, rho) if rho > 0 else 1.0
+    elif mdc_method == "exact":
+        dd = mdc_sojourn_exact(c, rho)
+    elif mdc_method == "cosmetatos":
+        dd = mdc_sojourn_cosmetatos(c, rho)
+    elif mdc_method == "mc":
+        dd = mdc_sojourn_mc(c, rho)
+    else:
+        raise ConfigurationError(f"unknown mdc_method {mdc_method!r}")
+    return max(d * p, p * dd)
+
+
+def universal_delay_lower_bound_simplified(d: int, lam: float, p: float) -> float:
+    """Prop 2's closed form: ``(dp + p + p rho / (2^{d+1} (1-rho))) / 2``.
+
+    Obtained from ``max{a1, a2} >= (a1 + a2)/2`` with the Brumelle
+    bound; weaker than :func:`universal_delay_lower_bound` but matches
+    the displayed formula in the paper.
+    """
+    d, lam, p = _check(d, lam, p)
+    rho = lam * p
+    if rho >= 1.0:
+        raise UnstableSystemError(rho, "universal delay lower bound")
+    return 0.5 * (d * p + p + p * rho / (2.0 ** (d + 1) * (1.0 - rho)))
+
+
+def oblivious_delay_lower_bound(d: int, lam: float, p: float) -> float:
+    """Prop 3: for oblivious schemes,
+    ``T >= max{d p, p (1 + rho / (2 (1 - rho)))}``.
+
+    The second term is ``p`` times the M/D/1 sojourn at utilisation
+    ``rho`` — the convexity argument of the proof shows splitting the
+    first-dimension flow evenly is the oblivious optimum.
+    """
+    d, lam, p = _check(d, lam, p)
+    rho = lam * p
+    if rho >= 1.0:
+        raise UnstableSystemError(rho, "oblivious delay lower bound")
+    per_arc = md1_sojourn(rho) if rho > 0 else 1.0
+    return max(d * p, p * per_arc)
+
+
+def greedy_delay_upper_bound(d: int, lam: float, p: float) -> float:
+    """Prop 12: greedy dimension-order routing achieves
+    ``T <= d p / (1 - rho)`` — O(d) delay for every fixed ``rho < 1``."""
+    d, lam, p = _check(d, lam, p)
+    rho = lam * p
+    if rho >= 1.0:
+        raise UnstableSystemError(rho, "greedy delay upper bound")
+    return d * p / (1.0 - rho)
+
+
+def greedy_delay_lower_bound(d: int, lam: float, p: float) -> float:
+    """Prop 13: greedy routing satisfies
+    ``T >= d p + p rho / (2 (1 - rho))``.
+
+    (First-dimension arcs are exact M/D/1 queues; every further arc
+    holds each packet at least one unit.)
+    """
+    d, lam, p = _check(d, lam, p)
+    rho = lam * p
+    if rho >= 1.0:
+        raise UnstableSystemError(rho, "greedy delay lower bound")
+    return d * p + p * rho / (2.0 * (1.0 - rho))
+
+
+def slotted_delay_upper_bound(d: int, lam: float, p: float, tau: float) -> float:
+    """§3.4: the slotted variant satisfies ``T~ <= d p / (1 - rho) + tau``.
+
+    The slotted sample path is dominated by the continuous-time one with
+    arrivals advanced to slot starts, costing at most one slot ``tau``.
+    """
+    if not 0.0 < tau <= 1.0:
+        raise ConfigurationError(f"slot length tau must lie in (0, 1], got {tau}")
+    return greedy_delay_upper_bound(d, lam, p) + tau
+
+
+def heavy_traffic_window(d: int, p: float) -> Tuple[float, float]:
+    """§3.3: ``p/2 <= lim_{rho -> 1} (1 - rho) T <= d p`` for greedy routing.
+
+    Lower end from Prop 13 (``(1-rho) T -> p rho / 2``), upper from
+    Prop 12.  The paper conjectures the upper end is tight for
+    ``p in (0, 1)`` and shows the lower end is tight at ``p = 1``.
+    """
+    d, _, p = _check(d, 0.0, p)
+    return (p / 2.0, d * p)
+
+
+def antipodal_exact_delay(d: int, lam: float) -> float:
+    """Exact delay at ``p = 1`` (§3.3 end): ``T = d + rho / (2 (1 - rho))``.
+
+    With ``p = 1`` every packet targets the antipode, canonical paths
+    from distinct origins are arc-disjoint, and each origin's stream
+    queues only at its first arc — an M/D/1 at utilisation
+    ``rho = lam`` — then flows without further contention.
+    """
+    d = int(d)
+    if d < 1:
+        raise ConfigurationError(f"dimension must be >= 1, got {d}")
+    rho = float(lam)
+    if rho >= 1.0:
+        raise UnstableSystemError(rho, "antipodal exact delay")
+    if rho < 0.0:
+        raise ConfigurationError(f"rate must be >= 0, got {lam}")
+    return d + rho / (2.0 * (1.0 - rho))
+
+
+def mean_queue_per_node_bound(d: int, lam: float, p: float) -> float:
+    """§3.3: the mean number of packets per node is at most
+    ``d rho / (1 - rho)`` — O(d) buffers suffice on average."""
+    d, lam, p = _check(d, lam, p)
+    rho = lam * p
+    if rho >= 1.0:
+        raise UnstableSystemError(rho, "mean queue per node bound")
+    return d * rho / (1.0 - rho)
+
+
+def total_population_bound(d: int, lam: float, p: float) -> float:
+    """§3.3: mean total packets in flight is at most
+    ``d 2^d rho / (1 - rho)`` (eq. (13))."""
+    return mean_queue_per_node_bound(d, lam, p) * (1 << int(d))
+
+
+# ---------------------------------------------------------------------------
+# butterfly
+# ---------------------------------------------------------------------------
+
+
+def _check_butterfly(d: int, lam: float, p: float) -> Tuple[int, float, float, float, float]:
+    d, lam, p = _check(d, lam, p)
+    rv, rs = lam * p, lam * (1.0 - p)
+    worst = max(rv, rs)
+    if worst >= 1.0:
+        raise UnstableSystemError(worst, "butterfly delay bound")
+    return d, lam, p, rv, rs
+
+
+def butterfly_delay_lower_bound(d: int, lam: float, p: float) -> float:
+    """Prop 14: under **any** scheme,
+    ``T >= d + lam p^2/(2(1-lam p)) + lam (1-p)^2/(2(1-lam(1-p)))``.
+
+    First-level arcs are exact M/D/1 queues (rate ``lam p`` vertical,
+    ``lam (1-p)`` straight) and the remaining ``d-1`` levels cost at
+    least one unit each.
+    """
+    d, lam, p, rv, rs = _check_butterfly(d, lam, p)
+    term_v = lam * p * p / (2.0 * (1.0 - rv)) if rv > 0 else 0.0
+    term_s = lam * (1.0 - p) ** 2 / (2.0 * (1.0 - rs)) if rs > 0 else 0.0
+    return d + term_v + term_s
+
+
+def butterfly_delay_upper_bound(d: int, lam: float, p: float) -> float:
+    """Prop 17: greedy butterfly routing achieves
+    ``T <= d p / (1 - lam p) + d (1-p) / (1 - lam (1-p))``."""
+    d, lam, p, rv, rs = _check_butterfly(d, lam, p)
+    return d * p / (1.0 - rv) + d * (1.0 - p) / (1.0 - rs)
+
+
+def butterfly_heavy_traffic_window(d: int, p: float) -> Tuple[float, float]:
+    """§4.3: ``max{p,1-p}/2 <= lim_{rho->1} (1-rho) T <= d max{p,1-p}``.
+
+    The lower end is tight at ``p in {0, 1}`` (disjoint paths), the
+    upper end conjectured tight for ``p in (0, 1)``.
+    """
+    d, _, p = _check(d, 0.0, p)
+    m = max(p, 1.0 - p)
+    return (m / 2.0, d * m)

@@ -1,0 +1,68 @@
+"""Buffer-sizing from the paper's queue-size analysis (engineering layer).
+
+The paper assumes infinite buffers (§1.1) and proves the *sizes* are
+benign: the PS-dominated occupancy of each arc is geometric(rho), so a
+finite buffer of ``B`` slots overflows with probability at most
+``rho^B`` per arc — the practical consequence of §3.3's "O(d) packets
+per node w.h.p." result.  These helpers turn the geometric tail into
+dimensioning rules and are validated against simulated maxima in the
+tests.
+
+Note these are *stationary overflow probabilities* under the dominating
+product-form law — conservative for the FIFO system (Prop 11).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import UnstableSystemError
+
+__all__ = [
+    "arc_overflow_probability",
+    "arc_buffer_for_overflow",
+    "node_buffer_for_overflow",
+]
+
+
+def _check(rho: float) -> float:
+    rho = float(rho)
+    if rho < 0.0:
+        raise ValueError(f"utilisation must be >= 0, got {rho}")
+    if rho >= 1.0:
+        raise UnstableSystemError(rho, "buffer dimensioning")
+    return rho
+
+
+def arc_overflow_probability(rho: float, buffer_slots: int) -> float:
+    """P[arc occupancy >= B] <= rho^B (geometric tail, Prop 11 + product
+    form)."""
+    rho = _check(rho)
+    if buffer_slots < 0:
+        raise ValueError(f"buffer size must be >= 0, got {buffer_slots}")
+    if rho == 0.0:
+        return 0.0 if buffer_slots > 0 else 1.0
+    return rho**buffer_slots
+
+def arc_buffer_for_overflow(rho: float, epsilon: float) -> int:
+    """Smallest per-arc buffer B with stationary overflow prob <= eps:
+    ``B = ceil(log eps / log rho)``."""
+    rho = _check(rho)
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must lie in (0, 1), got {epsilon}")
+    if rho == 0.0:
+        return 1
+    return max(1, math.ceil(math.log(epsilon) / math.log(rho)))
+
+
+def node_buffer_for_overflow(d: int, rho: float, epsilon: float) -> int:
+    """Per-node buffer (pooled across the node's d outgoing arcs) with
+    overflow probability <= eps.
+
+    A node's occupancy is the sum of its d independent geometric(rho)
+    arc occupancies (product form); a union bound with per-arc budget
+    ``eps/d`` gives a simple, slightly conservative rule.
+    """
+    if d < 1:
+        raise ValueError(f"dimension must be >= 1, got {d}")
+    return d * arc_buffer_for_overflow(rho, epsilon / d)

@@ -1,0 +1,112 @@
+"""§2.2 generalisation: arbitrary translation-invariant destination laws.
+
+The paper notes (end of §2.2) that the necessary stability condition
+and the lower bounds of Props 2/3 hold whenever the destination law is
+translation invariant — ``Pr[x -> z] = f(x XOR z)`` — with the load
+factor redefined per dimension:
+
+    rho_j = lam * q_j,    q_j = sum_{v : v_j = 1} f(v),
+    rho   = max_j rho_j.
+
+Under greedy dimension-order routing the equivalent network is still
+levelled (Property B holds for any law), and by node symmetry every arc
+of dimension ``j`` carries total flow ``lam * q_j`` (the generalised
+Prop 5).  The *routing* however is no longer Markovian for non-product
+laws (Lemma 4 uses the bit-independence of eq. (1)), so the paper's
+product-form upper bound does not directly extend — which is exactly
+why §5 suggests two-phase randomised mixing
+(:mod:`repro.schemes.twophase`) for general traffic.
+
+This module provides the generalised load/stability/lower-bound
+calculus; the simulators already accept any law.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import UnstableSystemError
+from repro.queueing.md1 import md1_sojourn
+from repro.queueing.mdc import mdc_sojourn_brumelle_lower
+from repro.traffic.destinations import DestinationLaw
+
+__all__ = [
+    "general_load_vector",
+    "general_load_factor",
+    "general_stable",
+    "general_zero_contention_delay",
+    "general_arc_rates",
+    "general_oblivious_lower_bound",
+    "general_universal_lower_bound",
+]
+
+
+def general_load_vector(lam: float, law: DestinationLaw) -> np.ndarray:
+    """Per-dimension load factors ``rho_j = lam * q_j``."""
+    if lam < 0:
+        raise ValueError(f"rate must be >= 0, got {lam}")
+    return lam * law.flip_probabilities()
+
+
+def general_load_factor(lam: float, law: DestinationLaw) -> float:
+    """``rho = max_j rho_j`` — the §2.2 load factor."""
+    return float(np.max(general_load_vector(lam, law)))
+
+
+def general_stable(lam: float, law: DestinationLaw) -> bool:
+    """Necessary condition (eq. (2) generalised): ``rho < 1``.
+
+    For greedy routing this is also sufficient: each dimension-``j``
+    arc is a deterministic unit server in a levelled network fed at
+    total rate ``rho_j`` ([Bor87] Theorem 2A applies as in Prop 6).
+    """
+    return general_load_factor(lam, law) < 1.0
+
+
+def general_zero_contention_delay(law: DestinationLaw) -> float:
+    """Mean shortest-path time ``E[H] = sum_j q_j`` (generalises dp)."""
+    return law.mean_distance()
+
+
+def general_arc_rates(lam: float, law: DestinationLaw) -> np.ndarray:
+    """Generalised Prop 5: arc of dimension ``j`` carries ``lam q_j``.
+
+    Returns the per-arc rate vector in dimension-major arc order
+    (shape ``(d * 2**d,)``).
+    """
+    q = law.flip_probabilities()
+    return np.repeat(lam * q, 1 << law.d)
+
+
+def general_oblivious_lower_bound(lam: float, law: DestinationLaw) -> float:
+    """Prop 3 generalised: ``T >= max{E[H], max_j q_j (1 + rho_j/(2(1-rho_j)))}``.
+
+    The proof's dimension-1 argument applies verbatim to each dimension
+    ``j``; the best (largest) dimension gives the bound.
+    """
+    rho_vec = general_load_vector(lam, law)
+    worst = float(np.max(rho_vec))
+    if worst >= 1.0:
+        raise UnstableSystemError(worst, "generalised oblivious lower bound")
+    q = law.flip_probabilities()
+    per_dim = [
+        q_j * (md1_sojourn(r_j) if r_j > 0 else 1.0)
+        for q_j, r_j in zip(q, rho_vec)
+    ]
+    return max(general_zero_contention_delay(law), max(per_dim))
+
+
+def general_universal_lower_bound(lam: float, law: DestinationLaw) -> float:
+    """Prop 2 generalised: each dimension's 2^d arcs form an M/D/2^d
+    lower-bounding system at utilisation ``rho_j``."""
+    rho_vec = general_load_vector(lam, law)
+    worst = float(np.max(rho_vec))
+    if worst >= 1.0:
+        raise UnstableSystemError(worst, "generalised universal lower bound")
+    q = law.flip_probabilities()
+    c = 1 << law.d
+    per_dim = [
+        q_j * (mdc_sojourn_brumelle_lower(c, r_j) if r_j > 0 else 1.0)
+        for q_j, r_j in zip(q, rho_vec)
+    ]
+    return max(general_zero_contention_delay(law), max(per_dim))

@@ -1,0 +1,200 @@
+"""High-level scheme objects: the paper's greedy routing, ready to run.
+
+:class:`GreedyHypercubeScheme` bundles a cube, a per-node rate and a
+bit-flip probability into one object exposing
+
+* the closed-form theory (stability, load factor, Props 12/13 bounds),
+* one-call simulation (:meth:`~GreedyHypercubeScheme.run`),
+* the equivalent network Q (:meth:`~GreedyHypercubeScheme.qspec`).
+
+:class:`GreedyButterflyScheme` is the §4 analogue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core import bounds as _bounds
+from repro.core.load import (
+    butterfly_load_factor,
+    hypercube_load_factor,
+)
+from repro.core.qnetwork import ButterflyRSpec, HypercubeQSpec
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike
+from repro.sim.feedforward import (
+    FeedForwardResult,
+    simulate_butterfly_greedy,
+    simulate_hypercube_greedy,
+)
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+from repro.traffic.destinations import BernoulliFlipLaw
+from repro.traffic.workload import ButterflyWorkload, HypercubeWorkload
+
+__all__ = ["GreedyHypercubeScheme", "GreedyButterflyScheme"]
+
+
+@dataclass(frozen=True)
+class GreedyHypercubeScheme:
+    """Greedy dimension-order routing on the d-cube (§3).
+
+    Parameters
+    ----------
+    d:
+        Cube dimension.
+    lam:
+        Per-node Poisson packet rate.
+    p:
+        Bit-flip probability of the destination law (eq. (1)).
+    """
+
+    d: int
+    lam: float
+    p: float
+    cube: Hypercube = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cube", Hypercube(self.d))
+        if not 0.0 < self.p <= 1.0:
+            raise ConfigurationError(f"p must lie in (0, 1], got {self.p}")
+        if self.lam <= 0.0:
+            raise ConfigurationError(f"lam must be > 0, got {self.lam}")
+
+    # -- theory ---------------------------------------------------------------
+
+    @property
+    def rho(self) -> float:
+        """Load factor ``lam * p`` (eq. (2))."""
+        return hypercube_load_factor(self.lam, self.p)
+
+    @property
+    def stable(self) -> bool:
+        """Prop 6: stability holds iff ``rho < 1``."""
+        return self.rho < 1.0
+
+    def delay_upper_bound(self) -> float:
+        """Prop 12: ``d p / (1 - rho)``."""
+        return _bounds.greedy_delay_upper_bound(self.d, self.lam, self.p)
+
+    def delay_lower_bound(self) -> float:
+        """Prop 13: ``d p + p rho / (2 (1 - rho))``."""
+        return _bounds.greedy_delay_lower_bound(self.d, self.lam, self.p)
+
+    def zero_contention_delay(self) -> float:
+        """Mean shortest-path time ``d p``."""
+        return _bounds.zero_contention_delay(self.d, self.p)
+
+    # -- machinery --------------------------------------------------------------
+
+    def law(self) -> BernoulliFlipLaw:
+        return BernoulliFlipLaw(self.d, self.p)
+
+    def workload(self) -> HypercubeWorkload:
+        return HypercubeWorkload(self.cube, self.lam, self.law())
+
+    def qspec(self) -> HypercubeQSpec:
+        """The equivalent network Q (Properties A–C)."""
+        return HypercubeQSpec(self.cube, self.p)
+
+    def run(
+        self,
+        horizon: float,
+        rng: SeedLike = None,
+        *,
+        discipline: str = "fifo",
+        dim_order: Optional[Sequence[int]] = None,
+        record_arc_log: bool = False,
+    ) -> FeedForwardResult:
+        """Generate traffic over ``[0, horizon)`` and route every packet.
+
+        Returns the full :class:`~repro.sim.feedforward.FeedForwardResult`;
+        ``result.delay_record().mean_delay()`` estimates the paper's ``T``.
+        """
+        sample = self.workload().generate(horizon, rng)
+        return simulate_hypercube_greedy(
+            self.cube,
+            sample,
+            discipline=discipline,
+            dim_order=dim_order,
+            record_arc_log=record_arc_log,
+        )
+
+    def measure_delay(
+        self, horizon: float, rng: SeedLike = None, warmup_fraction: float = 0.2
+    ) -> float:
+        """One-call steady-state mean-delay estimate."""
+        return self.run(horizon, rng).delay_record().mean_delay(warmup_fraction)
+
+
+@dataclass(frozen=True)
+class GreedyButterflyScheme:
+    """Greedy routing on the d-dimensional butterfly (§4)."""
+
+    d: int
+    lam: float
+    p: float
+    butterfly: Butterfly = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "butterfly", Butterfly(self.d))
+        if not 0.0 <= self.p <= 1.0:
+            raise ConfigurationError(f"p must lie in [0, 1], got {self.p}")
+        if self.lam <= 0.0:
+            raise ConfigurationError(f"lam must be > 0, got {self.lam}")
+
+    # -- theory ---------------------------------------------------------------
+
+    @property
+    def rho(self) -> float:
+        """Load factor ``lam * max(p, 1-p)`` (eq. (17))."""
+        return butterfly_load_factor(self.lam, self.p)
+
+    @property
+    def stable(self) -> bool:
+        """Prop 16: stability holds iff ``rho < 1``."""
+        return self.rho < 1.0
+
+    def delay_upper_bound(self) -> float:
+        """Prop 17: ``d p/(1 - lam p) + d (1-p)/(1 - lam (1-p))``."""
+        return _bounds.butterfly_delay_upper_bound(self.d, self.lam, self.p)
+
+    def delay_lower_bound(self) -> float:
+        """Prop 14 (universal)."""
+        return _bounds.butterfly_delay_lower_bound(self.d, self.lam, self.p)
+
+    # -- machinery --------------------------------------------------------------
+
+    def law(self) -> BernoulliFlipLaw:
+        return BernoulliFlipLaw(self.d, self.p)
+
+    def workload(self) -> ButterflyWorkload:
+        return ButterflyWorkload(self.butterfly, self.lam, self.law())
+
+    def rspec(self) -> ButterflyRSpec:
+        """The equivalent network R (§4.3 Properties A–B)."""
+        return ButterflyRSpec(self.butterfly, self.p)
+
+    def run(
+        self,
+        horizon: float,
+        rng: SeedLike = None,
+        *,
+        discipline: str = "fifo",
+        record_arc_log: bool = False,
+    ) -> FeedForwardResult:
+        """Generate traffic over ``[0, horizon)`` and route every packet."""
+        sample = self.workload().generate(horizon, rng)
+        return simulate_butterfly_greedy(
+            self.butterfly,
+            sample,
+            discipline=discipline,
+            record_arc_log=record_arc_log,
+        )
+
+    def measure_delay(
+        self, horizon: float, rng: SeedLike = None, warmup_fraction: float = 0.2
+    ) -> float:
+        """One-call steady-state mean-delay estimate."""
+        return self.run(horizon, rng).delay_record().mean_delay(warmup_fraction)

@@ -1,0 +1,104 @@
+"""Load factors and stability conditions (§2.1, §4.2, and the §2.2
+translation-invariant generalisation).
+
+Hypercube: a packet crosses dimension ``j`` with probability ``q_j``
+(= ``p`` for the paper's law), so dimension ``j`` carries an average
+flow of ``lam * q_j`` per arc (Prop 5) and the load factor is
+
+    rho = lam * max_j q_j      (= lam * p for eq. (1)).
+
+Stability of any scheme *requires* ``rho <= 1`` (eq. (2); ``< 1``
+unless arrivals are deterministic), and greedy routing *achieves* every
+``rho < 1`` (Prop 6).
+
+Butterfly: straight arcs carry ``lam (1-p)``, vertical arcs ``lam p``
+(Prop 15), hence ``rho = lam * max(p, 1-p)`` (eq. (17) / Prop 16).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traffic.destinations import DestinationLaw
+
+__all__ = [
+    "hypercube_load_factor",
+    "hypercube_load_vector",
+    "hypercube_stable",
+    "butterfly_load_factor",
+    "butterfly_stable",
+    "lam_for_load",
+    "butterfly_lam_for_load",
+]
+
+
+def _check_lam(lam: float) -> float:
+    if not lam >= 0.0:
+        raise ConfigurationError(f"arrival rate must be >= 0, got {lam}")
+    return float(lam)
+
+
+def _check_p(p: float) -> float:
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"flip probability must lie in [0, 1], got {p}")
+    return float(p)
+
+
+def hypercube_load_factor(lam: float, p: float) -> float:
+    """The paper's load factor ``rho = lam * p`` (eq. (2))."""
+    return _check_lam(lam) * _check_p(p)
+
+
+def hypercube_load_vector(lam: float, law: DestinationLaw) -> np.ndarray:
+    """Per-dimension load factors ``rho_j = lam * q_j`` (§2.2).
+
+    For the paper's Bernoulli law all entries equal ``lam * p``; the
+    general translation-invariant case takes the law's actual flip
+    probabilities.
+    """
+    return _check_lam(lam) * law.flip_probabilities()
+
+
+def hypercube_stable(lam: float, p: float) -> bool:
+    """Prop 6: greedy routing on the d-cube is stable iff ``lam * p < 1``."""
+    return hypercube_load_factor(lam, p) < 1.0
+
+
+def butterfly_load_factor(lam: float, p: float) -> float:
+    """Eq. (17): ``rho = lam * max(p, 1-p)``.
+
+    For ``p > 1/2`` the vertical arcs are the bottleneck, for
+    ``p < 1/2`` the straight arcs; ``p = 1/2`` maximises sustainable
+    ``lam`` at fixed ``rho``.
+    """
+    lam, p = _check_lam(lam), _check_p(p)
+    return lam * max(p, 1.0 - p)
+
+
+def butterfly_stable(lam: float, p: float) -> bool:
+    """Prop 16: butterfly greedy routing is stable iff
+    ``lam * max(p, 1-p) < 1``."""
+    return butterfly_load_factor(lam, p) < 1.0
+
+
+def lam_for_load(rho: float, p: float) -> float:
+    """Per-node rate achieving hypercube load factor *rho*: ``rho / p``.
+
+    The standard way experiments parameterise runs ("sweep rho").
+    """
+    p = _check_p(p)
+    if p == 0.0:
+        raise ConfigurationError("p = 0 generates no traffic; rho is 0 for any lam")
+    if rho < 0.0:
+        raise ConfigurationError(f"rho must be >= 0, got {rho}")
+    return float(rho) / p
+
+
+def butterfly_lam_for_load(rho: float, p: float) -> float:
+    """Per-node rate achieving butterfly load factor *rho*."""
+    p = _check_p(p)
+    bottleneck = max(p, 1.0 - p)
+    if rho < 0.0:
+        raise ConfigurationError(f"rho must be >= 0, got {rho}")
+    return float(rho) / bottleneck

@@ -1,0 +1,53 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised errors derive from :class:`ReproError` so downstream
+users can catch everything from this package with a single ``except``.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TopologyError",
+    "UnstableSystemError",
+    "SimulationError",
+    "MeasurementError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class TopologyError(ReproError, ValueError):
+    """Invalid node, arc, or dimension for a network topology."""
+
+
+class UnstableSystemError(ReproError, ValueError):
+    """A steady-state quantity was requested for an unstable system.
+
+    Raised by the closed-form queueing/bound evaluators when the load
+    factor is >= 1 (the paper's eq. (2) / eq. (17) necessary conditions
+    are violated), because the requested stationary average does not
+    exist.
+    """
+
+    def __init__(self, rho: float, what: str = "steady-state quantity") -> None:
+        self.rho = float(rho)
+        super().__init__(
+            f"{what} undefined: load factor rho={rho:.6g} >= 1 "
+            "(system unstable; see paper eq. (2))"
+        )
+
+
+class SimulationError(ReproError, RuntimeError):
+    """Internal inconsistency detected while running a simulation."""
+
+
+class MeasurementError(ReproError, RuntimeError):
+    """A statistic was requested from an empty or inconsistent record."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An experiment or scheme was configured with invalid parameters."""

@@ -1,0 +1,62 @@
+"""Classical queueing-theory formulas used by the paper's analysis.
+
+* :mod:`repro.queueing.md1` — M/D/1 (Pollaczek–Khinchine with
+  deterministic unit service): eq. (16) and the per-arc delays in
+  Props 3, 13, 14.
+* :mod:`repro.queueing.mdc` — M/D/c: the Brumelle lower bound [Bru71]
+  used inside Prop 2, plus a Cosmetatos approximation and a Monte-Carlo
+  estimator for reference values.
+* :mod:`repro.queueing.mm1` — geometric (M/M/1-style) marginals of the
+  product-form PS network.
+* :mod:`repro.queueing.productform` — network-level product-form
+  quantities (Walrand, pp. 93–94) behind Props 12 and 17, including the
+  Chernoff tail of the total population (§3.3 closing remark).
+* :mod:`repro.queueing.littleslaw` — Little's-law conversions (eq. 14/19).
+"""
+
+from repro.queueing.littleslaw import delay_from_population, population_from_delay
+from repro.queueing.md1 import (
+    md1_mean_number,
+    md1_sojourn,
+    md1_wait,
+)
+from repro.queueing.mdc import (
+    erlang_b,
+    erlang_c,
+    mdc_sojourn_brumelle_lower,
+    mdc_sojourn_cosmetatos,
+    mdc_sojourn_exact,
+    mdc_sojourn_mc,
+)
+from repro.queueing.mm1 import (
+    geometric_mean,
+    geometric_pmf,
+    geometric_tail,
+    mm1_mean_number,
+)
+from repro.queueing.productform import (
+    ProductFormNetwork,
+    butterfly_ps_mean_population,
+    hypercube_ps_mean_population,
+)
+
+__all__ = [
+    "md1_wait",
+    "md1_sojourn",
+    "md1_mean_number",
+    "erlang_b",
+    "erlang_c",
+    "mdc_sojourn_brumelle_lower",
+    "mdc_sojourn_cosmetatos",
+    "mdc_sojourn_exact",
+    "mdc_sojourn_mc",
+    "mm1_mean_number",
+    "geometric_pmf",
+    "geometric_tail",
+    "geometric_mean",
+    "ProductFormNetwork",
+    "hypercube_ps_mean_population",
+    "butterfly_ps_mean_population",
+    "delay_from_population",
+    "population_from_delay",
+]

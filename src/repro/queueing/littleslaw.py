@@ -1,0 +1,28 @@
+"""Little's-law conversions (paper eq. (14) and eq. (19)).
+
+The paper converts between mean network population ``N`` and mean
+per-packet delay ``T`` via ``T = N / Lambda`` with ``Lambda`` the
+aggregate packet birth rate (``lam * 2**d`` for both networks).
+"""
+
+from __future__ import annotations
+
+__all__ = ["delay_from_population", "population_from_delay"]
+
+
+def delay_from_population(mean_population: float, throughput: float) -> float:
+    """``T = N / Lambda`` — mean delay from mean population."""
+    if throughput <= 0.0:
+        raise ValueError(f"throughput must be > 0, got {throughput}")
+    if mean_population < 0.0:
+        raise ValueError(f"population must be >= 0, got {mean_population}")
+    return mean_population / throughput
+
+
+def population_from_delay(mean_delay: float, throughput: float) -> float:
+    """``N = Lambda * T`` — mean population from mean delay."""
+    if throughput <= 0.0:
+        raise ValueError(f"throughput must be > 0, got {throughput}")
+    if mean_delay < 0.0:
+        raise ValueError(f"delay must be >= 0, got {mean_delay}")
+    return mean_delay * throughput

@@ -1,0 +1,119 @@
+"""M/D/1 with unit service time (Pollaczek–Khinchine specialisation).
+
+For Poisson arrivals of rate ``rho < 1`` into a single deterministic
+server with unit service time [Kle75]:
+
+* mean waiting time in queue   ``W_q = rho / (2 (1 - rho))``
+* mean sojourn (system) time   ``T   = 1 + rho / (2 (1 - rho))``
+* mean number in system        ``N   = rho + rho^2 / (2 (1 - rho))``
+  — this is the paper's eq. (16).
+
+These drive the per-arc delay terms of Props 3, 13 and 14.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnstableSystemError
+
+__all__ = ["md1_wait", "md1_sojourn", "md1_mean_number"]
+
+
+def _check_rho(rho: float, allow_zero: bool = True) -> float:
+    rho = float(rho)
+    lo_ok = rho >= 0.0 if allow_zero else rho > 0.0
+    if not lo_ok:
+        raise ValueError(f"utilisation must be >= 0, got {rho}")
+    if rho >= 1.0:
+        raise UnstableSystemError(rho, "M/D/1 stationary quantity")
+    return rho
+
+
+def md1_wait(rho: float) -> float:
+    """Mean time spent waiting (excluding service): ``rho / (2(1-rho))``."""
+    rho = _check_rho(rho)
+    return rho / (2.0 * (1.0 - rho))
+
+
+def md1_sojourn(rho: float) -> float:
+    """Mean time in system (waiting + unit service)."""
+    return 1.0 + md1_wait(rho)
+
+
+def md1_mean_number(rho: float) -> float:
+    """Mean number of customers in the system — paper eq. (16)."""
+    rho = _check_rho(rho)
+    return rho + rho * rho / (2.0 * (1.0 - rho))
+
+
+def md1_wait_cdf(rho: float, x: float) -> float:
+    """Exact waiting-time distribution ``P[W <= x]`` of M/D/1.
+
+    The classical Erlang/Crommelin alternating series for unit service
+    (see Kleinrock vol. 1):
+
+        P[W <= x] = (1 - rho) * sum_{j=0}^{floor(x)}
+                    [rho (j - x)]^j / j! * exp(-rho (j - x)),
+
+    with ``P[W <= 0] = 1 - rho`` (an arrival waits iff it finds
+    unfinished work; the workload is empty with probability 1 - rho).
+
+    The series alternates with terms growing like ``(rho x)^j / j!``,
+    so float64 suffers catastrophic cancellation for ``x`` beyond ~20;
+    larger arguments are summed in :mod:`decimal` arithmetic with
+    precision scaled to ``x``.
+    """
+    import math as _math
+
+    rho = _check_rho(rho)
+    if x < 0.0:
+        return 0.0
+    if rho == 0.0:
+        return 1.0
+    k = int(_math.floor(x))
+    if x <= 12.0:
+        total = 0.0
+        for j in range(k + 1):
+            z = rho * (j - x)  # <= 0
+            total += (z**j) / _math.factorial(j) * _math.exp(-z)
+        val = (1.0 - rho) * total
+    else:
+        # high-precision path: the cancellation consumes O(x) digits
+        import decimal
+
+        with decimal.localcontext() as ctx:
+            ctx.prec = 40 + int(3 * x)
+            dr = decimal.Decimal(repr(rho))
+            dx = decimal.Decimal(repr(float(x)))
+            total_d = decimal.Decimal(0)
+            fact = decimal.Decimal(1)
+            for j in range(k + 1):
+                if j > 0:
+                    fact *= j
+                z = dr * (j - dx)
+                total_d += z**j / fact * (-z).exp()
+            val = float((1 - dr) * total_d)
+    return min(max(val, 0.0), 1.0)
+
+
+def md1_wait_quantile(rho: float, q: float, tol: float = 1e-9) -> float:
+    """Inverse of :func:`md1_wait_cdf` by bisection."""
+    rho = _check_rho(rho)
+    if not 0.0 <= q < 1.0:
+        raise ValueError(f"quantile must lie in [0, 1), got {q}")
+    if q <= 1.0 - rho:
+        return 0.0
+    lo, hi = 0.0, 1.0
+    while md1_wait_cdf(rho, hi) < q:
+        hi *= 2.0
+        if hi > 1e9:  # pragma: no cover - defensive
+            raise RuntimeError("quantile search diverged")
+    while hi - lo > tol:
+        mid = 0.5 * (lo + hi)
+        if md1_wait_cdf(rho, mid) < q:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+__all__.extend(["md1_wait_cdf", "md1_wait_quantile"])

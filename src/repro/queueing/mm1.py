@@ -1,0 +1,51 @@
+"""Geometric marginals of product-form (PS) servers.
+
+Under the Processor-Sharing discipline the equivalent networks Q̃ and R̃
+are product-form (Walrand, pp. 93–94): each server with total arrival
+rate ``rho`` holds ``n`` packets with probability ``(1-rho) rho^n`` —
+the M/M/1 stationary law, despite the deterministic service.  These
+helpers evaluate that geometric law.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import UnstableSystemError
+
+__all__ = ["mm1_mean_number", "geometric_pmf", "geometric_tail", "geometric_mean"]
+
+
+def _check(rho: float) -> float:
+    rho = float(rho)
+    if rho < 0.0:
+        raise ValueError(f"utilisation must be >= 0, got {rho}")
+    if rho >= 1.0:
+        raise UnstableSystemError(rho, "geometric stationary law")
+    return rho
+
+
+def mm1_mean_number(rho: float) -> float:
+    """Mean of the geometric law: ``rho / (1 - rho)``."""
+    rho = _check(rho)
+    return rho / (1.0 - rho)
+
+
+geometric_mean = mm1_mean_number
+
+
+def geometric_pmf(rho: float, n) -> np.ndarray | float:
+    """``P[N = n] = (1 - rho) rho^n`` for scalar or array *n*."""
+    rho = _check(rho)
+    n_arr = np.asarray(n)
+    out = (1.0 - rho) * np.power(rho, n_arr, dtype=float)
+    out = np.where(n_arr < 0, 0.0, out)
+    return float(out) if np.isscalar(n) else out
+
+
+def geometric_tail(rho: float, n) -> np.ndarray | float:
+    """``P[N >= n] = rho^n`` (with ``P[N >= n] = 1`` for n <= 0)."""
+    rho = _check(rho)
+    n_arr = np.asarray(n)
+    out = np.power(rho, np.maximum(n_arr, 0), dtype=float)
+    return float(out) if np.isscalar(n) else out

@@ -1,0 +1,51 @@
+"""Reproducible random-number-generator plumbing.
+
+Every stochastic component of the library accepts either a seed-like
+value or a fully constructed :class:`numpy.random.Generator`.  This
+module centralises the coercion logic and provides *stream spawning* so
+that independent subsystems (per-node arrival processes, routing
+decisions, service orderings) draw from provably independent streams
+regardless of call order — the standard trick for reproducible parallel
+stochastic simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+__all__ = ["SeedLike", "as_generator", "spawn", "spawn_many"]
+
+#: Anything accepted as a source of randomness.
+SeedLike = Union[None, int, np.random.SeedSequence, np.random.Generator]
+
+
+def as_generator(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce *seed* into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged (shared state);
+    anything else constructs a fresh PCG64 generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.Generator(np.random.PCG64(seed))
+    return np.random.Generator(np.random.PCG64(np.random.SeedSequence(seed)))
+
+
+def spawn(rng: np.random.Generator) -> np.random.Generator:
+    """Return a new generator statistically independent of *rng*.
+
+    Uses the generator's underlying seed-spawning machinery, so the
+    child stream never overlaps the parent regardless of how much either
+    is consumed afterwards.
+    """
+    return rng.spawn(1)[0]
+
+
+def spawn_many(rng: np.random.Generator, n: int) -> Sequence[np.random.Generator]:
+    """Return *n* mutually independent child generators of *rng*."""
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of streams: {n}")
+    return rng.spawn(n)

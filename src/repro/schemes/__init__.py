@@ -1,0 +1,45 @@
+"""Baselines and ablations positioned against greedy routing.
+
+* :mod:`repro.schemes.valiant` — the §2.3 non-greedy pipelined batch
+  scheme (one packet per node per round, rounds are Valiant–Brebner
+  phase-1 runs): stable only for ``rho = O(1/d)``, demonstrating the
+  cost of idling.
+* :mod:`repro.schemes.random_order` — greedy routing with alternative
+  dimension crossing orders (fixed permutations and per-packet random
+  orders): the ablation on the paper's increasing-index-order choice.
+* :mod:`repro.schemes.deflection` — a slotted hot-potato baseline in
+  the spirit of Greenberg–Hajek [GrH89], the related work the paper
+  contrasts against.
+"""
+
+from repro.schemes.deflection import DeflectionResult, DeflectionRouter
+from repro.schemes.random_order import (
+    simulate_fixed_order,
+    simulate_random_order,
+)
+from repro.schemes.static_tasks import (
+    StaticRunResult,
+    route_permutation_greedy,
+    route_permutation_valiant,
+)
+from repro.schemes.twophase import (
+    TwoPhaseResult,
+    TwoPhaseScheme,
+    direct_greedy_arc_loads,
+)
+from repro.schemes.valiant import PipelinedBatchResult, PipelinedBatchScheme
+
+__all__ = [
+    "PipelinedBatchScheme",
+    "PipelinedBatchResult",
+    "simulate_fixed_order",
+    "simulate_random_order",
+    "DeflectionRouter",
+    "DeflectionResult",
+    "TwoPhaseScheme",
+    "TwoPhaseResult",
+    "direct_greedy_arc_loads",
+    "StaticRunResult",
+    "route_permutation_greedy",
+    "route_permutation_valiant",
+]

@@ -1,0 +1,91 @@
+"""Static routing tasks (§1.2 context): one-shot permutations.
+
+The dynamic problem of the paper sits on a literature of *static* tasks
+— route one permutation, all packets released at t = 0, measure the
+completion time.  This module provides the two schemes the paper's
+survey contrasts:
+
+* :func:`route_permutation_greedy` — direct greedy dimension-order
+  routing of a permutation.  Completion is O(d) for random
+  permutations but Theta(2^{d/2}) for adversarial ones (bit reversal) —
+  the Borodin–Hopcroft phenomenon;
+* :func:`route_permutation_valiant` — the [VaB81] two-phase randomised
+  algorithm (random intermediates, both phases dimension order):
+  O(d) completion with high probability for *every* permutation.
+
+Both reuse the event-driven engine (phase-2 reuses low dimensions, so
+the combined system is not levelled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, as_generator
+from repro.sim.eventsim import simulate_paths_event_driven
+from repro.topology.hypercube import Hypercube
+
+__all__ = [
+    "StaticRunResult",
+    "route_permutation_greedy",
+    "route_permutation_valiant",
+]
+
+
+@dataclass(frozen=True)
+class StaticRunResult:
+    """Outcome of a one-shot routing task."""
+
+    delivery: np.ndarray
+    hops: np.ndarray
+
+    @property
+    def completion_time(self) -> float:
+        """Time the last packet arrives (the task's makespan)."""
+        return float(self.delivery.max()) if self.delivery.shape[0] else 0.0
+
+    @property
+    def mean_delay(self) -> float:
+        return float(self.delivery.mean()) if self.delivery.shape[0] else 0.0
+
+
+def _validate_perm(cube: Hypercube, perm: np.ndarray) -> np.ndarray:
+    perm = np.asarray(perm, dtype=np.int64)
+    n = cube.num_nodes
+    if perm.shape != (n,) or sorted(perm.tolist()) != list(range(n)):
+        raise ConfigurationError(f"perm must be a permutation of range({n})")
+    return perm
+
+
+def route_permutation_greedy(
+    cube: Hypercube, perm: np.ndarray
+) -> StaticRunResult:
+    """Route packet x -> perm[x] for every node, all released at t = 0,
+    via canonical dimension-order paths."""
+    perm = _validate_perm(cube, perm)
+    n = cube.num_nodes
+    paths = [cube.canonical_path_arcs(x, int(perm[x])) for x in range(n)]
+    res = simulate_paths_event_driven(cube.num_arcs, np.zeros(n), paths)
+    return StaticRunResult(res.delivery, res.hops)
+
+
+def route_permutation_valiant(
+    cube: Hypercube, perm: np.ndarray, rng: SeedLike = None
+) -> StaticRunResult:
+    """[VaB81]: route via uniform random intermediates, both phases in
+    dimension order.  O(d) completion w.h.p. for any permutation."""
+    perm = _validate_perm(cube, perm)
+    gen = as_generator(rng)
+    n = cube.num_nodes
+    intermediates = gen.integers(0, n, size=n, dtype=np.int64)
+    paths = []
+    for x in range(n):
+        w, z = int(intermediates[x]), int(perm[x])
+        paths.append(
+            cube.canonical_path_arcs(x, w) + cube.canonical_path_arcs(w, z)
+        )
+    res = simulate_paths_event_driven(cube.num_arcs, np.zeros(n), paths)
+    return StaticRunResult(res.delivery, res.hops)

@@ -1,0 +1,169 @@
+"""Two-phase randomised routing (Valiant mixing) — the paper's §5 remedy.
+
+For an *arbitrary* destination pattern, greedy dimension-order routing
+can be terrible: deterministic permutations such as bit reversal pile
+``Theta(2^{d/2})`` canonical paths onto single arcs, so the system
+saturates at ``lam = Theta(2^{-d/2})``.  The paper's concluding remarks
+(§5), following [Val82]/[VaB81], suggest *mixing*: send each packet
+first to a uniformly random intermediate node (phase 1), then on to its
+true destination (phase 2), both phases greedy dimension-order.
+
+Whatever the destination pattern, each phase presents uniform-random
+masks, so every arc carries total flow at most ``lam`` — two-phase
+routing is stable for all ``lam < 1``, at the price of roughly doubling
+the mean path length (``d`` instead of ``d/2`` hops under uniform
+traffic).  Exactly the trade the paper describes: better worst-case
+stability, worse constant under benign traffic.
+
+The combined (phase-1 + phase-2) system is *not* levelled — phase-2
+packets revisit low dimensions while phase-1 packets are still using
+them — so this scheme runs on the event-driven engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, as_generator
+from repro.sim.eventsim import EventSimResult, simulate_paths_event_driven
+from repro.sim.measurement import DelayRecord
+from repro.topology.hypercube import Hypercube
+from repro.traffic.workload import TrafficSample
+
+__all__ = ["TwoPhaseScheme", "TwoPhaseResult"]
+
+
+@dataclass(frozen=True)
+class TwoPhaseResult:
+    """Outcome of a two-phase run."""
+
+    sample: TrafficSample
+    result: EventSimResult
+    intermediates: np.ndarray
+
+    def delay_record(self) -> DelayRecord:
+        return DelayRecord(
+            self.sample.times, self.result.delivery, self.sample.horizon
+        )
+
+    def mean_hops(self) -> float:
+        return float(self.result.hops.mean()) if len(self.result.hops) else 0.0
+
+
+@dataclass(frozen=True)
+class TwoPhaseScheme:
+    """Valiant two-phase routing on the d-cube.
+
+    ``law`` may be *any* destination sampler (translation invariant or
+    not — permutations, hot spots, ...): the point of the scheme is
+    that stability no longer depends on it.
+    """
+
+    d: int
+    lam: float
+    law: object  # anything with .d and .sample_destinations
+    cube: Hypercube = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cube", Hypercube(self.d))
+        if self.lam <= 0.0:
+            raise ConfigurationError(f"lam must be > 0, got {self.lam}")
+        if getattr(self.law, "d", None) != self.d:
+            raise ConfigurationError(
+                f"law dimension {getattr(self.law, 'd', None)} != {self.d}"
+            )
+
+    @property
+    def stability_limit(self) -> float:
+        """Two-phase arcs carry flow ``lam`` regardless of the law:
+        stable iff ``lam < 1``."""
+        return 1.0
+
+    @property
+    def stable(self) -> bool:
+        return self.lam < self.stability_limit
+
+    def expected_hops(self) -> float:
+        """Mean path length: ``d/2`` per phase with uniform mixing."""
+        return float(self.d)
+
+    def _paths(
+        self, sample: TrafficSample, intermediates: np.ndarray
+    ) -> List[List[int]]:
+        n_nodes = self.cube.num_nodes
+        paths: List[List[int]] = []
+        for i in range(sample.num_packets):
+            x = int(sample.origins[i])
+            w = int(intermediates[i])
+            z = int(sample.destinations[i])
+            arcs: List[int] = []
+            cur = x
+            for j in self.cube.dims_to_cross(x, w):
+                arcs.append(j * n_nodes + cur)
+                cur ^= 1 << j
+            for j in self.cube.dims_to_cross(w, z):
+                arcs.append(j * n_nodes + cur)
+                cur ^= 1 << j
+            paths.append(arcs)
+        return paths
+
+    def run(self, horizon: float, rng: SeedLike = None) -> TwoPhaseResult:
+        """Sample traffic, pick uniform intermediates, route both phases."""
+        gen = as_generator(rng)
+        from repro.traffic.arrivals import merged_poisson_arrivals
+
+        times, origins = merged_poisson_arrivals(
+            self.cube.num_nodes, self.lam, horizon, gen
+        )
+        dests = np.asarray(
+            self.law.sample_destinations(origins, gen), dtype=np.int64
+        )
+        sample = TrafficSample(times, origins, dests, float(horizon))
+        intermediates = gen.integers(
+            0, self.cube.num_nodes, size=sample.num_packets, dtype=np.int64
+        )
+        paths = self._paths(sample, intermediates)
+        result = simulate_paths_event_driven(
+            self.cube.num_arcs, sample.times, paths
+        )
+        return TwoPhaseResult(sample, result, intermediates)
+
+    def measure_delay(
+        self, horizon: float, rng: SeedLike = None, warmup_fraction: float = 0.2
+    ) -> float:
+        return self.run(horizon, rng).delay_record().mean_delay(warmup_fraction)
+
+
+def direct_greedy_arc_loads(cube: Hypercube, law, lam: float) -> np.ndarray:
+    """Exact per-arc flow of *direct* greedy routing under any traffic.
+
+    For deterministic or sampled laws this evaluates the canonical-path
+    flow each arc receives per unit time (``lam`` per origin spread
+    along its canonical path) — the quantity whose maximum decides
+    direct-greedy stability.  Exact for :class:`PermutationTraffic`;
+    for stochastic laws it returns the expectation computed from a
+    large destination sample.
+    """
+    n = cube.num_nodes
+    loads = np.zeros(cube.num_arcs)
+    perm = getattr(law, "perm", None)
+    if perm is not None:
+        for x in range(n):
+            for arc in cube.canonical_path_arcs(x, int(perm[x])):
+                loads[arc] += lam
+        return loads
+    # stochastic law: Monte-Carlo expectation over destinations
+    reps = 200
+    origins = np.repeat(np.arange(n, dtype=np.int64), reps)
+    dests = np.asarray(law.sample_destinations(origins, 12345), dtype=np.int64)
+    for x, z in zip(origins, dests):
+        for arc in cube.canonical_path_arcs(int(x), int(z)):
+            loads[arc] += lam / reps
+    return loads
+
+
+__all__.append("direct_greedy_arc_loads")

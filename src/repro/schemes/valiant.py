@@ -1,0 +1,165 @@
+"""The §2.3 non-greedy baseline: pipelined batch routing.
+
+The scheme (paper §2.3, built on Valiant–Brebner phase 1): at each
+round start every node releases *one* queued packet; the released batch
+is routed greedily (dimension order); the next round begins only when
+the **entire batch** has been delivered.  Packets arriving mid-round
+wait at their origins even while the arcs they need sit idle — the
+idling that the paper blames for the scheme's poor stability.
+
+Each node thus behaves as an M/G/1 queue whose service time is the
+batch completion time (≈ ``R d`` with high probability), so the scheme
+is stable only when ``lam * R * d < 1`` — i.e. ``rho = O(1/d)``,
+vanishing with the cube size, versus greedy routing's ``rho < 1``.
+Experiment E11 measures exactly this contrast.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, as_generator
+from repro.sim.feedforward import simulate_hypercube_greedy
+from repro.topology.hypercube import Hypercube
+from repro.traffic.destinations import BernoulliFlipLaw
+from repro.traffic.workload import HypercubeWorkload, TrafficSample
+
+__all__ = ["PipelinedBatchScheme", "PipelinedBatchResult"]
+
+
+@dataclass(frozen=True)
+class PipelinedBatchResult:
+    """Outcome of a pipelined-batch run.
+
+    ``delivery`` is NaN for packets still queued when the horizon ends —
+    under overload the backlog grows without bound and most packets
+    never leave their origin.
+    """
+
+    sample: TrafficSample
+    delivery: np.ndarray
+    round_starts: np.ndarray
+    round_durations: np.ndarray
+    final_backlog: int
+
+    @property
+    def num_rounds(self) -> int:
+        return int(self.round_starts.shape[0])
+
+    def delivered_mask(self) -> np.ndarray:
+        return ~np.isnan(self.delivery)
+
+    def mean_delay_delivered(self) -> float:
+        """Mean delay over delivered packets only (optimistic under
+        overload — the backlog is the real story there)."""
+        m = self.delivered_mask()
+        if not m.any():
+            return float("nan")
+        return float((self.delivery[m] - self.sample.times[m]).mean())
+
+    def mean_round_duration(self) -> float:
+        if self.round_durations.shape[0] == 0:
+            return float("nan")
+        return float(self.round_durations.mean())
+
+    def backlog_trajectory(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(round start times, packets waiting at origins then)."""
+        waiting = np.zeros(self.num_rounds, dtype=np.int64)
+        births = self.sample.times
+        deliveries = self.delivery
+        for i, t in enumerate(self.round_starts):
+            born = births <= t
+            gone = ~np.isnan(deliveries) & (deliveries <= t)
+            waiting[i] = int(born.sum() - gone.sum())
+        return self.round_starts.copy(), waiting
+
+
+@dataclass(frozen=True)
+class PipelinedBatchScheme:
+    """One-packet-per-node rounds, each routed greedily, no overlap."""
+
+    d: int
+    lam: float
+    p: float = 0.5
+    cube: Hypercube = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cube", Hypercube(self.d))
+        if not 0.0 < self.p <= 1.0:
+            raise ConfigurationError(f"p must lie in (0, 1], got {self.p}")
+        if self.lam <= 0.0:
+            raise ConfigurationError(f"lam must be > 0, got {self.lam}")
+
+    def workload(self) -> HypercubeWorkload:
+        return HypercubeWorkload(
+            self.cube, self.lam, BernoulliFlipLaw(self.d, self.p)
+        )
+
+    def run(self, horizon: float, rng: SeedLike = None) -> PipelinedBatchResult:
+        """Simulate rounds until the horizon (no new rounds after it)."""
+        gen = as_generator(rng)
+        sample = self.workload().generate(horizon, gen)
+        n = sample.num_packets
+        delivery = np.full(n, np.nan)
+        queues: List[Deque[int]] = [deque() for _ in range(self.cube.num_nodes)]
+        next_pkt = 0  # pointer into the birth-sorted sample
+        t = 0.0
+        round_starts: List[float] = []
+        round_durations: List[float] = []
+
+        def _absorb_arrivals(upto: float) -> None:
+            nonlocal next_pkt
+            while next_pkt < n and sample.times[next_pkt] <= upto:
+                queues[int(sample.origins[next_pkt])].append(next_pkt)
+                next_pkt += 1
+
+        while t < horizon:
+            _absorb_arrivals(t)
+            batch = [q.popleft() for q in queues if q]
+            if not batch:
+                if next_pkt >= n:
+                    break
+                t = float(sample.times[next_pkt])
+                continue
+            round_starts.append(t)
+            ids = np.array(batch, dtype=np.int64)
+            # Route the batch greedily, all released at the round start.
+            sub = TrafficSample(
+                np.full(ids.shape[0], t),
+                sample.origins[ids],
+                sample.destinations[ids],
+                horizon,
+            )
+            res = simulate_hypercube_greedy(self.cube, sub)
+            delivery[ids] = res.delivery
+            t_end = float(res.delivery.max())
+            # Termination detection is ignored (paper's simplification),
+            # but a round always costs at least one time unit.
+            t_end = max(t_end, t + 1.0)
+            round_durations.append(t_end - t)
+            t = t_end
+
+        backlog = int(sum(len(q) for q in queues) + (n - next_pkt))
+        return PipelinedBatchResult(
+            sample,
+            delivery,
+            np.asarray(round_starts),
+            np.asarray(round_durations),
+            backlog,
+        )
+
+    def approximate_stability_threshold(self, measured_round: float) -> float:
+        """The load factor above which the scheme saturates.
+
+        Each node serves one packet per round of measured duration
+        ``Rd``; M/G/1 stability needs ``lam * Rd < 1``, i.e.
+        ``rho < p / Rd``.
+        """
+        if measured_round <= 0:
+            raise ConfigurationError("round duration must be > 0")
+        return self.p / measured_round

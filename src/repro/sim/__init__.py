@@ -1,0 +1,40 @@
+"""Discrete-event and vectorised simulators for levelled queueing networks.
+
+Two engines produce *identical sample paths* for deterministic FIFO
+levelled networks (cross-validated in the test suite):
+
+* :mod:`repro.sim.feedforward` — the HPC path: because the equivalent
+  networks Q/R are feed-forward (Property B), each level can be solved
+  in one shot with a vectorised Lindley recursion
+  (:func:`repro.sim.lindley.fifo_departure_times`); no event heap at
+  all.
+* :mod:`repro.sim.eventsim` — a classical event-driven engine that also
+  supports the **Processor-Sharing** discipline, which is what the
+  paper's proof technique (Lemmas 7–10, Prop 11) compares against.
+
+:mod:`repro.sim.servers` holds the exact single-server building blocks,
+:mod:`repro.sim.measurement` the statistics collectors, and
+:mod:`repro.sim.slotted` the §3.4 synchronous variant.
+"""
+
+from repro.sim.engine import EventCalendar
+from repro.sim.lindley import (
+    fifo_departure_times,
+    fifo_waiting_times,
+    unfinished_work,
+)
+from repro.sim.servers import FifoServer, PSServer, ps_departure_times
+from repro.sim.measurement import DelayRecord, PopulationTracker, arc_arrival_counts
+
+__all__ = [
+    "EventCalendar",
+    "fifo_departure_times",
+    "fifo_waiting_times",
+    "unfinished_work",
+    "FifoServer",
+    "PSServer",
+    "ps_departure_times",
+    "DelayRecord",
+    "PopulationTracker",
+    "arc_arrival_counts",
+]

@@ -1,0 +1,55 @@
+"""A minimal deterministic event calendar.
+
+Events are ordered by ``(time, priority, sequence)``: the sequence
+number makes simultaneous same-priority events fire in insertion order,
+so every simulation built on this calendar is exactly reproducible.
+Departure events are given *lower* priority values than arrivals by the
+network simulators, matching the tie rule of :mod:`repro.sim.servers`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+__all__ = ["EventCalendar"]
+
+
+class EventCalendar:
+    """A binary-heap future-event list with deterministic tie-breaking."""
+
+    __slots__ = ("_heap", "_seq", "_now")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, Any]] = []
+        self._seq = 0
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        """Time of the most recently popped event (0 before any pop)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, time: float, payload: Any, priority: int = 0) -> None:
+        """Insert an event; *priority* breaks time ties (lower first)."""
+        if time < self._now - 1e-12:
+            raise ValueError(
+                f"cannot schedule event in the past: {time} < now={self._now}"
+            )
+        heapq.heappush(self._heap, (time, priority, self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> Tuple[float, Any]:
+        """Remove and return the earliest event as ``(time, payload)``."""
+        if not self._heap:
+            raise IndexError("pop from an empty event calendar")
+        time, _prio, _seq, payload = heapq.heappop(self._heap)
+        self._now = time
+        return time, payload
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` if empty."""
+        return self._heap[0][0] if self._heap else None

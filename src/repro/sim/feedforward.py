@@ -1,0 +1,423 @@
+"""Vectorised simulation of levelled networks (the HPC fast path).
+
+The equivalent networks Q (hypercube, §3.1) and R (butterfly, §4.3) are
+*levelled*: a packet leaving a level-``l`` server only ever joins a
+server at a level ``> l`` (Property B).  Consequently the whole sample
+path can be computed **level by level with no event calendar**: once
+levels ``0..l-1`` are solved, the complete arrival stream of every
+level-``l`` server is known, and each server is solved in one shot —
+FIFO by the closed-form Lindley recursion
+(:func:`repro.sim.lindley.fifo_departure_times`), PS by the exact
+fair-share construction (:func:`repro.sim.servers.ps_departure_times`).
+
+Two front ends:
+
+* :func:`simulate_hypercube_greedy` / :func:`simulate_butterfly_greedy`
+  — *packet mode*: route actual packets of a
+  :class:`~repro.traffic.workload.TrafficSample` along their canonical
+  paths (the physical system of the paper);
+* :func:`simulate_markovian` — *network mode*: simulate a levelled
+  network spec with Markovian routing decisions (networks Q/R and the
+  Fig. 2 example), with optional **decision coupling** for the
+  Lemma 9/10 sample-path comparisons.
+
+FIFO ties are broken by packet id (birth order) — the deterministic
+stand-in for the paper's "first arrived at the node" rule — and the
+event-driven engine uses the same rule, so both engines produce the
+same sample path (cross-validated in the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.rng import SeedLike, as_generator
+from repro.sim.lindley import fifo_departure_times
+from repro.sim.measurement import DelayRecord
+from repro.sim.servers import ps_departure_times
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+from repro.traffic.workload import TrafficSample
+
+__all__ = [
+    "ArcLog",
+    "FeedForwardResult",
+    "MarkovianResult",
+    "serve_level",
+    "simulate_hypercube_greedy",
+    "simulate_butterfly_greedy",
+    "simulate_markovian",
+    "LevelledSpec",
+]
+
+#: routing decision code for "leave the network"
+EXIT = -1
+
+
+@dataclass(frozen=True)
+class ArcLog:
+    """Flat per-hop trace: packet ``pid`` held arc ``arc`` during
+    ``[t_in, t_out)`` of queueing+service."""
+
+    pid: np.ndarray
+    arc: np.ndarray
+    t_in: np.ndarray
+    t_out: np.ndarray
+
+    @property
+    def num_hops(self) -> int:
+        return int(self.pid.shape[0])
+
+    def for_arc(self, arc_id: int) -> "ArcLog":
+        """Sub-log of a single arc, in service (departure) order."""
+        m = self.arc == arc_id
+        order = np.lexsort((self.pid[m], self.t_in[m]))
+        return ArcLog(
+            self.pid[m][order],
+            self.arc[m][order],
+            self.t_in[m][order],
+            self.t_out[m][order],
+        )
+
+
+@dataclass(frozen=True)
+class FeedForwardResult:
+    """Outcome of a packet-mode run."""
+
+    delivery: np.ndarray
+    hops: np.ndarray
+    arc_log: Optional[ArcLog]
+    sample: TrafficSample
+
+    def delay_record(self) -> DelayRecord:
+        return DelayRecord(self.sample.times, self.delivery, self.sample.horizon)
+
+    def delays(self) -> np.ndarray:
+        return self.delivery - self.sample.times
+
+
+@dataclass(frozen=True)
+class MarkovianResult:
+    """Outcome of a network-mode (Markovian routing) run."""
+
+    #: exit time of each external customer (indexed like the inputs)
+    exit_times: np.ndarray
+    #: number of servers visited per customer
+    hops: np.ndarray
+    arc_log: Optional[ArcLog]
+    #: per-arc routing decision sequences actually used (for coupling)
+    decisions: Optional[Dict[int, np.ndarray]]
+
+
+def serve_level(
+    arcs: np.ndarray,
+    times: np.ndarray,
+    pids: np.ndarray,
+    discipline: str = "fifo",
+    service: float | np.ndarray = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Solve every server of one level in one shot.
+
+    Parameters are parallel arrays (one entry per packet crossing the
+    level): global arc id, arrival epoch at the arc, packet id for tie
+    breaking.  ``service`` is the deterministic service duration —
+    either a scalar (the paper's unit packets) or an array indexed by
+    *global arc id* (the heterogeneous-server generality noted after
+    Prop 11).  Returns ``(departures, order)`` where ``departures`` is
+    aligned with the inputs and ``order`` is the service permutation
+    (packets in (arc, time, pid) order) used for routing-decision
+    positions.
+    """
+    if discipline not in ("fifo", "ps"):
+        raise ConfigurationError(f"unknown discipline {discipline!r}")
+    n = arcs.shape[0]
+    dep = np.empty(n)
+    if n == 0:
+        return dep, np.zeros(0, dtype=np.int64)
+    per_arc = isinstance(service, np.ndarray)
+    order = np.lexsort((pids, times, arcs))
+    a_s = arcs[order]
+    t_s = times[order]
+    starts = np.flatnonzero(np.r_[True, a_s[1:] != a_s[:-1]])
+    bounds = np.r_[starts, n]
+    dep_s = np.empty(n)
+    for i in range(starts.shape[0]):
+        lo, hi = bounds[i], bounds[i + 1]
+        s = float(service[int(a_s[lo])]) if per_arc else float(service)
+        if discipline == "fifo":
+            dep_s[lo:hi] = fifo_departure_times(t_s[lo:hi], s)
+        else:
+            dep_s[lo:hi] = ps_departure_times(t_s[lo:hi], work=s)
+    dep[order] = dep_s
+    return dep, order
+
+
+# ---------------------------------------------------------------------------
+# packet mode
+# ---------------------------------------------------------------------------
+
+
+def simulate_hypercube_greedy(
+    cube: Hypercube,
+    sample: TrafficSample,
+    *,
+    dim_order: Optional[Sequence[int]] = None,
+    discipline: str = "fifo",
+    record_arc_log: bool = False,
+) -> FeedForwardResult:
+    """Route a traffic sample through the d-cube under greedy routing.
+
+    ``dim_order`` is the *global* dimension crossing order shared by all
+    packets (default: increasing — the paper's canonical scheme; any
+    fixed permutation keeps the network levelled, enabling the E13
+    ablation).  ``discipline="ps"`` replaces every arc's FIFO server
+    with Processor Sharing (the network Q̃ of §3.3, but fed by physical
+    packet paths).
+    """
+    d, n_nodes = cube.d, cube.num_nodes
+    if dim_order is None:
+        dim_order = range(d)
+    else:
+        if sorted(dim_order) != list(range(d)):
+            raise ConfigurationError(
+                f"dim_order must be a permutation of range({d}), got {dim_order!r}"
+            )
+    origins = np.asarray(sample.origins, dtype=np.int64)
+    dests = np.asarray(sample.destinations, dtype=np.int64)
+    n = origins.shape[0]
+    diff = origins ^ dests
+    x = origins.copy()
+    cur = np.asarray(sample.times, dtype=float).copy()
+    pids = np.arange(n, dtype=np.int64)
+    logs: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+    for dim in dim_order:
+        m = ((diff >> dim) & 1).astype(bool)
+        if not m.any():
+            continue
+        tails = x[m]
+        arc_ids = dim * n_nodes + tails
+        t_in = cur[m]
+        dep, _ = serve_level(arc_ids, t_in, pids[m], discipline)
+        if record_arc_log:
+            logs.append((pids[m], arc_ids, t_in, dep))
+        cur[m] = dep
+        x[m] = tails ^ (1 << dim)
+    if np.any(x != dests):  # pragma: no cover - internal invariant
+        raise SimulationError("packets did not reach their destinations")
+    hops = np.bitwise_count(diff).astype(np.int64)
+    arc_log = _merge_logs(logs) if record_arc_log else None
+    return FeedForwardResult(cur, hops, arc_log, sample)
+
+
+def simulate_butterfly_greedy(
+    bf: Butterfly,
+    sample: TrafficSample,
+    *,
+    discipline: str = "fifo",
+    record_arc_log: bool = False,
+) -> FeedForwardResult:
+    """Route a traffic sample through the butterfly (unique paths, §4).
+
+    Origins/destinations of the sample are row addresses; every packet
+    crosses exactly one arc per level (d hops total).
+    """
+    d, rows_per_level = bf.d, bf.rows
+    origins = np.asarray(sample.origins, dtype=np.int64)
+    dests = np.asarray(sample.destinations, dtype=np.int64)
+    n = origins.shape[0]
+    diff = origins ^ dests
+    rows = origins.copy()
+    cur = np.asarray(sample.times, dtype=float).copy()
+    pids = np.arange(n, dtype=np.int64)
+    logs: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+    for level in range(d):
+        kind = (diff >> level) & 1
+        arc_ids = level * 2 * rows_per_level + 2 * rows + kind
+        dep, _ = serve_level(arc_ids, cur, pids, discipline)
+        if record_arc_log:
+            logs.append((pids.copy(), arc_ids, cur.copy(), dep))
+        cur = dep
+        rows = rows ^ (kind << level)
+    if n and np.any(rows != dests):  # pragma: no cover - internal invariant
+        raise SimulationError("packets did not reach their destination rows")
+    hops = np.full(n, d, dtype=np.int64)
+    arc_log = _merge_logs(logs) if record_arc_log else None
+    return FeedForwardResult(cur, hops, arc_log, sample)
+
+
+def _merge_logs(
+    logs: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+) -> ArcLog:
+    if not logs:
+        empty_i = np.zeros(0, dtype=np.int64)
+        return ArcLog(empty_i, empty_i.copy(), np.zeros(0), np.zeros(0))
+    return ArcLog(
+        np.concatenate([l[0] for l in logs]),
+        np.concatenate([l[1] for l in logs]),
+        np.concatenate([l[2] for l in logs]),
+        np.concatenate([l[3] for l in logs]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# network (Markovian routing) mode
+# ---------------------------------------------------------------------------
+
+
+class LevelledSpec:
+    """Interface for levelled networks with Markovian routing.
+
+    Concrete specs (network Q, network R, the Fig. 2 example) provide
+    the level structure and per-arc routing decision sampling; see
+    :mod:`repro.core.qnetwork`.
+    """
+
+    num_arcs: int
+    num_levels: int
+
+    def arc_level(self, arc_id: int) -> int:
+        raise NotImplementedError
+
+    def draw_decisions(
+        self, arc_id: int, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sample *count* routing decisions for this arc.
+
+        Each entry is the next arc id (strictly higher level) or
+        :data:`EXIT`.
+        """
+        raise NotImplementedError
+
+
+def simulate_markovian(
+    spec: LevelledSpec,
+    ext_times: np.ndarray,
+    ext_arcs: np.ndarray,
+    *,
+    discipline: str = "fifo",
+    rng: SeedLike = None,
+    decisions: Optional[Dict[int, np.ndarray]] = None,
+    record_decisions: bool = False,
+    record_arc_log: bool = False,
+    service_times: Optional[np.ndarray] = None,
+) -> MarkovianResult:
+    """Simulate a levelled network under Markovian routing.
+
+    ``ext_times``/``ext_arcs`` give the external arrival epoch and entry
+    arc of each customer.  If *decisions* is supplied, the k-th customer
+    served by each arc takes that arc's k-th recorded decision — the
+    exact coupling used by Lemmas 9/10 to compare FIFO and PS networks
+    on one sample path.  Otherwise decisions are drawn from per-arc
+    spawned RNG streams (and returned when *record_decisions*), so a
+    FIFO run and a PS run with the same seed are automatically coupled.
+
+    ``service_times`` optionally gives each arc its own deterministic
+    service duration (shape ``(num_arcs,)``) — the "possibly with
+    different service times" generality the paper notes after Prop 11;
+    default is the unit service of the main model.
+    """
+    ext_times = np.asarray(ext_times, dtype=float)
+    ext_arcs = np.asarray(ext_arcs, dtype=np.int64)
+    if ext_times.shape != ext_arcs.shape:
+        raise ConfigurationError("ext_times and ext_arcs must be parallel")
+    if service_times is not None:
+        service_times = np.asarray(service_times, dtype=float)
+        if service_times.shape != (spec.num_arcs,):
+            raise ConfigurationError(
+                f"service_times must have shape ({spec.num_arcs},), "
+                f"got {service_times.shape}"
+            )
+        if np.any(service_times <= 0):
+            raise ConfigurationError("service times must be positive")
+    n = ext_times.shape[0]
+    pids = np.arange(n, dtype=np.int64)
+    gen = as_generator(rng)
+    levels = spec.num_levels
+
+    # Per-level in-buckets: lists of (arcs, times, pids) chunks.
+    buckets: List[List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = [
+        [] for _ in range(levels)
+    ]
+    if n:
+        ext_levels = np.array([spec.arc_level(int(a)) for a in ext_arcs])
+        for lvl in range(levels):
+            m = ext_levels == lvl
+            if m.any():
+                buckets[lvl].append((ext_arcs[m], ext_times[m], pids[m]))
+
+    used_decisions: Dict[int, np.ndarray] = {}
+    exit_times = np.full(n, np.nan)
+    hops = np.zeros(n, dtype=np.int64)
+    logs: List[Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+
+    for lvl in range(levels):
+        if not buckets[lvl]:
+            continue
+        arcs = np.concatenate([c[0] for c in buckets[lvl]])
+        times = np.concatenate([c[1] for c in buckets[lvl]])
+        pid_arr = np.concatenate([c[2] for c in buckets[lvl]])
+        dep, order = serve_level(
+            arcs,
+            times,
+            pid_arr,
+            discipline,
+            service=1.0 if service_times is None else service_times,
+        )
+        hops[pid_arr] += 1
+        if record_arc_log:
+            logs.append((pid_arr, arcs, times, dep))
+        # Route in service order, arc by arc.
+        a_s = arcs[order]
+        dep_s = dep[order]
+        pid_s = pid_arr[order]
+        starts = np.flatnonzero(np.r_[True, a_s[1:] != a_s[:-1]])
+        bounds = np.r_[starts, a_s.shape[0]]
+        next_arcs = np.empty(a_s.shape[0], dtype=np.int64)
+        for i in range(starts.shape[0]):
+            lo, hi = bounds[i], bounds[i + 1]
+            arc_id = int(a_s[lo])
+            count = hi - lo
+            if decisions is not None:
+                if arc_id not in decisions or decisions[arc_id].shape[0] < count:
+                    raise SimulationError(
+                        f"coupled decision sequence for arc {arc_id} too short "
+                        f"({count} needed)"
+                    )
+                dec = decisions[arc_id][:count]
+            else:
+                dec = spec.draw_decisions(arc_id, count, gen)
+                if dec.shape[0] != count:
+                    raise SimulationError(
+                        f"spec returned {dec.shape[0]} decisions, expected {count}"
+                    )
+            if record_decisions:
+                used_decisions[arc_id] = np.asarray(dec, dtype=np.int64).copy()
+            next_arcs[lo:hi] = dec
+        exiting = next_arcs == EXIT
+        exit_times[pid_s[exiting]] = dep_s[exiting]
+        moving = ~exiting
+        if moving.any():
+            mv_arcs = next_arcs[moving]
+            mv_levels = np.array([spec.arc_level(int(a)) for a in mv_arcs])
+            if np.any(mv_levels <= lvl):
+                raise SimulationError(
+                    "routing decision violates the levelled property"
+                )
+            for nxt in np.unique(mv_levels):
+                m = mv_levels == nxt
+                buckets[int(nxt)].append(
+                    (mv_arcs[m], dep_s[moving][m], pid_s[moving][m])
+                )
+    if np.any(np.isnan(exit_times)):  # pragma: no cover - internal invariant
+        raise SimulationError("some customers never exited the network")
+    arc_log = _merge_logs(logs) if record_arc_log else None
+    return MarkovianResult(
+        exit_times,
+        hops,
+        arc_log,
+        used_decisions if record_decisions else None,
+    )

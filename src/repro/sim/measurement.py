@@ -1,0 +1,168 @@
+"""Measurement collectors shared by all simulators.
+
+* :class:`DelayRecord` — per-packet birth/delivery epochs with
+  warm-up/cool-down-aware steady-state delay estimation (the quantity
+  ``T`` of the paper).
+* :class:`PopulationTracker` — the network population process ``N(t)``
+  reconstructed from births and deliveries; supports time averages and
+  suprema (used for Prop 11 and the §3.3 queue-size claims).
+* :func:`arc_arrival_counts` — empirical per-arc flows (Props 5/15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.stats import ConfidenceInterval, batch_means_ci, time_average_step
+from repro.errors import MeasurementError
+
+__all__ = ["DelayRecord", "PopulationTracker", "arc_arrival_counts"]
+
+
+@dataclass(frozen=True)
+class DelayRecord:
+    """Per-packet delay observations from one simulation run.
+
+    ``birth`` is sorted ascending (packets indexed in birth order);
+    ``delivery[i] - birth[i]`` is the delay of packet ``i``.  Packets
+    with zero hops (destination == origin) have ``delivery == birth``.
+    """
+
+    birth: np.ndarray
+    delivery: np.ndarray
+    horizon: float
+
+    def __post_init__(self) -> None:
+        if self.birth.shape != self.delivery.shape:
+            raise MeasurementError("birth/delivery must be parallel arrays")
+        if np.any(self.delivery < self.birth - 1e-9):
+            raise MeasurementError("deliveries must not precede births")
+
+    @property
+    def num_packets(self) -> int:
+        return int(self.birth.shape[0])
+
+    def delays(self) -> np.ndarray:
+        return self.delivery - self.birth
+
+    def steady_state_mask(
+        self, warmup_fraction: float = 0.2, cooldown_fraction: float = 0.1
+    ) -> np.ndarray:
+        """Select packets born in the central window of the horizon.
+
+        Early packets see an empty network (delay biased low); packets
+        born near the end see no future contention (also biased low).
+        The defaults drop the first 20% and last 10% of the horizon.
+        """
+        if not 0 <= warmup_fraction < 1 or not 0 <= cooldown_fraction < 1:
+            raise MeasurementError("fractions must lie in [0, 1)")
+        if warmup_fraction + cooldown_fraction >= 1:
+            raise MeasurementError("warmup + cooldown must leave a window")
+        lo = self.horizon * warmup_fraction
+        hi = self.horizon * (1.0 - cooldown_fraction)
+        return (self.birth >= lo) & (self.birth <= hi)
+
+    def mean_delay(
+        self, warmup_fraction: float = 0.2, cooldown_fraction: float = 0.1
+    ) -> float:
+        """Steady-state estimate of the paper's ``T``."""
+        mask = self.steady_state_mask(warmup_fraction, cooldown_fraction)
+        if not mask.any():
+            raise MeasurementError("no packets in the steady-state window")
+        return float(self.delays()[mask].mean())
+
+    def mean_delay_ci(
+        self,
+        warmup_fraction: float = 0.2,
+        cooldown_fraction: float = 0.1,
+        num_batches: int = 20,
+        confidence: float = 0.95,
+    ) -> ConfidenceInterval:
+        """Batch-means confidence interval for ``T`` (time-ordered batches)."""
+        mask = self.steady_state_mask(warmup_fraction, cooldown_fraction)
+        d = self.delays()[mask]
+        if d.shape[0] < num_batches:
+            raise MeasurementError(
+                f"too few steady-state packets ({d.shape[0]}) for {num_batches} batches"
+            )
+        return batch_means_ci(d, num_batches=num_batches, confidence=confidence)
+
+
+class PopulationTracker:
+    """The step process ``N(t)`` = packets in flight at time ``t``."""
+
+    def __init__(self, event_times: np.ndarray, increments: np.ndarray) -> None:
+        order = np.argsort(event_times, kind="stable")
+        self._t = np.asarray(event_times, dtype=float)[order]
+        self._dx = np.asarray(increments, dtype=float)[order]
+        self._values = np.cumsum(self._dx)
+
+    @classmethod
+    def from_intervals(
+        cls, starts: np.ndarray, ends: np.ndarray
+    ) -> "PopulationTracker":
+        """Build N(t) from per-packet (birth, delivery) intervals."""
+        starts = np.asarray(starts, dtype=float)
+        ends = np.asarray(ends, dtype=float)
+        if starts.shape != ends.shape:
+            raise MeasurementError("starts/ends must be parallel")
+        times = np.concatenate([starts, ends])
+        incs = np.concatenate([np.ones_like(starts), -np.ones_like(ends)])
+        return cls(times, incs)
+
+    def time_average(self, t0: float, t1: float) -> float:
+        """Time-averaged population over ``[t0, t1]``."""
+        return time_average_step(self._t, self._dx, t0, t1, initial=0.0)
+
+    def maximum(self) -> float:
+        """Supremum of N(t) over the whole run."""
+        if self._values.shape[0] == 0:
+            return 0.0
+        return float(self._values.max())
+
+    def at(self, t: float) -> float:
+        """N(t) (right-continuous evaluation)."""
+        idx = np.searchsorted(self._t, t, side="right")
+        return float(self._values[idx - 1]) if idx > 0 else 0.0
+
+    def counting_process(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (event times, N values just after each event)."""
+        return self._t.copy(), self._values.copy()
+
+
+def arc_arrival_counts(arc_ids: np.ndarray, num_arcs: int) -> np.ndarray:
+    """Histogram of arrivals per arc id (for empirical flow rates)."""
+    ids = np.asarray(arc_ids)
+    if ids.shape[0] and (ids.min() < 0 or ids.max() >= num_arcs):
+        raise MeasurementError("arc id out of range")
+    return np.bincount(ids, minlength=num_arcs)
+
+
+def arc_occupancy_pmf(
+    arc_log,
+    arc_id: int,
+    t0: float,
+    t1: float,
+    max_n: int = 16,
+    grid_points: int = 2000,
+) -> np.ndarray:
+    """Empirical occupancy pmf of one arc's server over ``[t0, t1]``.
+
+    Samples the number of packets holding the arc (queued + in service)
+    on a uniform time grid; used to compare against the product-form
+    geometric marginals (experiment E7).  Returns ``P[occupancy = n]``
+    for ``n = 0..max_n-1`` (the tail above is folded into the last bin).
+    """
+    if t1 <= t0:
+        raise MeasurementError(f"need t1 > t0, got [{t0}, {t1}]")
+    m = arc_log.arc == arc_id
+    tracker = PopulationTracker.from_intervals(arc_log.t_in[m], arc_log.t_out[m])
+    grid = np.linspace(t0, t1, grid_points)
+    samples = np.array([tracker.at(t) for t in grid])
+    clipped = np.clip(samples, 0, max_n - 1).astype(int)
+    return np.bincount(clipped, minlength=max_n) / grid_points
+
+
+__all__.append("arc_occupancy_pmf")

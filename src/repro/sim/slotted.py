@@ -1,0 +1,135 @@
+"""The slotted-time variant of §3.4.
+
+Time is divided into slots of length ``tau`` (``1/tau`` integer); every
+node emits a Poisson(``lam * tau``)-sized batch of packets at each slot
+boundary, keeping the traffic intensity of the continuous-time model.
+Routing and service are unchanged — unit transmissions, greedy
+dimension order, FIFO per arc — so the slotted system is simulated by
+the same feed-forward engine fed with tied arrival times (ties resolved
+by packet id, standing in for the paper's arbitrary intra-batch order).
+
+The §3.4 comparison result states that advancing each continuous-time
+arrival to the start of its slot only adds the in-flight batch ``X_k``
+to the population, yielding the delay bound ``T~ <= d p/(1-rho) + tau``
+(:func:`repro.core.bounds.slotted_delay_upper_bound`), verified by
+experiment E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.bounds import slotted_delay_upper_bound
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike
+from repro.sim.feedforward import FeedForwardResult, simulate_hypercube_greedy
+from repro.topology.hypercube import Hypercube
+from repro.traffic.destinations import BernoulliFlipLaw
+from repro.traffic.workload import SlottedHypercubeWorkload
+
+__all__ = ["SlottedGreedyHypercube"]
+
+
+@dataclass(frozen=True)
+class SlottedGreedyHypercube:
+    """Greedy dimension-order routing with §3.4 slotted batch arrivals."""
+
+    d: int
+    lam: float
+    p: float
+    tau: float = 0.5
+    cube: Hypercube = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cube", Hypercube(self.d))
+        if not 0.0 < self.p <= 1.0:
+            raise ConfigurationError(f"p must lie in (0, 1], got {self.p}")
+        if self.lam <= 0.0:
+            raise ConfigurationError(f"lam must be > 0, got {self.lam}")
+        # Validate tau eagerly (1/tau must be an integer — §3.4).
+        from repro.traffic.arrivals import SlottedBatchArrivals
+
+        SlottedBatchArrivals(self.lam, self.tau)
+
+    @property
+    def rho(self) -> float:
+        return self.lam * self.p
+
+    def delay_upper_bound(self) -> float:
+        """§3.4: ``T~ <= d p / (1 - rho) + tau``."""
+        return slotted_delay_upper_bound(self.d, self.lam, self.p, self.tau)
+
+    def workload(self) -> SlottedHypercubeWorkload:
+        return SlottedHypercubeWorkload(
+            self.cube, self.lam, BernoulliFlipLaw(self.d, self.p), self.tau
+        )
+
+    def run(self, horizon: float, rng: SeedLike = None) -> FeedForwardResult:
+        """Sample slotted traffic and route every packet."""
+        sample = self.workload().generate(horizon, rng)
+        return simulate_hypercube_greedy(self.cube, sample)
+
+    def measure_delay(
+        self, horizon: float, rng: SeedLike = None, warmup_fraction: float = 0.2
+    ) -> float:
+        return self.run(horizon, rng).delay_record().mean_delay(warmup_fraction)
+
+
+@dataclass(frozen=True)
+class SlottedGreedyButterfly:
+    """§4.3 closing remark: the slotted butterfly "can be treated as in
+    §3.4" — batch arrivals at level 0, unit transmissions, greedy
+    (unique-path) routing, with the bound ``T~ <= Prop 17 + tau``."""
+
+    d: int
+    lam: float
+    p: float
+    tau: float = 0.5
+
+    def __post_init__(self) -> None:
+        from repro.topology.butterfly import Butterfly
+
+        object.__setattr__(self, "_bf", Butterfly(self.d))
+        if not 0.0 <= self.p <= 1.0:
+            raise ConfigurationError(f"p must lie in [0, 1], got {self.p}")
+        if self.lam <= 0.0:
+            raise ConfigurationError(f"lam must be > 0, got {self.lam}")
+        from repro.traffic.arrivals import SlottedBatchArrivals
+
+        SlottedBatchArrivals(self.lam, self.tau)
+
+    @property
+    def butterfly(self):
+        return self._bf
+
+    @property
+    def rho(self) -> float:
+        return self.lam * max(self.p, 1.0 - self.p)
+
+    def delay_upper_bound(self) -> float:
+        from repro.core.bounds import butterfly_delay_upper_bound
+
+        return butterfly_delay_upper_bound(self.d, self.lam, self.p) + self.tau
+
+    def run(self, horizon: float, rng: SeedLike = None):
+        from repro.rng import as_generator
+        from repro.sim.feedforward import simulate_butterfly_greedy
+        from repro.traffic.arrivals import SlottedBatchArrivals
+        from repro.traffic.destinations import BernoulliFlipLaw
+        from repro.traffic.workload import TrafficSample
+
+        gen = as_generator(rng)
+        batches = SlottedBatchArrivals(self.lam, self.tau)
+        times, origins = batches.sample_times(self._bf.rows, horizon, gen)
+        law = BernoulliFlipLaw(self.d, self.p)
+        dests = law.sample_destinations(origins, gen)
+        sample = TrafficSample(times, origins, dests, float(horizon))
+        return simulate_butterfly_greedy(self._bf, sample)
+
+    def measure_delay(
+        self, horizon: float, rng: SeedLike = None, warmup_fraction: float = 0.2
+    ) -> float:
+        return self.run(horizon, rng).delay_record().mean_delay(warmup_fraction)
+
+
+__all__.append("SlottedGreedyButterfly")

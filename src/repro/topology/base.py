@@ -1,0 +1,72 @@
+"""Common topology abstractions.
+
+A *topology* here is a directed graph whose arcs carry unit-capacity,
+unit-service-time transmitters (the paper's model: one packet per arc
+per time unit).  The queueing simulators never manipulate nodes or arc
+tuples directly — they work with **dense integer arc ids** in
+``range(num_arcs)``, laid out level-major so that the arcs of one level
+of the equivalent levelled network occupy one contiguous slice.  Each
+concrete topology defines the id layout and the level structure.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+__all__ = ["Arc", "Topology"]
+
+
+@dataclass(frozen=True, slots=True)
+class Arc:
+    """A directed arc ``tail -> head`` with its dense integer id.
+
+    ``level`` is the level of the arc in the levelled equivalent network
+    (the paper's §3.1 Property B / §4.3 Property A): for the hypercube,
+    the dimension it crosses; for the butterfly, the level its tail
+    lives in.
+    """
+
+    index: int
+    tail: int
+    head: int
+    level: int
+
+
+class Topology(abc.ABC):
+    """Abstract base for unit-capacity interconnection networks."""
+
+    #: number of distinct levels in the levelled equivalent network
+    num_levels: int
+    #: total number of directed arcs (== number of servers)
+    num_arcs: int
+
+    @abc.abstractmethod
+    def arcs(self) -> Iterator[Arc]:
+        """Iterate over every arc, in increasing ``index`` order."""
+
+    @abc.abstractmethod
+    def level_slice(self, level: int) -> slice:
+        """The contiguous range of arc ids forming *level*."""
+
+    @abc.abstractmethod
+    def arc(self, index: int) -> Arc:
+        """Reconstruct the :class:`Arc` with dense id *index*."""
+
+    # -- conveniences shared by all topologies ------------------------------
+
+    def arcs_of_level(self, level: int) -> Sequence[Arc]:
+        """All arcs of one level, in increasing id order."""
+        s = self.level_slice(level)
+        return [self.arc(i) for i in range(s.start, s.stop)]
+
+    def validate_arc_index(self, index: int) -> int:
+        """Return *index* unchanged, raising if out of range."""
+        if not 0 <= index < self.num_arcs:
+            from repro.errors import TopologyError
+
+            raise TopologyError(
+                f"arc index {index} out of range [0, {self.num_arcs})"
+            )
+        return index

@@ -1,0 +1,231 @@
+"""The d-dimensional butterfly network (paper §4.1, Fig. 3a).
+
+The butterfly is the "unfolded" d-cube: ``(d+1) * 2**d`` nodes organised
+in ``d+1`` levels of ``2**d`` nodes each.  Node ``[x; j]`` (row ``x``,
+level ``j`` with 0-based ``j`` in ``range(d+1)``) is connected, for
+``j < d``, to
+
+* ``[x; j+1]``            via the **straight** arc ``(x; j; s)``, and
+* ``[x ^ e_j; j+1]``      via the **vertical** arc ``(x; j; v)``.
+
+Packets enter at level 0 and leave at level ``d``; for every
+origin/destination pair there is a *unique* path, whose vertical arcs
+correspond exactly to the hypercube dimensions in which the two row
+addresses differ, crossed in increasing index order (§4.1).
+
+Arc id layout (level-major, straight/vertical interleaved by row)::
+
+    arc_index(x, level, kind) = level * 2**(d+1) + 2 * x + kind
+
+with ``kind == 0`` for straight, ``1`` for vertical, so level ``j``
+occupies the contiguous slice ``[j * 2**(d+1), (j+1) * 2**(d+1))``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.base import Arc, Topology
+
+__all__ = ["Butterfly", "ButterflyArc", "STRAIGHT", "VERTICAL"]
+
+#: arc-kind codes
+STRAIGHT = 0
+VERTICAL = 1
+
+
+@dataclass(frozen=True, slots=True)
+class ButterflyArc:
+    """A butterfly arc ``[row; level] -> [row (^ e_level); level+1]``."""
+
+    row: int
+    level: int
+    kind: int  # STRAIGHT or VERTICAL
+
+    @property
+    def head_row(self) -> int:
+        return self.row ^ (1 << self.level) if self.kind == VERTICAL else self.row
+
+
+class Butterfly(Topology):
+    """The directed d-dimensional butterfly with dense level-major arc ids.
+
+    Parameters
+    ----------
+    d:
+        Dimension; the network has ``(d+1) * 2**d`` nodes and
+        ``d * 2**(d+1)`` arcs (``2**d`` straight + ``2**d`` vertical per
+        level).
+    """
+
+    MAX_D = 24
+
+    def __init__(self, d: int) -> None:
+        if not isinstance(d, (int, np.integer)) or isinstance(d, bool):
+            raise TopologyError(f"dimension must be an integer, got {d!r}")
+        if not 1 <= d <= self.MAX_D:
+            raise TopologyError(
+                f"dimension must be in [1, {self.MAX_D}], got {d}"
+            )
+        self._d = int(d)
+        self._n = 1 << self._d  # rows per level
+
+    # -- basic facts ---------------------------------------------------------
+
+    @property
+    def d(self) -> int:
+        return self._d
+
+    @property
+    def rows(self) -> int:
+        """``2**d`` rows per level."""
+        return self._n
+
+    @property
+    def num_nodes(self) -> int:
+        """``(d+1) * 2**d`` nodes."""
+        return (self._d + 1) * self._n
+
+    @property
+    def num_arcs(self) -> int:
+        """``d * 2**(d+1)`` directed arcs."""
+        return self._d * 2 * self._n
+
+    @property
+    def num_levels(self) -> int:
+        """d levels of arcs (between the d+1 levels of nodes)."""
+        return self._d
+
+    # -- validation ----------------------------------------------------------
+
+    def validate_row(self, x: int) -> int:
+        if not 0 <= x < self._n:
+            raise TopologyError(f"row {x} out of range [0, {self._n})")
+        return x
+
+    def validate_node_level(self, j: int) -> int:
+        if not 0 <= j <= self._d:
+            raise TopologyError(f"node level {j} out of range [0, {self._d}]")
+        return j
+
+    def validate_arc_level(self, j: int) -> int:
+        if not 0 <= j < self._d:
+            raise TopologyError(f"arc level {j} out of range [0, {self._d})")
+        return j
+
+    def validate_kind(self, kind: int) -> int:
+        if kind not in (STRAIGHT, VERTICAL):
+            raise TopologyError(f"arc kind must be 0 (straight) or 1 (vertical), got {kind}")
+        return kind
+
+    # -- arc id layout -------------------------------------------------------
+
+    def arc_index(self, row: int, level: int, kind: int) -> int:
+        """Dense id of arc ``(row; level; kind)``."""
+        self.validate_row(row)
+        self.validate_arc_level(level)
+        self.validate_kind(kind)
+        return level * 2 * self._n + 2 * row + kind
+
+    def arc_index_many(
+        self, rows: np.ndarray, levels: np.ndarray, kinds: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`arc_index` (no validation)."""
+        return levels * (2 * self._n) + 2 * rows + kinds
+
+    def arc_components(self, index: int) -> Tuple[int, int, int]:
+        """Invert :meth:`arc_index`: returns ``(row, level, kind)``."""
+        self.validate_arc_index(index)
+        level, rem = divmod(index, 2 * self._n)
+        row, kind = divmod(rem, 2)
+        return row, level, kind
+
+    def arc(self, index: int) -> Arc:
+        row, level, kind = self.arc_components(index)
+        head_row = row ^ (1 << level) if kind == VERTICAL else row
+        # encode node ids as level * 2**d + row
+        return Arc(
+            index=index,
+            tail=level * self._n + row,
+            head=(level + 1) * self._n + head_row,
+            level=level,
+        )
+
+    def level_slice(self, level: int) -> slice:
+        self.validate_arc_level(level)
+        return slice(level * 2 * self._n, (level + 1) * 2 * self._n)
+
+    def arcs(self) -> Iterator[Arc]:
+        for i in range(self.num_arcs):
+            yield self.arc(i)
+
+    # -- node encoding -------------------------------------------------------
+
+    def node_id(self, row: int, level: int) -> int:
+        """Dense node id of ``[row; level]``: ``level * 2**d + row``."""
+        self.validate_row(row)
+        self.validate_node_level(level)
+        return level * self._n + row
+
+    def node_components(self, node: int) -> Tuple[int, int]:
+        """Invert :meth:`node_id`: returns ``(row, level)``."""
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(f"node {node} out of range [0, {self.num_nodes})")
+        level, row = divmod(node, self._n)
+        return row, level
+
+    # -- the unique greedy path (paper §4.1) -----------------------------------
+
+    def hamming(self, x: int, z: int) -> int:
+        """Hamming distance between two row addresses."""
+        self.validate_row(x)
+        self.validate_row(z)
+        return (x ^ z).bit_count()
+
+    def path_kinds(self, x: int, z: int) -> List[int]:
+        """Arc kinds (STRAIGHT/VERTICAL) along the unique path x→z.
+
+        Element ``j`` is VERTICAL iff bit ``j`` of ``x ^ z`` is set: the
+        packet corrects address bits in increasing index order, one per
+        level — exactly the hypercube dimension-order rule, unfolded.
+        """
+        self.validate_row(x)
+        self.validate_row(z)
+        diff = x ^ z
+        return [(diff >> j) & 1 for j in range(self._d)]
+
+    def path_arcs(self, x: int, z: int) -> List[int]:
+        """Dense arc ids of the unique path from ``[x; 0]`` to ``[z; d]``."""
+        arcs = []
+        cur = self.validate_row(x)
+        diff = x ^ self.validate_row(z)
+        for j in range(self._d):
+            kind = (diff >> j) & 1
+            arcs.append(j * 2 * self._n + 2 * cur + kind)
+            if kind:
+                cur ^= 1 << j
+        return arcs
+
+    def path_rows(self, x: int, z: int) -> List[int]:
+        """Row addresses visited at levels 0..d along the unique path."""
+        rows = [x]
+        cur = self.validate_row(x)
+        diff = x ^ self.validate_row(z)
+        for j in range(self._d):
+            if (diff >> j) & 1:
+                cur ^= 1 << j
+            rows.append(cur)
+        return rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Butterfly(d={self._d})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Butterfly) and other._d == self._d
+
+    def __hash__(self) -> int:
+        return hash(("Butterfly", self._d))

@@ -1,0 +1,222 @@
+"""The d-dimensional binary hypercube (paper §1.1, Fig. 1a).
+
+Nodes are the integers ``0 .. 2**d - 1``; the binary representation of a
+node is its identity ``(z_{d-1}, ..., z_0)``.  An arc connects ``x`` to
+``x ^ (1 << dim)`` for every ``dim`` in ``range(d)``; the set of all
+arcs flipping bit ``dim`` is the *dimension* ``dim`` (the paper's
+"``(dim+1)``-th type").  All arcs are directed and come in antiparallel
+pairs, so the cube has ``d * 2**d`` arcs.
+
+Arc id layout (level-major)::
+
+    arc_index(x, dim) = dim * 2**d + x
+
+so dimension ``k`` occupies the contiguous id slice
+``[k * 2**d, (k+1) * 2**d)`` — dimension == level of the equivalent
+levelled network Q (§3.1 Property B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.topology.base import Arc, Topology
+
+__all__ = ["Hypercube", "HypercubeArc"]
+
+
+@dataclass(frozen=True, slots=True)
+class HypercubeArc:
+    """A hypercube arc ``tail -> tail ^ (1 << dim)``."""
+
+    tail: int
+    dim: int
+
+    @property
+    def head(self) -> int:
+        return self.tail ^ (1 << self.dim)
+
+
+class Hypercube(Topology):
+    """The directed d-cube with dense, dimension-major arc ids.
+
+    Parameters
+    ----------
+    d:
+        Dimension; the cube has ``2**d`` nodes.  ``d >= 1`` and is kept
+        modest (``d <= 24``) since the simulators materialise per-arc
+        state.
+    """
+
+    MAX_D = 24
+
+    def __init__(self, d: int) -> None:
+        if not isinstance(d, (int, np.integer)) or isinstance(d, bool):
+            raise TopologyError(f"dimension must be an integer, got {d!r}")
+        if not 1 <= d <= self.MAX_D:
+            raise TopologyError(
+                f"dimension must be in [1, {self.MAX_D}], got {d}"
+            )
+        self._d = int(d)
+        self._n = 1 << self._d
+
+    # -- basic facts ---------------------------------------------------------
+
+    @property
+    def d(self) -> int:
+        """Dimension of the cube."""
+        return self._d
+
+    @property
+    def num_nodes(self) -> int:
+        """``2**d`` nodes."""
+        return self._n
+
+    @property
+    def num_arcs(self) -> int:
+        """``d * 2**d`` directed arcs."""
+        return self._d * self._n
+
+    @property
+    def num_levels(self) -> int:
+        """One level per dimension in the equivalent network Q."""
+        return self._d
+
+    @property
+    def diameter(self) -> int:
+        """The diameter of the d-cube equals d (paper §1.1)."""
+        return self._d
+
+    # -- node helpers --------------------------------------------------------
+
+    def validate_node(self, x: int) -> int:
+        if not 0 <= x < self._n:
+            raise TopologyError(f"node {x} out of range [0, {self._n})")
+        return x
+
+    def e(self, dim: int) -> int:
+        """The unit vector ``e_dim`` (paper's ``e_{dim+1} = 2**dim``)."""
+        self.validate_dim(dim)
+        return 1 << dim
+
+    def validate_dim(self, dim: int) -> int:
+        if not 0 <= dim < self._d:
+            raise TopologyError(f"dimension {dim} out of range [0, {self._d})")
+        return dim
+
+    def flip(self, x: int, dim: int) -> int:
+        """Neighbour of *x* across dimension *dim*: ``x XOR e_dim``."""
+        self.validate_node(x)
+        return x ^ self.e(dim)
+
+    def neighbors(self, x: int) -> List[int]:
+        """The d neighbours ``x ^ e_0, ..., x ^ e_{d-1}``."""
+        self.validate_node(x)
+        return [x ^ (1 << j) for j in range(self._d)]
+
+    def hamming(self, x: int, y: int) -> int:
+        """Hamming distance ``H(x, y)`` between two node identities."""
+        self.validate_node(x)
+        self.validate_node(y)
+        return (x ^ y).bit_count()
+
+    def hamming_many(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Vectorised Hamming distance between arrays of node ids."""
+        return np.bitwise_count(np.bitwise_xor(x, y))
+
+    # -- arc id layout -------------------------------------------------------
+
+    def arc_index(self, tail: int, dim: int) -> int:
+        """Dense id of arc ``tail -> tail ^ e_dim``: ``dim * 2**d + tail``."""
+        self.validate_node(tail)
+        self.validate_dim(dim)
+        return dim * self._n + tail
+
+    def arc_index_many(self, tails: np.ndarray, dims: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`arc_index` (no validation)."""
+        return dims * self._n + tails
+
+    def arc(self, index: int) -> Arc:
+        self.validate_arc_index(index)
+        dim, tail = divmod(index, self._n)
+        return Arc(index=index, tail=tail, head=tail ^ (1 << dim), level=dim)
+
+    def arc_dim(self, index: int) -> int:
+        """Dimension (== level) of the arc with dense id *index*."""
+        self.validate_arc_index(index)
+        return index // self._n
+
+    def arc_tail(self, index: int) -> int:
+        self.validate_arc_index(index)
+        return index % self._n
+
+    def level_slice(self, level: int) -> slice:
+        self.validate_dim(level)
+        return slice(level * self._n, (level + 1) * self._n)
+
+    def arcs(self) -> Iterator[Arc]:
+        for dim in range(self._d):
+            for tail in range(self._n):
+                yield Arc(
+                    index=dim * self._n + tail,
+                    tail=tail,
+                    head=tail ^ (1 << dim),
+                    level=dim,
+                )
+
+    # -- canonical greedy paths (paper §3) ------------------------------------
+
+    def dims_to_cross(self, x: int, z: int) -> List[int]:
+        """Dimensions in which *x* and *z* differ, in increasing order.
+
+        These are exactly the dimensions a greedy packet crosses, in
+        exactly this order (the paper's increasing index-order rule).
+        """
+        self.validate_node(x)
+        self.validate_node(z)
+        diff = x ^ z
+        return [j for j in range(self._d) if (diff >> j) & 1]
+
+    def canonical_path_nodes(self, x: int, z: int) -> List[int]:
+        """Node sequence of the canonical path from *x* to *z* (inclusive)."""
+        nodes = [x]
+        cur = x
+        for j in self.dims_to_cross(x, z):
+            cur ^= 1 << j
+            nodes.append(cur)
+        return nodes
+
+    def canonical_path_arcs(self, x: int, z: int) -> List[int]:
+        """Dense arc ids of the canonical path from *x* to *z*."""
+        arcs = []
+        cur = x
+        for j in self.dims_to_cross(x, z):
+            arcs.append(j * self._n + cur)
+            cur ^= 1 << j
+        return arcs
+
+    # -- misc -----------------------------------------------------------------
+
+    def antipode(self, x: int) -> int:
+        """The node at Hamming distance d from *x* (all bits flipped)."""
+        self.validate_node(x)
+        return x ^ (self._n - 1)
+
+    def translate(self, x: int, y_star: int) -> int:
+        """Rename node *x* to ``x XOR y_star`` (translation invariance, §1.1)."""
+        self.validate_node(x)
+        self.validate_node(y_star)
+        return x ^ y_star
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Hypercube(d={self._d})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Hypercube) and other._d == self._d
+
+    def __hash__(self) -> int:
+        return hash(("Hypercube", self._d))

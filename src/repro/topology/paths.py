@@ -1,0 +1,89 @@
+"""Shortest-path utilities for the hypercube (test/verification support).
+
+The greedy scheme uses only the *canonical* dimension-order path, but
+the correctness arguments ("canonical paths are shortest", "there are
+``H(x,z)!`` shortest paths") need the general machinery, which also
+powers the property-based tests.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterator, List, Sequence
+
+from repro.errors import TopologyError
+from repro.topology.hypercube import Hypercube
+
+__all__ = [
+    "dims_to_cross",
+    "path_arcs",
+    "all_shortest_paths",
+    "is_shortest_path",
+]
+
+
+def dims_to_cross(cube: Hypercube, x: int, z: int, order: Sequence[int] | None = None) -> List[int]:
+    """Dimensions separating *x* and *z*, in the given crossing *order*.
+
+    ``order=None`` gives the canonical increasing order.  Otherwise
+    *order* must be a permutation of the differing dimensions.
+    """
+    dims = cube.dims_to_cross(x, z)
+    if order is None:
+        return dims
+    if sorted(order) != dims:
+        raise TopologyError(
+            f"order {list(order)} is not a permutation of the differing "
+            f"dimensions {dims}"
+        )
+    return list(order)
+
+
+def path_arcs(cube: Hypercube, x: int, z: int, order: Sequence[int] | None = None) -> List[int]:
+    """Arc ids of the shortest path from *x* to *z* crossing dims in *order*."""
+    arcs = []
+    cur = x
+    for j in dims_to_cross(cube, x, z, order):
+        arcs.append(cube.arc_index(cur, j))
+        cur ^= 1 << j
+    return arcs
+
+
+def all_shortest_paths(cube: Hypercube, x: int, z: int) -> Iterator[List[int]]:
+    """Yield the node sequences of *all* shortest x→z paths.
+
+    There are ``H(x,z)!`` of them (one per ordering of the differing
+    dimensions); intended for small Hamming distances in tests.
+    """
+    dims = cube.dims_to_cross(x, z)
+    for order in permutations(dims):
+        nodes = [x]
+        cur = x
+        for j in order:
+            cur ^= 1 << j
+            nodes.append(cur)
+        yield nodes
+
+
+def is_shortest_path(cube: Hypercube, nodes: Sequence[int]) -> bool:
+    """True iff *nodes* is a shortest path between its endpoints.
+
+    A path is shortest iff every hop flips exactly one bit and no
+    dimension is crossed twice (length == Hamming distance).
+    """
+    if len(nodes) == 0:
+        return False
+    if len(nodes) == 1:
+        return True
+    seen_dims = set()
+    for a, b in zip(nodes, nodes[1:]):
+        cube.validate_node(a)
+        cube.validate_node(b)
+        diff = a ^ b
+        if diff == 0 or (diff & (diff - 1)) != 0:
+            return False  # not a single-bit hop
+        dim = diff.bit_length() - 1
+        if dim in seen_dims:
+            return False  # re-crossed a dimension => not shortest
+        seen_dims.add(dim)
+    return len(nodes) - 1 == cube.hamming(nodes[0], nodes[-1])

@@ -1,0 +1,59 @@
+"""Traffic generation substrate: who sends, when, and to whom.
+
+Implements the paper's packet-generation model (§1.1):
+
+* each node generates packets as an independent Poisson process with
+  rate ``lam`` (:class:`PoissonProcess`, :func:`merged_poisson_arrivals`);
+* each packet flips each origin-address bit independently with
+  probability ``p`` to pick its destination — eq. (1) / Lemma 1
+  (:class:`BernoulliFlipLaw`), with the uniform law as the ``p = 1/2``
+  special case and arbitrary translation-invariant laws
+  (:class:`TranslationInvariantLaw`) for the §2.2 generalisation;
+* the §3.4 slotted variant generates Poisson-sized batches at slot
+  boundaries (:class:`SlottedBatchArrivals`).
+
+:class:`HypercubeWorkload` / :class:`ButterflyWorkload` bundle both into
+a reproducible sample of (birth time, origin, destination) triples.
+"""
+
+from repro.traffic.arrivals import (
+    PoissonProcess,
+    SlottedBatchArrivals,
+    merged_poisson_arrivals,
+)
+from repro.traffic.destinations import (
+    BernoulliFlipLaw,
+    DestinationLaw,
+    HotSpotTraffic,
+    PermutationTraffic,
+    TranslationInvariantLaw,
+    UniformExcludingOriginLaw,
+    UniformLaw,
+    bit_reversal_permutation,
+    transpose_permutation,
+)
+from repro.traffic.workload import (
+    ButterflyWorkload,
+    HypercubeWorkload,
+    SlottedHypercubeWorkload,
+    TrafficSample,
+)
+
+__all__ = [
+    "PoissonProcess",
+    "SlottedBatchArrivals",
+    "merged_poisson_arrivals",
+    "DestinationLaw",
+    "BernoulliFlipLaw",
+    "UniformLaw",
+    "UniformExcludingOriginLaw",
+    "TranslationInvariantLaw",
+    "PermutationTraffic",
+    "HotSpotTraffic",
+    "bit_reversal_permutation",
+    "transpose_permutation",
+    "TrafficSample",
+    "HypercubeWorkload",
+    "ButterflyWorkload",
+    "SlottedHypercubeWorkload",
+]

@@ -1,0 +1,360 @@
+"""Destination distributions (paper eq. (1) and the §2.2 generalisation).
+
+All laws here are *translation invariant*: the probability that a
+packet born at ``x`` targets ``z`` depends only on the XOR mask
+``v = x ^ z``, i.e. equals ``f(v)`` for a pmf ``f`` over the ``2**d``
+masks.  The paper's primary law (eq. (1)) is the product-Bernoulli
+
+    f(v) = p**popcount(v) * (1-p)**(d - popcount(v)),
+
+equivalently (Lemma 1): each address bit is flipped independently with
+probability ``p``.  ``p = 1/2`` is uniform traffic (origin included);
+:class:`UniformExcludingOriginLaw` covers the "origin not permissible"
+variant discussed in §1.1.
+
+Laws expose the per-dimension *flip probabilities*
+
+    q_j = P[bit j flipped] = sum_{v : v_j = 1} f(v),
+
+from which §2.2 defines the per-dimension load factors
+``rho_j = lam * q_j`` and the overall load ``rho = max_j rho_j``.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, as_generator
+
+__all__ = [
+    "DestinationLaw",
+    "BernoulliFlipLaw",
+    "UniformLaw",
+    "UniformExcludingOriginLaw",
+    "TranslationInvariantLaw",
+    "PermutationTraffic",
+    "HotSpotTraffic",
+    "bit_reversal_permutation",
+    "transpose_permutation",
+]
+
+
+class DestinationLaw(abc.ABC):
+    """A translation-invariant destination law over d-bit addresses."""
+
+    def __init__(self, d: int) -> None:
+        if not 1 <= int(d) <= 24:
+            raise ConfigurationError(f"dimension must be in [1, 24], got {d}")
+        self._d = int(d)
+
+    @property
+    def d(self) -> int:
+        return self._d
+
+    # -- sampling -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def sample_masks(self, n: int, rng: SeedLike = None) -> np.ndarray:
+        """Draw *n* i.i.d. XOR masks ``v = x ^ z`` (dtype int64)."""
+
+    def sample_destinations(
+        self, origins: np.ndarray, rng: SeedLike = None
+    ) -> np.ndarray:
+        """Destinations for an array of origins: ``origins ^ masks``."""
+        origins = np.asarray(origins, dtype=np.int64)
+        return origins ^ self.sample_masks(origins.shape[0], rng)
+
+    # -- exact probabilities ---------------------------------------------------
+
+    @abc.abstractmethod
+    def mask_prob(self, v: int) -> float:
+        """``f(v)`` — probability of XOR mask *v*."""
+
+    def prob(self, x: int, z: int) -> float:
+        """P[destination == z | origin == x] == f(x ^ z)."""
+        return self.mask_prob(x ^ z)
+
+    def mask_pmf(self) -> np.ndarray:
+        """Full pmf over all ``2**d`` masks (small d only)."""
+        return np.array([self.mask_prob(v) for v in range(1 << self._d)])
+
+    # -- load-related scalars ----------------------------------------------------
+
+    @abc.abstractmethod
+    def flip_probabilities(self) -> np.ndarray:
+        """``q_j = P[bit j flipped]`` for each dimension j (shape (d,))."""
+
+    def mean_distance(self) -> float:
+        """Expected Hamming distance to the destination: ``sum_j q_j``."""
+        return float(np.sum(self.flip_probabilities()))
+
+    def max_flip_probability(self) -> float:
+        """``max_j q_j`` — drives the §2.2 load factor ``rho = lam * max_j q_j``."""
+        return float(np.max(self.flip_probabilities()))
+
+
+class BernoulliFlipLaw(DestinationLaw):
+    """The paper's eq. (1): flip each bit independently with probability p.
+
+    Lemma 1: the d flip events are mutually independent Bernoulli(p),
+    with and without conditioning on the origin.
+    """
+
+    def __init__(self, d: int, p: float) -> None:
+        super().__init__(d)
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"flip probability must lie in [0, 1], got {p}")
+        self._p = float(p)
+
+    @property
+    def p(self) -> float:
+        return self._p
+
+    def sample_masks(self, n: int, rng: SeedLike = None) -> np.ndarray:
+        gen = as_generator(rng)
+        if n == 0:
+            return np.zeros(0, dtype=np.int64)
+        # One Bernoulli(p) per (packet, dimension); pack bits into ints.
+        bits = gen.random((n, self._d)) < self._p
+        weights = (np.int64(1) << np.arange(self._d, dtype=np.int64))
+        return bits @ weights
+
+    def mask_prob(self, v: int) -> float:
+        if not 0 <= v < (1 << self._d):
+            raise ConfigurationError(f"mask {v} out of range for d={self._d}")
+        k = v.bit_count()
+        return self._p**k * (1.0 - self._p) ** (self._d - k)
+
+    def flip_probabilities(self) -> np.ndarray:
+        return np.full(self._d, self._p)
+
+    def mean_distance(self) -> float:
+        return self._d * self._p
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BernoulliFlipLaw(d={self._d}, p={self._p})"
+
+
+class UniformLaw(BernoulliFlipLaw):
+    """Uniform destinations (origin included): eq. (1) with p = 1/2."""
+
+    def __init__(self, d: int) -> None:
+        super().__init__(d, 0.5)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformLaw(d={self._d})"
+
+
+class UniformExcludingOriginLaw(DestinationLaw):
+    """Uniform over the ``2**d - 1`` nodes other than the origin.
+
+    The §1.1 remark: results for the uniform law apply to this case
+    after rescaling; the flip probabilities are
+    ``q_j = 2**(d-1) / (2**d - 1)`` (slightly above 1/2).
+    """
+
+    def __init__(self, d: int) -> None:
+        super().__init__(d)
+        self._num_masks = (1 << d) - 1  # nonzero masks
+
+    def sample_masks(self, n: int, rng: SeedLike = None) -> np.ndarray:
+        gen = as_generator(rng)
+        return gen.integers(1, self._num_masks + 1, size=n, dtype=np.int64)
+
+    def mask_prob(self, v: int) -> float:
+        if not 0 <= v < (1 << self._d):
+            raise ConfigurationError(f"mask {v} out of range for d={self._d}")
+        return 0.0 if v == 0 else 1.0 / self._num_masks
+
+    def flip_probabilities(self) -> np.ndarray:
+        # Of the 2**d - 1 nonzero masks, exactly 2**(d-1) have bit j set.
+        q = (1 << (self._d - 1)) / self._num_masks
+        return np.full(self._d, q)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformExcludingOriginLaw(d={self._d})"
+
+
+class TranslationInvariantLaw(DestinationLaw):
+    """Arbitrary translation-invariant law given by a pmf over masks.
+
+    Supports the §2.2 generalisation (Propositions 2/3 and the
+    stability condition hold for any such law).  Intended for small d —
+    the pmf is materialised over all ``2**d`` masks.
+    """
+
+    def __init__(self, d: int, pmf: Sequence[float]) -> None:
+        super().__init__(d)
+        f = np.asarray(pmf, dtype=float)
+        if f.shape != (1 << d,):
+            raise ConfigurationError(
+                f"pmf must have length 2**d = {1 << d}, got shape {f.shape}"
+            )
+        if np.any(f < -1e-12):
+            raise ConfigurationError("pmf entries must be non-negative")
+        total = float(f.sum())
+        if not math.isclose(total, 1.0, rel_tol=0, abs_tol=1e-9):
+            raise ConfigurationError(f"pmf must sum to 1, sums to {total!r}")
+        self._f = np.clip(f, 0.0, None)
+        self._f /= self._f.sum()
+        masks = np.arange(1 << d, dtype=np.int64)
+        bit = (masks[:, None] >> np.arange(d)) & 1
+        self._q = (self._f[:, None] * bit).sum(axis=0)
+
+    def sample_masks(self, n: int, rng: SeedLike = None) -> np.ndarray:
+        gen = as_generator(rng)
+        return gen.choice(len(self._f), size=n, p=self._f).astype(np.int64)
+
+    def mask_prob(self, v: int) -> float:
+        if not 0 <= v < (1 << self._d):
+            raise ConfigurationError(f"mask {v} out of range for d={self._d}")
+        return float(self._f[v])
+
+    def mask_pmf(self) -> np.ndarray:
+        return self._f.copy()
+
+    def flip_probabilities(self) -> np.ndarray:
+        return self._q.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TranslationInvariantLaw(d={self._d})"
+
+
+# ---------------------------------------------------------------------------
+# non-translation-invariant traffic (for the §5 two-phase discussion)
+# ---------------------------------------------------------------------------
+
+
+class PermutationTraffic:
+    """Deterministic permutation traffic: node x always targets perm[x].
+
+    *Not* translation invariant (unless the permutation is an XOR
+    translation), so the paper's main analysis does not cover it — this
+    is the adversarial setting motivating Valiant's two-phase scheme,
+    which the paper's §5 suggests for general destination
+    distributions.  Classic hard cases: bit reversal and matrix
+    transpose, whose canonical dimension-order paths pile Theta(2^{d/2})
+    flows onto single arcs.
+
+    Implements the minimal sampler interface used by the workloads
+    (``d`` and ``sample_destinations``); the translation-invariant
+    machinery (``mask_prob`` etc.) is deliberately absent.
+    """
+
+    def __init__(self, d: int, perm: "np.ndarray") -> None:
+        if not 1 <= int(d) <= 24:
+            raise ConfigurationError(f"dimension must be in [1, 24], got {d}")
+        self._d = int(d)
+        perm = np.asarray(perm, dtype=np.int64)
+        n = 1 << self._d
+        if perm.shape != (n,) or sorted(perm.tolist()) != list(range(n)):
+            raise ConfigurationError(
+                f"perm must be a permutation of range(2**{d})"
+            )
+        self._perm = perm.copy()
+
+    @property
+    def d(self) -> int:
+        return self._d
+
+    @property
+    def perm(self) -> "np.ndarray":
+        return self._perm.copy()
+
+    def sample_destinations(
+        self, origins: "np.ndarray", rng: SeedLike = None
+    ) -> "np.ndarray":
+        origins = np.asarray(origins, dtype=np.int64)
+        return self._perm[origins]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PermutationTraffic(d={self._d})"
+
+
+class HotSpotTraffic:
+    """Hot-spot traffic: with probability ``beta`` target a fixed node,
+    otherwise fall back to a background law.
+
+    The standard non-uniform stress case; like
+    :class:`PermutationTraffic` it is outside the paper's
+    translation-invariant model and motivates two-phase mixing.
+    """
+
+    def __init__(
+        self,
+        background: DestinationLaw,
+        hot_node: int,
+        beta: float,
+    ) -> None:
+        if not 0.0 <= beta <= 1.0:
+            raise ConfigurationError(f"beta must lie in [0, 1], got {beta}")
+        if not 0 <= hot_node < (1 << background.d):
+            raise ConfigurationError(f"hot node {hot_node} out of range")
+        self.background = background
+        self.hot_node = int(hot_node)
+        self.beta = float(beta)
+
+    @property
+    def d(self) -> int:
+        return self.background.d
+
+    def sample_destinations(
+        self, origins: "np.ndarray", rng: SeedLike = None
+    ) -> "np.ndarray":
+        gen = as_generator(rng)
+        origins = np.asarray(origins, dtype=np.int64)
+        dests = self.background.sample_destinations(origins, gen)
+        hot = gen.random(origins.shape[0]) < self.beta
+        dests[hot] = self.hot_node
+        return dests
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HotSpotTraffic(hot_node={self.hot_node}, beta={self.beta}, "
+            f"background={self.background!r})"
+        )
+
+
+def bit_reversal_permutation(d: int) -> "np.ndarray":
+    """The bit-reversal permutation on d-bit addresses.
+
+    The classic worst case for oblivious dimension-order routing:
+    2^{d/2} canonical paths share single arcs.
+    """
+    if not 1 <= d <= 24:
+        raise ConfigurationError(f"dimension must be in [1, 24], got {d}")
+    n = 1 << d
+    out = np.empty(n, dtype=np.int64)
+    for x in range(n):
+        r = 0
+        for j in range(d):
+            if (x >> j) & 1:
+                r |= 1 << (d - 1 - j)
+        out[x] = r
+    return out
+
+
+def transpose_permutation(d: int) -> "np.ndarray":
+    """Matrix-transpose traffic (swap the low and high address halves).
+
+    Requires even d; another standard adversarial permutation for
+    dimension-order routing.
+    """
+    if d % 2 != 0:
+        raise ConfigurationError(f"transpose needs even d, got {d}")
+    if not 2 <= d <= 24:
+        raise ConfigurationError(f"dimension must be in [2, 24], got {d}")
+    half = d // 2
+    n = 1 << d
+    mask = (1 << half) - 1
+    out = np.empty(n, dtype=np.int64)
+    for x in range(n):
+        lo = x & mask
+        hi = x >> half
+        out[x] = (lo << half) | hi
+    return out

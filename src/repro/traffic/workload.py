@@ -1,0 +1,149 @@
+"""Workload specifications bundling arrivals and destinations.
+
+A *workload* fixes everything random about a run except the routing:
+the topology, the per-node Poisson rate ``lam``, and the destination
+law.  ``generate()`` returns a :class:`TrafficSample` — flat, sorted
+arrays of (birth time, origin, destination) — which every simulator in
+this library consumes.  Sampling is exact (superposition construction)
+and fully vectorised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, as_generator
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+from repro.traffic.arrivals import SlottedBatchArrivals, merged_poisson_arrivals
+from repro.traffic.destinations import DestinationLaw
+
+__all__ = ["TrafficSample", "HypercubeWorkload", "ButterflyWorkload"]
+
+
+@dataclass(frozen=True)
+class TrafficSample:
+    """A realised set of packets: parallel arrays sorted by birth time.
+
+    For the hypercube, ``origins``/``destinations`` are node ids; for
+    the butterfly they are *row* addresses (origins live at level 0,
+    destinations at level d).
+    """
+
+    times: np.ndarray
+    origins: np.ndarray
+    destinations: np.ndarray
+    horizon: float
+
+    def __post_init__(self) -> None:
+        n = self.times.shape[0]
+        if self.origins.shape[0] != n or self.destinations.shape[0] != n:
+            raise ConfigurationError("times/origins/destinations must be parallel")
+        if n > 1 and np.any(np.diff(self.times) < 0):
+            raise ConfigurationError("times must be sorted ascending")
+
+    @property
+    def num_packets(self) -> int:
+        return int(self.times.shape[0])
+
+    def __len__(self) -> int:
+        return self.num_packets
+
+
+def _validate_positive_rate(lam: float) -> float:
+    if not lam > 0.0:
+        raise ConfigurationError(f"per-node rate lam must be > 0, got {lam}")
+    return float(lam)
+
+
+@dataclass(frozen=True)
+class HypercubeWorkload:
+    """Paper §1.1 workload: every cube node Poisson(``lam``), law eq. (1)."""
+
+    cube: Hypercube
+    lam: float
+    law: DestinationLaw
+
+    def __post_init__(self) -> None:
+        _validate_positive_rate(self.lam)
+        if self.law.d != self.cube.d:
+            raise ConfigurationError(
+                f"law dimension {self.law.d} != cube dimension {self.cube.d}"
+            )
+
+    def generate(self, horizon: float, rng: SeedLike = None) -> TrafficSample:
+        """Sample every packet born in ``[0, horizon)``."""
+        gen = as_generator(rng)
+        times, origins = merged_poisson_arrivals(
+            self.cube.num_nodes, self.lam, horizon, gen
+        )
+        dests = self.law.sample_destinations(origins, gen)
+        return TrafficSample(times, origins, dests, float(horizon))
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate packet birth rate ``lam * 2**d``."""
+        return self.lam * self.cube.num_nodes
+
+
+@dataclass(frozen=True)
+class ButterflyWorkload:
+    """Paper §4.2 workload: level-0 nodes Poisson(``lam``), row law eq. (1)."""
+
+    butterfly: Butterfly
+    lam: float
+    law: DestinationLaw
+
+    def __post_init__(self) -> None:
+        _validate_positive_rate(self.lam)
+        if self.law.d != self.butterfly.d:
+            raise ConfigurationError(
+                f"law dimension {self.law.d} != butterfly dimension {self.butterfly.d}"
+            )
+
+    def generate(self, horizon: float, rng: SeedLike = None) -> TrafficSample:
+        """Sample every packet born in ``[0, horizon)`` (rows as addresses)."""
+        gen = as_generator(rng)
+        times, origins = merged_poisson_arrivals(
+            self.butterfly.rows, self.lam, horizon, gen
+        )
+        dests = self.law.sample_destinations(origins, gen)
+        return TrafficSample(times, origins, dests, float(horizon))
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate packet birth rate ``lam * 2**d``."""
+        return self.lam * self.butterfly.rows
+
+
+@dataclass(frozen=True)
+class SlottedHypercubeWorkload:
+    """§3.4 slotted-time workload: Poisson(``lam * tau``) batches each slot."""
+
+    cube: Hypercube
+    lam: float
+    law: DestinationLaw
+    tau: float = 1.0
+    _batches: SlottedBatchArrivals = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        _validate_positive_rate(self.lam)
+        if self.law.d != self.cube.d:
+            raise ConfigurationError(
+                f"law dimension {self.law.d} != cube dimension {self.cube.d}"
+            )
+        object.__setattr__(self, "_batches", SlottedBatchArrivals(self.lam, self.tau))
+
+    def generate(self, horizon: float, rng: SeedLike = None) -> TrafficSample:
+        gen = as_generator(rng)
+        times, origins = self._batches.sample_times(
+            self.cube.num_nodes, horizon, gen
+        )
+        dests = self.law.sample_destinations(origins, gen)
+        return TrafficSample(times, origins, dests, float(horizon))
+
+
+__all__.append("SlottedHypercubeWorkload")

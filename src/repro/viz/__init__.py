@@ -1,0 +1,30 @@
+"""Figure generation: the paper's diagrams, regenerated programmatically.
+
+The paper's figures are network diagrams, not data plots:
+
+* Fig. 1a — the 3-dimensional hypercube;
+* Fig. 1b — the equivalent network Q for the 3-cube;
+* Fig. 2a/2b/2c — the three-server example networks g, g̃, g';
+* Fig. 3a — the 2-dimensional butterfly;
+* Fig. 3b — the equivalent network R.
+
+Each generator returns Graphviz DOT text (renderable with ``dot -Tpdf``
+anywhere; no runtime dependency here) and is exercised by the figure
+benchmark, which writes the artefacts under ``benchmarks/results/``.
+"""
+
+from repro.viz.diagrams import (
+    butterfly_dot,
+    fig2_networks_dot,
+    hypercube_dot,
+    qnetwork_dot,
+    rnetwork_dot,
+)
+
+__all__ = [
+    "hypercube_dot",
+    "butterfly_dot",
+    "qnetwork_dot",
+    "rnetwork_dot",
+    "fig2_networks_dot",
+]

@@ -1,0 +1,181 @@
+"""Graphviz DOT generators for the paper's figures."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.qnetwork import ButterflyRSpec, HypercubeQSpec
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+
+__all__ = [
+    "hypercube_dot",
+    "butterfly_dot",
+    "qnetwork_dot",
+    "rnetwork_dot",
+    "fig2_networks_dot",
+]
+
+
+def _bits(x: int, d: int) -> str:
+    return format(x, f"0{d}b")
+
+
+def hypercube_dot(cube: Hypercube) -> str:
+    """Fig. 1a: the d-cube with binary node identities.
+
+    Antiparallel arc pairs are drawn as one edge with ``dir=both`` to
+    match the paper's drawing.
+    """
+    d = cube.d
+    lines: List[str] = [
+        f'digraph hypercube_d{d} {{',
+        '  label="Fig. 1a: the %d-dimensional hypercube";' % d,
+        "  node [shape=circle];",
+    ]
+    for x in range(cube.num_nodes):
+        lines.append(f'  n{x} [label="{_bits(x, d)}"];')
+    for arc in cube.arcs():
+        if arc.tail < arc.head:  # one line per antiparallel pair
+            lines.append(
+                f"  n{arc.tail} -> n{arc.head} "
+                f'[dir=both, label="dim {arc.level}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def butterfly_dot(bf: Butterfly) -> str:
+    """Fig. 3a: the d-dimensional butterfly with straight/vertical arcs."""
+    d = bf.d
+    lines: List[str] = [
+        f"digraph butterfly_d{d} {{",
+        '  label="Fig. 3a: the %d-dimensional butterfly";' % d,
+        "  rankdir=LR;",
+        "  node [shape=circle];",
+    ]
+    for level in range(d + 1):
+        members = " ".join(
+            f"b{bf.node_id(row, level)};" for row in range(bf.rows)
+        )
+        lines.append(f"  {{ rank=same; {members} }}")
+        for row in range(bf.rows):
+            lines.append(
+                f'  b{bf.node_id(row, level)} '
+                f'[label="[{_bits(row, d)};{level}]"];'
+            )
+    for arc_id in range(bf.num_arcs):
+        row, level, kind = bf.arc_components(arc_id)
+        arc = bf.arc(arc_id)
+        style = "solid" if kind == 0 else "dashed"
+        lines.append(f"  b{arc.tail} -> b{arc.head} [style={style}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def qnetwork_dot(spec: HypercubeQSpec) -> str:
+    """Fig. 1b: the equivalent network Q — one server per arc, levelled
+    by dimension, with Markovian routing edges (Lemma 4)."""
+    cube, p = spec.cube, spec.p
+    d, n = cube.d, cube.num_nodes
+    lines: List[str] = [
+        f"digraph network_Q_d{d} {{",
+        '  label="Fig. 1b: the equivalent network Q for the %d-cube '
+        '(p=%.3g)";' % (d, p),
+        "  rankdir=LR;",
+        "  node [shape=box];",
+    ]
+    for dim in range(d):
+        members = " ".join(f"s{dim * n + x};" for x in range(n))
+        lines.append(f"  {{ rank=same; {members} }}")
+        for x in range(n):
+            lines.append(
+                f'  s{dim * n + x} [label="({_bits(x, d)},'
+                f'{_bits(x ^ (1 << dim), d)})"];'
+            )
+    # routing edges: after (x, dim i) -> (x^e_i, dim j), j > i
+    for dim in range(d):
+        for x in range(n):
+            src = dim * n + x
+            head = x ^ (1 << dim)
+            for j in range(dim + 1, d):
+                prob = p * (1.0 - p) ** (j - dim - 1)
+                lines.append(
+                    f"  s{src} -> s{j * n + head} "
+                    f'[label="{prob:.3g}", fontsize=8];'
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def rnetwork_dot(spec: ButterflyRSpec) -> str:
+    """Fig. 3b: the equivalent network R for the butterfly."""
+    bf, p = spec.bf, spec.p
+    d, rows = bf.d, bf.rows
+    lines: List[str] = [
+        f"digraph network_R_d{d} {{",
+        '  label="Fig. 3b: the equivalent network R for the '
+        '%d-dimensional butterfly (p=%.3g)";' % (d, p),
+        "  rankdir=LR;",
+        "  node [shape=box];",
+    ]
+    kind_name = {0: "s", 1: "v"}
+    for level in range(d):
+        members = " ".join(
+            f"r{bf.arc_index(row, level, k)};"
+            for row in range(rows)
+            for k in (0, 1)
+        )
+        lines.append(f"  {{ rank=same; {members} }}")
+        for row in range(rows):
+            for k in (0, 1):
+                lines.append(
+                    f"  r{bf.arc_index(row, level, k)} "
+                    f'[label="({_bits(row, d)};{level};{kind_name[k]})"];'
+                )
+    for level in range(d - 1):
+        for row in range(rows):
+            for k in (0, 1):
+                src = bf.arc_index(row, level, k)
+                head_row = row ^ (1 << level) if k else row
+                nxt_s = bf.arc_index(head_row, level + 1, 0)
+                nxt_v = bf.arc_index(head_row, level + 1, 1)
+                lines.append(
+                    f'  r{src} -> r{nxt_s} [label="{1 - p:.3g}", fontsize=8];'
+                )
+                lines.append(
+                    f'  r{src} -> r{nxt_v} [label="{p:.3g}", fontsize=8];'
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def fig2_networks_dot() -> str:
+    """Figs. 2a/2b/2c: the three-server comparison networks.
+
+    g (all FIFO), g̃ (all PS), and g' (PS at the first level only) —
+    the gadgets of Lemma 9's proof.
+    """
+    def network(name: str, tag: str, disciplines: tuple) -> List[str]:
+        d1, d2, d3 = disciplines
+        return [
+            f"subgraph cluster_{tag} {{",
+            f'  label="{name}";',
+            f'  {tag}_s1 [shape=box, label="S1 ({d1})"];',
+            f'  {tag}_s2 [shape=box, label="S2 ({d2})"];',
+            f'  {tag}_s3 [shape=box, label="S3 ({d3})"];',
+            f"  {tag}_s1 -> {tag}_s3;",
+            f"  {tag}_s2 -> {tag}_s3;",
+            "}",
+        ]
+
+    lines = [
+        "digraph fig2 {",
+        '  label="Fig. 2: the Lemma 9 comparison networks";',
+        "  rankdir=LR;",
+    ]
+    lines += network("Fig. 2a: network g", "g", ("FIFO", "FIFO", "FIFO"))
+    lines += network("Fig. 2b: network g~", "gt", ("PS", "PS", "PS"))
+    lines += network("Fig. 2c: network g'", "gp", ("PS", "PS", "FIFO"))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite.
+
+All stochastic tests take explicit seeds so the suite is deterministic;
+fixtures provide small, fast default objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+from repro.traffic.destinations import BernoulliFlipLaw
+from repro.traffic.workload import ButterflyWorkload, HypercubeWorkload
+
+
+@pytest.fixture
+def cube3() -> Hypercube:
+    return Hypercube(3)
+
+
+@pytest.fixture
+def cube4() -> Hypercube:
+    return Hypercube(4)
+
+
+@pytest.fixture
+def bf3() -> Butterfly:
+    return Butterfly(3)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_cube_workload(cube4) -> HypercubeWorkload:
+    """d=4, rho = 0.7, uniform destinations."""
+    return HypercubeWorkload(cube4, lam=1.4, law=BernoulliFlipLaw(4, 0.5))
+
+
+@pytest.fixture
+def small_bf_workload(bf3) -> ButterflyWorkload:
+    """d=3 butterfly, rho = 0.7 at p = 0.5."""
+    return ButterflyWorkload(bf3, lam=1.4, law=BernoulliFlipLaw(3, 0.5))

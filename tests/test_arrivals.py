@@ -1,0 +1,102 @@
+"""Tests for arrival processes (Poisson, §3.4 slotted batches)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.arrivals import (
+    PoissonProcess,
+    SlottedBatchArrivals,
+    merged_poisson_arrivals,
+)
+
+
+class TestPoissonProcess:
+    def test_times_sorted_within_horizon(self, rng):
+        times = PoissonProcess(2.0).sample_times(100.0, rng)
+        assert np.all(np.diff(times) >= 0)
+        assert times.min() >= 0.0
+        assert times.max() < 100.0
+
+    def test_mean_count(self, rng):
+        proc = PoissonProcess(3.0)
+        counts = [proc.sample_times(50.0, rng).shape[0] for _ in range(50)]
+        assert np.mean(counts) == pytest.approx(150.0, rel=0.1)
+
+    def test_zero_rate(self, rng):
+        assert PoissonProcess(0.0).sample_times(10.0, rng).shape == (0,)
+
+    def test_zero_horizon(self, rng):
+        assert PoissonProcess(5.0).sample_times(0.0, rng).shape == (0,)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(-1.0)
+
+    def test_rejects_negative_horizon(self, rng):
+        with pytest.raises(ConfigurationError):
+            PoissonProcess(1.0).sample_times(-1.0, rng)
+
+    def test_interarrival_distribution(self, rng):
+        # gaps of a Poisson(2) process are Exp(2): mean 0.5
+        times = PoissonProcess(2.0).sample_times(5000.0, rng)
+        gaps = np.diff(times)
+        assert gaps.mean() == pytest.approx(0.5, rel=0.05)
+
+
+class TestMergedPoisson:
+    def test_shapes_and_ranges(self, rng):
+        times, sources = merged_poisson_arrivals(8, 1.0, 50.0, rng)
+        assert times.shape == sources.shape
+        assert np.all(np.diff(times) >= 0)
+        assert sources.min() >= 0 and sources.max() < 8
+
+    def test_source_uniformity(self, rng):
+        _, sources = merged_poisson_arrivals(4, 2.0, 2000.0, rng)
+        freq = np.bincount(sources, minlength=4) / sources.shape[0]
+        np.testing.assert_allclose(freq, 0.25, atol=0.02)
+
+    def test_total_rate(self, rng):
+        times, _ = merged_poisson_arrivals(16, 0.5, 1000.0, rng)
+        assert times.shape[0] == pytest.approx(8000, rel=0.1)
+
+    def test_rejects_zero_sources(self, rng):
+        with pytest.raises(ConfigurationError):
+            merged_poisson_arrivals(0, 1.0, 10.0, rng)
+
+
+class TestSlottedBatches:
+    def test_times_are_slot_multiples(self, rng):
+        sb = SlottedBatchArrivals(rate=2.0, tau=0.5)
+        times, _ = sb.sample_times(4, 20.0, rng)
+        np.testing.assert_allclose(times % 0.5, 0.0, atol=1e-12)
+
+    def test_num_slots(self):
+        sb = SlottedBatchArrivals(rate=1.0, tau=0.25)
+        assert sb.num_slots(10.0) == 40
+        assert sb.num_slots(0.3) == 2  # boundaries at 0.0 and 0.25
+
+    def test_intensity_matches_continuous(self, rng):
+        # mean packets per node per unit time must equal `rate`
+        sb = SlottedBatchArrivals(rate=1.5, tau=0.5)
+        times, _ = sb.sample_times(8, 500.0, rng)
+        assert times.shape[0] / (8 * 500.0) == pytest.approx(1.5, rel=0.05)
+
+    def test_sources_in_range(self, rng):
+        sb = SlottedBatchArrivals(rate=1.0, tau=1.0)
+        _, sources = sb.sample_times(4, 50.0, rng)
+        assert sources.min() >= 0 and sources.max() < 4
+
+    def test_times_sorted(self, rng):
+        sb = SlottedBatchArrivals(rate=3.0, tau=0.25)
+        times, _ = sb.sample_times(4, 50.0, rng)
+        assert np.all(np.diff(times) >= 0)
+
+    @pytest.mark.parametrize("tau", [0.3, 1.5, 0.0, -0.5])
+    def test_rejects_bad_tau(self, tau):
+        with pytest.raises(ConfigurationError):
+            SlottedBatchArrivals(rate=1.0, tau=tau)
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ConfigurationError):
+            SlottedBatchArrivals(rate=-1.0, tau=0.5)

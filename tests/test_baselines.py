@@ -1,0 +1,132 @@
+"""Tests for the baselines: §2.3 pipelined batches, random order,
+deflection routing."""
+
+import numpy as np
+import pytest
+
+from repro.core.greedy import GreedyHypercubeScheme
+from repro.errors import ConfigurationError
+from repro.schemes.deflection import DeflectionRouter
+from repro.schemes.random_order import simulate_fixed_order, simulate_random_order
+from repro.schemes.valiant import PipelinedBatchScheme
+from repro.topology.hypercube import Hypercube
+from repro.traffic.destinations import BernoulliFlipLaw
+from repro.traffic.workload import HypercubeWorkload
+
+
+class TestPipelinedBatch:
+    def test_light_load_delivers_everything(self):
+        scheme = PipelinedBatchScheme(d=4, lam=0.02, p=0.5)
+        res = scheme.run(400.0, rng=1)
+        assert res.delivered_mask().mean() > 0.95
+        assert res.final_backlog < 0.05 * res.sample.num_packets + 5
+
+    def test_rounds_take_order_d_time(self):
+        scheme = PipelinedBatchScheme(d=5, lam=0.05, p=0.5)
+        res = scheme.run(300.0, rng=2)
+        # each round routes a near-permutation: O(d) with small constant
+        assert 1.0 <= res.mean_round_duration() <= 6 * 5
+
+    def test_overload_builds_backlog(self):
+        # rho = 0.4 is far below greedy's limit but way above 1/(Rd):
+        # the pipelined scheme must drown.
+        scheme = PipelinedBatchScheme(d=5, lam=0.8, p=0.5)
+        res = scheme.run(300.0, rng=3)
+        _, waiting = res.backlog_trajectory()
+        assert res.final_backlog > 0.3 * res.sample.num_packets
+        assert waiting[-1] > waiting[len(waiting) // 4]  # still growing
+
+    def test_greedy_handles_same_load_easily(self):
+        # contrast experiment at the same parameters
+        greedy = GreedyHypercubeScheme(d=5, lam=0.8, p=0.5)
+        t = greedy.measure_delay(horizon=300.0, rng=4)
+        assert t <= greedy.delay_upper_bound()  # rho = 0.4, tiny delay
+
+    def test_stability_threshold_estimate(self):
+        scheme = PipelinedBatchScheme(d=5, lam=0.05, p=0.5)
+        res = scheme.run(200.0, rng=5)
+        thr = scheme.approximate_stability_threshold(res.mean_round_duration())
+        assert thr < 0.2  # rho* = O(1/d), far below 1
+
+    def test_delays_exceed_greedy(self):
+        # at a load both schemes can carry, batching still idles packets
+        lam = 0.05
+        batch = PipelinedBatchScheme(d=4, lam=lam, p=0.5).run(400.0, rng=6)
+        greedy = GreedyHypercubeScheme(d=4, lam=lam, p=0.5)
+        t_greedy = greedy.measure_delay(horizon=400.0, rng=6)
+        assert batch.mean_delay_delivered() > t_greedy
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            PipelinedBatchScheme(d=4, lam=-1.0, p=0.5)
+
+
+class TestRandomOrder:
+    def _sample(self, d=4, lam=1.2, p=0.5, horizon=150.0, seed=7):
+        cube = Hypercube(d)
+        wl = HypercubeWorkload(cube, lam, BernoulliFlipLaw(d, p))
+        return cube, wl.generate(horizon, rng=seed)
+
+    def test_fixed_decreasing_order_same_mean_delay_law(self):
+        # by symmetry, any fixed order has the same delay distribution;
+        # check means agree within tolerance
+        cube, sample = self._sample(horizon=500.0)
+        inc = simulate_fixed_order(cube, sample, list(range(4)))
+        dec = simulate_fixed_order(cube, sample, [3, 2, 1, 0])
+        assert dec.delays().mean() == pytest.approx(
+            inc.delays().mean(), rel=0.1
+        )
+
+    def test_random_order_delivers_all(self):
+        cube, sample = self._sample(horizon=80.0)
+        res = simulate_random_order(cube, sample, rng=8)
+        assert np.all(res.delivery >= sample.times - 1e-9)
+        assert np.all(res.hops == np.bitwise_count(sample.origins ^ sample.destinations))
+
+    def test_random_order_respects_hop_lower_bound(self):
+        cube, sample = self._sample(horizon=60.0)
+        res = simulate_random_order(cube, sample, rng=9)
+        assert np.all(res.delivery - sample.times >= res.hops - 1e-9)
+
+    def test_random_order_reproducible(self):
+        cube, sample = self._sample(horizon=50.0)
+        a = simulate_random_order(cube, sample, rng=10)
+        b = simulate_random_order(cube, sample, rng=10)
+        np.testing.assert_allclose(a.delivery, b.delivery)
+
+
+class TestDeflection:
+    def test_delivers_all_packets(self):
+        router = DeflectionRouter(d=3, lam=0.3, p=0.5)
+        res = router.run(100, rng=11)
+        assert np.all(res.delivery_slot >= res.birth_slot)
+
+    def test_hops_at_least_shortest(self):
+        router = DeflectionRouter(d=3, lam=0.3, p=0.5)
+        res = router.run(100, rng=12)
+        assert np.all(res.hops_taken >= res.shortest_hops)
+
+    def test_parity_invariant(self):
+        # every deflection adds 2 to the eventual hop count parity-wise:
+        # hops_taken and shortest_hops have equal parity
+        router = DeflectionRouter(d=3, lam=0.5, p=0.5)
+        res = router.run(80, rng=13)
+        assert np.all((res.hops_taken - res.shortest_hops) % 2 == 0)
+
+    def test_light_load_no_deflections(self):
+        router = DeflectionRouter(d=4, lam=0.05, p=0.5)
+        res = router.run(200, rng=14)
+        assert res.mean_deflections() < 0.05
+
+    def test_mean_delay_reasonable(self):
+        router = DeflectionRouter(d=3, lam=0.3, p=0.5)
+        res = router.run(300, rng=15)
+        # at light load delay ~ mean shortest distance = 1.5
+        assert 1.0 <= res.mean_delay() <= 6.0
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            DeflectionRouter(d=3, lam=0.0, p=0.5)
+        router = DeflectionRouter(d=3, lam=0.5, p=0.5)
+        with pytest.raises(ConfigurationError):
+            router.run(0, rng=1)

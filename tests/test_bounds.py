@@ -1,0 +1,231 @@
+"""Tests for the paper's closed-form bounds (Props 2, 3, 12, 13, 14, 17)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    antipodal_exact_delay,
+    butterfly_delay_lower_bound,
+    butterfly_delay_upper_bound,
+    butterfly_heavy_traffic_window,
+    greedy_delay_lower_bound,
+    greedy_delay_upper_bound,
+    heavy_traffic_window,
+    mean_queue_per_node_bound,
+    oblivious_delay_lower_bound,
+    slotted_delay_upper_bound,
+    total_population_bound,
+    universal_delay_lower_bound,
+    universal_delay_lower_bound_simplified,
+    zero_contention_delay,
+)
+from repro.errors import ConfigurationError, UnstableSystemError
+
+
+class TestZeroContention:
+    def test_is_dp(self):
+        assert zero_contention_delay(8, 0.25) == pytest.approx(2.0)
+
+
+class TestProp12Upper:
+    def test_formula(self):
+        # d=6, rho=0.8, p=0.5 -> 3/0.2 = 15
+        assert greedy_delay_upper_bound(6, 1.6, 0.5) == pytest.approx(15.0)
+
+    def test_linear_in_d(self):
+        t4 = greedy_delay_upper_bound(4, 1.0, 0.5)
+        t8 = greedy_delay_upper_bound(8, 1.0, 0.5)
+        assert t8 == pytest.approx(2 * t4)
+
+    def test_diverges_at_saturation(self):
+        with pytest.raises(UnstableSystemError):
+            greedy_delay_upper_bound(4, 2.0, 0.5)
+
+
+class TestProp13Lower:
+    def test_formula(self):
+        d, lam, p = 5, 1.2, 0.5
+        rho = 0.6
+        expected = d * p + p * rho / (2 * (1 - rho))
+        assert greedy_delay_lower_bound(d, lam, p) == pytest.approx(expected)
+
+    def test_below_upper_bound(self):
+        for d in (2, 5, 9):
+            for rho in (0.1, 0.5, 0.9, 0.99):
+                p = 0.5
+                lam = rho / p
+                assert greedy_delay_lower_bound(d, lam, p) <= greedy_delay_upper_bound(
+                    d, lam, p
+                )
+
+    def test_reduces_to_dp_at_zero_load(self):
+        assert greedy_delay_lower_bound(6, 1e-12, 0.5) == pytest.approx(3.0)
+
+
+class TestProp2Universal:
+    def test_max_structure(self):
+        # light load: dp dominates
+        assert universal_delay_lower_bound(6, 0.2, 0.5) == pytest.approx(3.0)
+
+    def test_simplified_below_max_form(self):
+        # (a1+a2)/2 <= max{a1, a2}
+        for d in (2, 4):
+            for rho in (0.3, 0.9):
+                lam = rho / 0.5
+                assert universal_delay_lower_bound_simplified(
+                    d, lam, 0.5
+                ) <= universal_delay_lower_bound(d, lam, 0.5) + 1e-12
+
+    def test_methods_agree_roughly_heavy_traffic(self):
+        d, p, rho = 3, 0.5, 0.95
+        lam = rho / p
+        a = universal_delay_lower_bound(d, lam, p, mdc_method="brumelle")
+        b = universal_delay_lower_bound(d, lam, p, mdc_method="cosmetatos")
+        assert a == pytest.approx(b, rel=0.25)
+
+    def test_below_greedy_lower_bound(self):
+        # the universal bound must not exceed the greedy scheme's bound
+        for rho in (0.3, 0.7, 0.95):
+            lam = rho / 0.5
+            assert universal_delay_lower_bound(5, lam, 0.5) <= greedy_delay_lower_bound(
+                5, lam, 0.5
+            ) + 1e-9
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            universal_delay_lower_bound(3, 0.5, 0.5, mdc_method="nope")
+
+
+class TestProp3Oblivious:
+    def test_between_universal_and_greedy(self):
+        d, p = 5, 0.5
+        for rho in (0.5, 0.8, 0.95):
+            lam = rho / p
+            uni = universal_delay_lower_bound(d, lam, p)
+            obl = oblivious_delay_lower_bound(d, lam, p)
+            grd = greedy_delay_lower_bound(d, lam, p)
+            assert uni <= obl + 1e-9  # oblivious class is smaller
+            assert obl <= grd + 1e-9  # greedy is oblivious
+
+    def test_formula_heavy(self):
+        d, p, rho = 4, 0.5, 0.9
+        lam = rho / p
+        expected = p * (1 + rho / (2 * (1 - rho)))
+        assert oblivious_delay_lower_bound(d, lam, p) == pytest.approx(
+            max(d * p, expected)
+        )
+
+
+class TestHeavyTraffic:
+    def test_window_structure(self):
+        lo, hi = heavy_traffic_window(6, 0.5)
+        assert lo == pytest.approx(0.25)
+        assert hi == pytest.approx(3.0)
+
+    def test_scaled_bounds_converge_into_window(self):
+        # (1-rho) * bounds land inside [p/2, dp] as rho -> 1
+        d, p = 5, 0.5
+        lo, hi = heavy_traffic_window(d, p)
+        for rho in (0.99, 0.999):
+            lam = rho / p
+            scaled_lo = (1 - rho) * greedy_delay_lower_bound(d, lam, p)
+            scaled_hi = (1 - rho) * greedy_delay_upper_bound(d, lam, p)
+            assert lo * 0.9 <= scaled_lo <= hi
+            assert lo <= scaled_hi <= hi * 1.01
+
+
+class TestAntipodal:
+    def test_exact_p1_formula(self):
+        # T = d + rho/(2(1-rho)) at p = 1: 4 + 0.5/(2*0.5) = 4.5
+        assert antipodal_exact_delay(4, 0.5) == pytest.approx(4.5)
+
+    def test_within_general_bounds(self):
+        d, lam = 4, 0.6
+        t = antipodal_exact_delay(d, lam)
+        assert greedy_delay_lower_bound(d, lam, 1.0) <= t
+        assert t <= greedy_delay_upper_bound(d, lam, 1.0)
+
+    def test_matches_lower_bound_exactly(self):
+        # §3.3: at p = 1 the Prop 13 lower bound is tight.
+        d, lam = 5, 0.7
+        assert antipodal_exact_delay(d, lam) == pytest.approx(
+            greedy_delay_lower_bound(d, lam, 1.0)
+        )
+
+
+class TestQueueSizes:
+    def test_per_node(self):
+        assert mean_queue_per_node_bound(4, 1.6, 0.5) == pytest.approx(
+            4 * 0.8 / 0.2
+        )
+
+    def test_total_scales_with_nodes(self):
+        assert total_population_bound(4, 1.6, 0.5) == pytest.approx(
+            16 * mean_queue_per_node_bound(4, 1.6, 0.5)
+        )
+
+
+class TestSlotted:
+    def test_adds_tau(self):
+        base = greedy_delay_upper_bound(4, 1.0, 0.5)
+        assert slotted_delay_upper_bound(4, 1.0, 0.5, 0.5) == pytest.approx(base + 0.5)
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ConfigurationError):
+            slotted_delay_upper_bound(4, 1.0, 0.5, 0.0)
+        with pytest.raises(ConfigurationError):
+            slotted_delay_upper_bound(4, 1.0, 0.5, 2.0)
+
+
+class TestButterflyBounds:
+    def test_prop14_formula(self):
+        d, lam, p = 4, 1.0, 0.5
+        expected = d + lam * p**2 / (2 * (1 - lam * p)) + lam * (1 - p) ** 2 / (
+            2 * (1 - lam * (1 - p))
+        )
+        assert butterfly_delay_lower_bound(d, lam, p) == pytest.approx(expected)
+
+    def test_prop17_formula(self):
+        d, lam, p = 4, 1.0, 0.3
+        expected = d * p / (1 - lam * p) + d * (1 - p) / (1 - lam * (1 - p))
+        assert butterfly_delay_upper_bound(d, lam, p) == pytest.approx(expected)
+
+    def test_sandwich(self):
+        for p in (0.2, 0.5, 0.8):
+            for lam in (0.5, 1.0):
+                if max(p, 1 - p) * lam < 1:
+                    assert butterfly_delay_lower_bound(
+                        5, lam, p
+                    ) <= butterfly_delay_upper_bound(5, lam, p)
+
+    def test_symmetric_in_p(self):
+        # swapping p <-> 1-p swaps straight/vertical roles only
+        assert butterfly_delay_upper_bound(4, 1.1, 0.3) == pytest.approx(
+            butterfly_delay_upper_bound(4, 1.1, 0.7)
+        )
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            butterfly_delay_upper_bound(4, 1.2, 0.9)  # lam*p > 1
+
+    def test_heavy_traffic_window(self):
+        lo, hi = butterfly_heavy_traffic_window(4, 0.7)
+        assert lo == pytest.approx(0.35)
+        assert hi == pytest.approx(2.8)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=12),
+    rho=st.floats(min_value=0.01, max_value=0.99),
+    p=st.floats(min_value=0.05, max_value=1.0),
+)
+def test_property_bound_ordering(d, rho, p):
+    """For all stable parameters: dp <= Prop13 <= Prop12 bound."""
+    lam = rho / p
+    dp = zero_contention_delay(d, p)
+    lo = greedy_delay_lower_bound(d, lam, p)
+    hi = greedy_delay_upper_bound(d, lam, p)
+    assert dp <= lo + 1e-12
+    assert lo <= hi + 1e-12

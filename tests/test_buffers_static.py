@@ -1,0 +1,172 @@
+"""Tests for buffer dimensioning, static tasks, and the M/D/1 wait CDF."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffers import (
+    arc_buffer_for_overflow,
+    arc_overflow_probability,
+    node_buffer_for_overflow,
+)
+from repro.errors import ConfigurationError, UnstableSystemError
+from repro.queueing.md1 import md1_wait, md1_wait_cdf, md1_wait_quantile
+from repro.schemes.static_tasks import (
+    route_permutation_greedy,
+    route_permutation_valiant,
+)
+from repro.topology.hypercube import Hypercube
+from repro.traffic.destinations import bit_reversal_permutation
+
+
+class TestBuffers:
+    def test_overflow_probability_geometric(self):
+        assert arc_overflow_probability(0.5, 10) == pytest.approx(0.5**10)
+        assert arc_overflow_probability(0.0, 3) == 0.0
+        assert arc_overflow_probability(0.0, 0) == 1.0
+
+    def test_buffer_inversion(self):
+        for rho in (0.3, 0.8, 0.95):
+            for eps in (1e-3, 1e-6):
+                b = arc_buffer_for_overflow(rho, eps)
+                assert arc_overflow_probability(rho, b) <= eps
+                assert arc_overflow_probability(rho, b - 1) > eps or b == 1
+
+    def test_node_buffer_scales_with_d(self):
+        b4 = node_buffer_for_overflow(4, 0.8, 1e-4)
+        b8 = node_buffer_for_overflow(8, 0.8, 1e-4)
+        assert b8 > b4
+
+    def test_validation(self):
+        with pytest.raises(UnstableSystemError):
+            arc_buffer_for_overflow(1.0, 0.01)
+        with pytest.raises(ValueError):
+            arc_buffer_for_overflow(0.5, 1.5)
+        with pytest.raises(ValueError):
+            node_buffer_for_overflow(0, 0.5, 0.01)
+
+    def test_simulated_occupancy_respects_sizing(self):
+        # dimension a buffer for eps=1e-3 and check the FIFO sim rarely
+        # exceeds it (FIFO is dominated by the geometric law)
+        from repro.core.greedy import GreedyHypercubeScheme
+        from repro.sim.measurement import PopulationTracker
+
+        rho = 0.7
+        scheme = GreedyHypercubeScheme(d=4, lam=rho / 0.5, p=0.5)
+        horizon = 1000.0
+        res = scheme.run(horizon, rng=5, record_arc_log=True)
+        b = arc_buffer_for_overflow(rho, 1e-3)
+        arc0 = int(res.arc_log.arc[0])
+        m = res.arc_log.arc == arc0
+        occ = PopulationTracker.from_intervals(
+            res.arc_log.t_in[m], res.arc_log.t_out[m]
+        )
+        grid = np.linspace(horizon * 0.2, horizon * 0.9, 2000)
+        frac_over = np.mean([occ.at(t) >= b for t in grid])
+        assert frac_over <= 5e-3  # eps with sampling slack
+
+
+class TestStaticTasks:
+    def test_identity_permutation_instant(self):
+        cube = Hypercube(3)
+        res = route_permutation_greedy(cube, np.arange(8))
+        assert res.completion_time == 0.0
+
+    def test_random_permutation_completes_fast(self, rng):
+        d = 6
+        cube = Hypercube(d)
+        perm = rng.permutation(cube.num_nodes)
+        res = route_permutation_greedy(cube, perm)
+        # random permutations: greedy finishes in O(d) (small constant)
+        assert res.completion_time <= 4 * d
+
+    def test_bit_reversal_blows_up_greedy(self):
+        d = 8
+        cube = Hypercube(d)
+        res = route_permutation_greedy(cube, bit_reversal_permutation(d))
+        # congestion 2^(d/2-1) on middle arcs => makespan >= 2^(d/2-1)
+        assert res.completion_time >= 2 ** (d // 2 - 1)
+
+    def test_valiant_tames_bit_reversal(self):
+        d = 8
+        cube = Hypercube(d)
+        res = route_permutation_valiant(
+            cube, bit_reversal_permutation(d), rng=1
+        )
+        # [VaB81]: O(d) completion whp — far below 2^(d/2-1)+d
+        assert res.completion_time <= 4 * d
+
+    def test_valiant_hops_are_two_phase(self, rng):
+        cube = Hypercube(4)
+        perm = rng.permutation(16)
+        res = route_permutation_valiant(cube, perm, rng=2)
+        assert res.hops.max() <= 8  # at most 2d
+        assert res.completion_time >= 1.0
+
+    def test_rejects_non_permutation(self):
+        cube = Hypercube(3)
+        with pytest.raises(ConfigurationError):
+            route_permutation_greedy(cube, np.zeros(8, dtype=int))
+
+
+class TestMD1WaitCdf:
+    def test_atom_at_zero(self):
+        # P[W = 0] = 1 - rho
+        assert md1_wait_cdf(0.7, 0.0) == pytest.approx(0.3)
+
+    def test_monotone_nondecreasing(self):
+        xs = np.linspace(0, 40, 400)
+        F = [md1_wait_cdf(0.8, x) for x in xs]
+        assert all(b >= a - 1e-12 for a, b in zip(F, F[1:]))
+
+    def test_limits(self):
+        assert md1_wait_cdf(0.5, -1.0) == 0.0
+        assert md1_wait_cdf(0.5, 60.0) == pytest.approx(1.0, abs=1e-9)
+        assert md1_wait_cdf(0.0, 5.0) == 1.0
+
+    def test_mean_consistent_with_pk_formula(self):
+        # integrate the complementary CDF: must recover rho/(2(1-rho))
+        rho = 0.6
+        xs = np.linspace(0, 30, 3001)
+        F = np.array([md1_wait_cdf(rho, x) for x in xs])
+        mean = float(np.trapezoid(1 - F, xs))
+        assert mean == pytest.approx(md1_wait(rho), rel=1e-3)
+
+    def test_matches_simulation(self):
+        from repro.sim.lindley import fifo_waiting_times
+
+        rho = 0.7
+        gen = np.random.default_rng(3)
+        t = np.cumsum(gen.exponential(1 / rho, 200_000))
+        w = fifo_waiting_times(t)[20_000:]
+        for x in (0.5, 1.0, 2.0, 5.0):
+            assert md1_wait_cdf(rho, x) == pytest.approx(
+                float((w <= x).mean()), abs=0.01
+            )
+
+    def test_quantiles(self):
+        rho = 0.7
+        q = md1_wait_quantile(rho, 0.9)
+        assert md1_wait_cdf(rho, q) == pytest.approx(0.9, abs=1e-6)
+        assert md1_wait_quantile(rho, 0.1) == 0.0  # below the atom
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            md1_wait_quantile(0.5, 1.0)
+
+    def test_level0_delay_distribution_matches_md1(self):
+        """The greedy scheme's level-0 waits follow the M/D/1 law —
+        distribution-level version of the Prop 13 proof's first step."""
+        from repro.core.greedy import GreedyHypercubeScheme
+
+        rho = 0.6
+        scheme = GreedyHypercubeScheme(d=4, lam=rho / 0.5, p=0.5)
+        horizon = 1500.0
+        res = scheme.run(horizon, rng=7, record_arc_log=True)
+        log = res.arc_log
+        level0 = (log.arc < 16) & (log.t_in >= horizon * 0.2) & (
+            log.t_in <= horizon * 0.9
+        )
+        waits = log.t_out[level0] - log.t_in[level0] - 1.0
+        for x in (0.0, 1.0, 3.0):
+            emp = float((waits <= x + 1e-9).mean())
+            assert emp == pytest.approx(md1_wait_cdf(rho, x), abs=0.02)

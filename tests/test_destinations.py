@@ -1,0 +1,167 @@
+"""Tests for destination laws (paper eq. (1), Lemma 1, §2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.traffic.destinations import (
+    BernoulliFlipLaw,
+    TranslationInvariantLaw,
+    UniformExcludingOriginLaw,
+    UniformLaw,
+)
+
+
+class TestBernoulliFlipLaw:
+    def test_mask_prob_matches_eq1(self):
+        law = BernoulliFlipLaw(3, 0.25)
+        # f(v) = p^|v| (1-p)^(d-|v|)
+        assert law.mask_prob(0b000) == pytest.approx(0.75**3)
+        assert law.mask_prob(0b101) == pytest.approx(0.25**2 * 0.75)
+        assert law.mask_prob(0b111) == pytest.approx(0.25**3)
+
+    def test_pmf_normalises(self):
+        for p in (0.0, 0.3, 0.5, 1.0):
+            law = BernoulliFlipLaw(4, p)
+            assert law.mask_pmf().sum() == pytest.approx(1.0)
+
+    def test_prob_is_translation_invariant(self):
+        law = BernoulliFlipLaw(4, 0.3)
+        # Pr[x -> z] depends only on x ^ z
+        assert law.prob(0b0000, 0b0101) == pytest.approx(law.prob(0b1111, 0b1010))
+
+    def test_flip_probabilities_lemma1(self):
+        law = BernoulliFlipLaw(5, 0.37)
+        np.testing.assert_allclose(law.flip_probabilities(), np.full(5, 0.37))
+
+    def test_mean_distance_is_dp(self):
+        assert BernoulliFlipLaw(8, 0.25).mean_distance() == pytest.approx(2.0)
+
+    def test_sample_masks_marginals(self, rng):
+        law = BernoulliFlipLaw(6, 0.3)
+        masks = law.sample_masks(40_000, rng)
+        bits = (masks[:, None] >> np.arange(6)) & 1
+        freq = bits.mean(axis=0)
+        np.testing.assert_allclose(freq, 0.3, atol=0.02)
+
+    def test_sample_masks_bit_independence(self, rng):
+        # Lemma 1: flips of different bits are independent.
+        law = BernoulliFlipLaw(2, 0.5)
+        masks = law.sample_masks(40_000, rng)
+        p11 = np.mean(masks == 0b11)
+        assert p11 == pytest.approx(0.25, abs=0.02)
+
+    def test_sample_destinations_xor(self, rng):
+        law = BernoulliFlipLaw(4, 1.0)  # flips every bit
+        origins = np.array([0b0000, 0b1010, 0b1111])
+        dests = law.sample_destinations(origins, rng)
+        np.testing.assert_array_equal(dests, origins ^ 0b1111)
+
+    def test_p_zero_never_moves(self, rng):
+        law = BernoulliFlipLaw(4, 0.0)
+        assert np.all(law.sample_masks(100, rng) == 0)
+
+    def test_empty_sample(self, rng):
+        assert BernoulliFlipLaw(3, 0.5).sample_masks(0, rng).shape == (0,)
+
+    @pytest.mark.parametrize("bad_p", [-0.1, 1.5])
+    def test_rejects_bad_p(self, bad_p):
+        with pytest.raises(ConfigurationError):
+            BernoulliFlipLaw(3, bad_p)
+
+    def test_mask_prob_rejects_out_of_range(self):
+        law = BernoulliFlipLaw(3, 0.5)
+        with pytest.raises(ConfigurationError):
+            law.mask_prob(8)
+
+
+class TestUniformLaw:
+    def test_is_bernoulli_half(self):
+        law = UniformLaw(4)
+        assert law.p == 0.5
+        # every destination equally likely: f(v) = 2^-d
+        for v in range(16):
+            assert law.mask_prob(v) == pytest.approx(1.0 / 16)
+
+
+class TestUniformExcludingOrigin:
+    def test_zero_mask_excluded(self):
+        law = UniformExcludingOriginLaw(3)
+        assert law.mask_prob(0) == 0.0
+        assert law.mask_prob(5) == pytest.approx(1.0 / 7)
+
+    def test_pmf_normalises(self):
+        assert UniformExcludingOriginLaw(4).mask_pmf().sum() == pytest.approx(1.0)
+
+    def test_flip_probability_slightly_above_half(self):
+        law = UniformExcludingOriginLaw(3)
+        np.testing.assert_allclose(law.flip_probabilities(), 4.0 / 7.0)
+
+    def test_samples_never_zero(self, rng):
+        law = UniformExcludingOriginLaw(3)
+        assert np.all(law.sample_masks(1000, rng) != 0)
+
+
+class TestTranslationInvariantLaw:
+    def test_recovers_arbitrary_pmf(self):
+        pmf = np.array([0.1, 0.2, 0.3, 0.4])
+        law = TranslationInvariantLaw(2, pmf)
+        for v in range(4):
+            assert law.mask_prob(v) == pytest.approx(pmf[v])
+
+    def test_flip_probabilities(self):
+        # q_0 = f(01) + f(11), q_1 = f(10) + f(11)
+        law = TranslationInvariantLaw(2, [0.1, 0.2, 0.3, 0.4])
+        np.testing.assert_allclose(law.flip_probabilities(), [0.6, 0.7])
+
+    def test_matches_bernoulli_when_product(self):
+        p = 0.3
+        bern = BernoulliFlipLaw(3, p)
+        law = TranslationInvariantLaw(3, bern.mask_pmf())
+        np.testing.assert_allclose(law.flip_probabilities(), p, atol=1e-12)
+        assert law.mean_distance() == pytest.approx(bern.mean_distance())
+
+    def test_sampling_respects_pmf(self, rng):
+        law = TranslationInvariantLaw(2, [0.0, 0.5, 0.5, 0.0])
+        masks = law.sample_masks(2000, rng)
+        assert set(np.unique(masks)) == {1, 2}
+
+    @pytest.mark.parametrize(
+        "pmf",
+        [
+            [0.5, 0.5, 0.1, -0.1],  # negative
+            [0.3, 0.3, 0.3, 0.3],  # doesn't normalise
+            [1.0, 0.0],  # wrong length for d=2
+        ],
+    )
+    def test_rejects_invalid_pmf(self, pmf):
+        with pytest.raises(ConfigurationError):
+            TranslationInvariantLaw(2, pmf)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=6),
+    p=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+)
+def test_property_bernoulli_pmf_normalises(d, p):
+    """eq. (1) defines a probability distribution for every (d, p)."""
+    law = BernoulliFlipLaw(d, p)
+    assert law.mask_pmf().sum() == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=5),
+    p=st.floats(min_value=0.01, max_value=0.99),
+    data=st.data(),
+)
+def test_property_flip_prob_consistency(d, p, data):
+    """q_j computed from the pmf equals the law's flip_probabilities."""
+    law = BernoulliFlipLaw(d, p)
+    pmf = law.mask_pmf()
+    j = data.draw(st.integers(min_value=0, max_value=d - 1))
+    q_j = sum(pmf[v] for v in range(1 << d) if (v >> j) & 1)
+    assert q_j == pytest.approx(law.flip_probabilities()[j], abs=1e-9)

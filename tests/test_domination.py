@@ -1,0 +1,179 @@
+"""Sample-path domination: Lemmas 7, 9, 10 and Proposition 11.
+
+These tests execute the paper's proof technique literally: couple a
+FIFO network and a PS network on the same sample path (same external
+arrivals, same position-indexed routing decisions) and check that
+
+* every network departure of FIFO precedes the corresponding PS one
+  (``B(t) >= B~(t)`` for all t — Lemma 9 for Fig. 2, Lemma 10 for Q);
+* the total population satisfies ``N(t) <= N~(t)`` pathwise under the
+  coupling (which implies Prop 11's stochastic ordering).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.qnetwork import (
+    ButterflyRSpec,
+    ExplicitLevelledSpec,
+    HypercubeQSpec,
+)
+from repro.sim.feedforward import EXIT, simulate_markovian
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+
+
+def _coupled_pair(spec, times, arcs, seed):
+    """Run FIFO, record decisions, replay them under PS."""
+    fifo = simulate_markovian(
+        spec, times, arcs, rng=seed, record_decisions=True
+    )
+    ps = simulate_markovian(
+        spec, times, arcs, discipline="ps", decisions=fifo.decisions
+    )
+    return fifo, ps
+
+
+def _assert_departures_dominate(fifo, ps):
+    """k-th network departure of FIFO <= k-th of PS, i.e. B(t) >= B~(t)."""
+    ef = np.sort(fifo.exit_times)
+    ep = np.sort(ps.exit_times)
+    assert ef.shape == ep.shape
+    assert np.all(ef <= ep + 1e-9)
+
+
+def _population_curve(times_in, times_out, grid):
+    """N(t) on a grid from external arrival and exit epochs."""
+    return np.searchsorted(np.sort(times_in), grid, side="right") - np.searchsorted(
+        np.sort(times_out), grid, side="right"
+    )
+
+
+class TestLemma9Fig2:
+    """The three-server network of Fig. 2."""
+
+    def _spec(self):
+        return ExplicitLevelledSpec(
+            levels=[0, 0, 1],
+            routing={
+                0: ([2, EXIT], [0.6, 0.4]),
+                1: ([2, EXIT], [0.7, 0.3]),
+            },
+        )
+
+    def test_departure_domination(self, rng):
+        spec = self._spec()
+        n = 200
+        times = np.sort(rng.random(n) * 100.0)
+        arcs = rng.integers(0, 2, size=n)
+        fifo, ps = _coupled_pair(spec, times, arcs, seed=1)
+        _assert_departures_dominate(fifo, ps)
+
+    def test_population_domination_on_grid(self, rng):
+        spec = self._spec()
+        n = 300
+        times = np.sort(rng.random(n) * 80.0)
+        arcs = rng.integers(0, 2, size=n)
+        fifo, ps = _coupled_pair(spec, times, arcs, seed=2)
+        grid = np.linspace(0, 200, 2001)
+        nf = _population_curve(times, fifo.exit_times, grid)
+        np_ = _population_curve(times, ps.exit_times, grid)
+        assert np.all(nf <= np_)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_domination_random_traffic(self, seed):
+        spec = self._spec()
+        gen = np.random.default_rng(seed)
+        n = int(gen.integers(1, 120))
+        times = np.sort(gen.random(n) * 50.0)
+        arcs = gen.integers(0, 2, size=n)
+        fifo, ps = _coupled_pair(spec, times, arcs, seed=seed)
+        _assert_departures_dominate(fifo, ps)
+
+
+class TestLemma10NetworkQ:
+    @pytest.mark.parametrize("d,p,seed", [(3, 0.5, 3), (4, 0.5, 4), (4, 0.3, 5)])
+    def test_departure_domination(self, d, p, seed):
+        cube = Hypercube(d)
+        spec = HypercubeQSpec(cube, p)
+        times, arcs = spec.sample_external_arrivals(1.2, 150.0, rng=seed)
+        fifo, ps = _coupled_pair(spec, times, arcs, seed=seed + 100)
+        _assert_departures_dominate(fifo, ps)
+
+    def test_prop11_population_pathwise(self):
+        cube = Hypercube(4)
+        spec = HypercubeQSpec(cube, 0.5)
+        times, arcs = spec.sample_external_arrivals(1.4, 200.0, rng=21)
+        fifo, ps = _coupled_pair(spec, times, arcs, seed=22)
+        grid = np.linspace(0, 400, 4001)
+        nf = _population_curve(times, fifo.exit_times, grid)
+        np_ = _population_curve(times, ps.exit_times, grid)
+        assert np.all(nf <= np_)
+
+    def test_mean_delay_ordered(self):
+        # Prop 11 corollary: mean FIFO delay <= mean PS delay.
+        cube = Hypercube(4)
+        spec = HypercubeQSpec(cube, 0.5)
+        times, arcs = spec.sample_external_arrivals(1.5, 400.0, rng=31)
+        fifo, ps = _coupled_pair(spec, times, arcs, seed=32)
+        assert (fifo.exit_times - times).mean() <= (ps.exit_times - times).mean()
+
+    def test_per_arc_counts_identical_under_coupling(self):
+        # the coupling argument requires each arc to serve the same
+        # number of customers in both networks
+        cube = Hypercube(3)
+        spec = HypercubeQSpec(cube, 0.5)
+        times, arcs = spec.sample_external_arrivals(1.0, 100.0, rng=41)
+        fifo = simulate_markovian(
+            spec, times, arcs, rng=42, record_decisions=True, record_arc_log=True
+        )
+        ps = simulate_markovian(
+            spec,
+            times,
+            arcs,
+            discipline="ps",
+            decisions=fifo.decisions,
+            record_arc_log=True,
+        )
+        cf = np.bincount(fifo.arc_log.arc, minlength=spec.num_arcs)
+        cp = np.bincount(ps.arc_log.arc, minlength=spec.num_arcs)
+        np.testing.assert_array_equal(cf, cp)
+
+    def test_per_arc_streams_are_delayed_versions(self):
+        # Lemma 9/10 core: each arc's PS departure stream is a delayed
+        # version of its FIFO stream.
+        cube = Hypercube(3)
+        spec = HypercubeQSpec(cube, 0.5)
+        times, arcs = spec.sample_external_arrivals(1.2, 120.0, rng=51)
+        fifo = simulate_markovian(
+            spec, times, arcs, rng=52, record_decisions=True, record_arc_log=True
+        )
+        ps = simulate_markovian(
+            spec,
+            times,
+            arcs,
+            discipline="ps",
+            decisions=fifo.decisions,
+            record_arc_log=True,
+        )
+        for arc in range(spec.num_arcs):
+            mf = fifo.arc_log.arc == arc
+            mp = ps.arc_log.arc == arc
+            dep_f = np.sort(fifo.arc_log.t_out[mf])
+            dep_p = np.sort(ps.arc_log.t_out[mp])
+            assert np.all(dep_f <= dep_p + 1e-9)
+
+
+class TestButterflyDomination:
+    def test_network_r_domination(self):
+        bf = Butterfly(3)
+        spec = ButterflyRSpec(bf, 0.5)
+        gen = np.random.default_rng(61)
+        n = 400
+        times = np.sort(gen.random(n) * 120.0)
+        arcs = gen.integers(0, 16, size=n)  # level-0 arcs
+        fifo, ps = _coupled_pair(spec, times, arcs, seed=62)
+        _assert_departures_dominate(fifo, ps)

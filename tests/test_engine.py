@@ -1,0 +1,55 @@
+"""Tests for the event calendar."""
+
+import pytest
+
+from repro.sim.engine import EventCalendar
+
+
+class TestEventCalendar:
+    def test_orders_by_time(self):
+        cal = EventCalendar()
+        cal.schedule(3.0, "c")
+        cal.schedule(1.0, "a")
+        cal.schedule(2.0, "b")
+        out = [cal.pop()[1] for _ in range(3)]
+        assert out == ["a", "b", "c"]
+
+    def test_priority_breaks_ties(self):
+        cal = EventCalendar()
+        cal.schedule(1.0, "arrival", priority=5)
+        cal.schedule(1.0, "departure", priority=-1)
+        assert cal.pop()[1] == "departure"
+        assert cal.pop()[1] == "arrival"
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        cal = EventCalendar()
+        cal.schedule(1.0, "first", priority=0)
+        cal.schedule(1.0, "second", priority=0)
+        assert cal.pop()[1] == "first"
+        assert cal.pop()[1] == "second"
+
+    def test_now_tracks_pops(self):
+        cal = EventCalendar()
+        assert cal.now == 0.0
+        cal.schedule(2.5, "x")
+        cal.pop()
+        assert cal.now == 2.5
+
+    def test_rejects_scheduling_in_past(self):
+        cal = EventCalendar()
+        cal.schedule(5.0, "x")
+        cal.pop()
+        with pytest.raises(ValueError):
+            cal.schedule(1.0, "y")
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventCalendar().pop()
+
+    def test_len_and_peek(self):
+        cal = EventCalendar()
+        assert len(cal) == 0
+        assert cal.peek_time() is None
+        cal.schedule(1.0, "x")
+        assert len(cal) == 1
+        assert cal.peek_time() == 1.0

@@ -1,0 +1,135 @@
+"""Cross-engine and physical-vs-network-Q equivalence (integration).
+
+The strongest correctness evidence in the suite: independent
+implementations must produce the *same sample paths*:
+
+* feed-forward (vectorised Lindley) vs event-driven (heap), FIFO & PS;
+* the physical hypercube vs network Q fed with the same packets
+  (§3.1's equivalence, Lemma 4 coupling).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.qnetwork import HypercubeQSpec, hypercube_external_from_sample
+from repro.sim.eventsim import (
+    hypercube_packet_paths,
+    simulate_paths_event_driven,
+)
+from repro.sim.feedforward import (
+    simulate_hypercube_greedy,
+    simulate_markovian,
+)
+from repro.topology.hypercube import Hypercube
+from repro.traffic.destinations import BernoulliFlipLaw
+from repro.traffic.workload import HypercubeWorkload
+
+
+def _workload_sample(d, lam, p, horizon, seed):
+    cube = Hypercube(d)
+    wl = HypercubeWorkload(cube, lam, BernoulliFlipLaw(d, p))
+    return cube, wl.generate(horizon, rng=seed)
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_fifo_sample_paths_identical(self, seed):
+        cube, sample = _workload_sample(4, 1.4, 0.5, 120.0, seed)
+        ff = simulate_hypercube_greedy(cube, sample)
+        ev = simulate_paths_event_driven(
+            cube.num_arcs, sample.times, hypercube_packet_paths(cube, sample)
+        )
+        np.testing.assert_allclose(ff.delivery, ev.delivery, atol=1e-9)
+
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_ps_sample_paths_identical(self, seed):
+        cube, sample = _workload_sample(3, 1.2, 0.5, 80.0, seed)
+        ff = simulate_hypercube_greedy(cube, sample, discipline="ps")
+        ev = simulate_paths_event_driven(
+            cube.num_arcs,
+            sample.times,
+            hypercube_packet_paths(cube, sample),
+            discipline="ps",
+        )
+        np.testing.assert_allclose(ff.delivery, ev.delivery, atol=1e-6)
+
+    def test_fifo_with_slotted_ties(self):
+        # heavy tie traffic: all births at integer slots
+        cube = Hypercube(3)
+        from repro.traffic.workload import SlottedHypercubeWorkload
+
+        wl = SlottedHypercubeWorkload(
+            cube, 1.2, BernoulliFlipLaw(3, 0.5), tau=0.5
+        )
+        sample = wl.generate(60.0, rng=9)
+        ff = simulate_hypercube_greedy(cube, sample)
+        ev = simulate_paths_event_driven(
+            cube.num_arcs, sample.times, hypercube_packet_paths(cube, sample)
+        )
+        np.testing.assert_allclose(ff.delivery, ev.delivery, atol=1e-9)
+
+
+class TestPhysicalVsNetworkQ:
+    """§3.1: the loaded hypercube *is* network Q.
+
+    Feeding Q the physical packets' entry arcs and replaying the
+    physical packets' actual dimension choices as 'routing decisions'
+    must reproduce the physical delivery times exactly.
+    """
+
+    def _decisions_from_physical(self, cube, sample, res):
+        """Extract per-arc decision sequences from the physical run."""
+        log = res.arc_log
+        n_nodes = cube.num_nodes
+        decisions = {}
+        # per packet, the sequence of arcs crossed, in level order
+        by_pid_arcs = {}
+        by_pid_tout = {}
+        order = np.lexsort((log.t_in, log.pid))
+        for idx in order:
+            pid = int(log.pid[idx])
+            by_pid_arcs.setdefault(pid, []).append(int(log.arc[idx]))
+        # for each arc, customers in service order; decision = next arc
+        from collections import defaultdict
+
+        served = defaultdict(list)  # arc -> [(t_out, pid, next_arc)]
+        for pid, arcs in by_pid_arcs.items():
+            for k, arc in enumerate(arcs):
+                nxt = arcs[k + 1] if k + 1 < len(arcs) else -1
+                served[arc].append((pid, nxt))
+        # service order at each arc == (t_in, pid) order
+        for arc in served:
+            m = log.arc == arc
+            srv_order = np.lexsort((log.pid[m], log.t_in[m]))
+            pid_sorted = log.pid[m][srv_order]
+            nxt_of = dict(served[arc])
+            decisions[int(arc)] = np.array(
+                [nxt_of[int(q)] for q in pid_sorted], dtype=np.int64
+            )
+        return decisions
+
+    def test_replayed_q_matches_physical(self):
+        cube, sample = _workload_sample(3, 1.0, 0.5, 60.0, 11)
+        res = simulate_hypercube_greedy(cube, sample, record_arc_log=True)
+        spec = HypercubeQSpec(cube, 0.5)
+        times, arcs, pids = hypercube_external_from_sample(cube, sample)
+        decisions = self._decisions_from_physical(cube, sample, res)
+        qres = simulate_markovian(spec, times, arcs, decisions=decisions)
+        np.testing.assert_allclose(
+            qres.exit_times, res.delivery[pids], atol=1e-9
+        )
+
+    def test_q_statistics_match_physical(self):
+        # Without coupling: network-Q with Lemma-4 random routing gives
+        # the same delay distribution as the physical cube (law level).
+        cube, sample = _workload_sample(4, 1.4, 0.5, 600.0, 13)
+        res = simulate_hypercube_greedy(cube, sample)
+        phys_delays = res.delays()
+        moving = (sample.origins ^ sample.destinations) != 0
+        phys_mean = phys_delays[moving].mean()
+
+        spec = HypercubeQSpec(cube, 0.5)
+        times, arcs = spec.sample_external_arrivals(1.4, 600.0, rng=14)
+        qres = simulate_markovian(spec, times, arcs, rng=15)
+        q_mean = (qres.exit_times - times).mean()
+        assert q_mean == pytest.approx(phys_mean, rel=0.1)

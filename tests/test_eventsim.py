@@ -1,0 +1,111 @@
+"""Tests for the event-driven engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.eventsim import (
+    hypercube_packet_paths,
+    simulate_paths_event_driven,
+)
+from repro.topology.hypercube import Hypercube
+from repro.traffic.destinations import BernoulliFlipLaw
+from repro.traffic.workload import HypercubeWorkload, TrafficSample
+
+
+class TestEventDrivenFifo:
+    def test_single_server_queue(self):
+        # 3 packets through one arc
+        res = simulate_paths_event_driven(
+            1, np.array([0.0, 0.0, 5.0]), [[0], [0], [0]]
+        )
+        np.testing.assert_allclose(res.delivery, [1.0, 2.0, 6.0])
+
+    def test_tandem_line(self):
+        # arc 0 then arc 1: pipeline
+        res = simulate_paths_event_driven(
+            2, np.array([0.0, 0.0]), [[0, 1], [0, 1]]
+        )
+        np.testing.assert_allclose(np.sort(res.delivery), [2.0, 3.0])
+
+    def test_empty_path_delivered_at_birth(self):
+        res = simulate_paths_event_driven(1, np.array([4.2]), [[]])
+        assert res.delivery[0] == pytest.approx(4.2)
+
+    def test_tie_priority_by_pid(self):
+        # both arrive at t=1 at arc 0: pid 0 served first
+        res = simulate_paths_event_driven(1, np.array([1.0, 1.0]), [[0], [0]])
+        np.testing.assert_allclose(res.delivery, [2.0, 3.0])
+
+    def test_cyclic_server_graph_ok(self):
+        # packet A: arc0 -> arc1 ; packet B: arc1 -> arc0 (not levelled)
+        res = simulate_paths_event_driven(
+            2, np.array([0.0, 0.0]), [[0, 1], [1, 0]]
+        )
+        np.testing.assert_allclose(res.delivery, [2.0, 2.0])
+
+    def test_arc_log(self):
+        res = simulate_paths_event_driven(
+            2, np.array([0.0]), [[0, 1]], record_arc_log=True
+        )
+        assert res.arc_log.num_hops == 2
+        np.testing.assert_allclose(res.arc_log.t_in, [0.0, 1.0])
+        np.testing.assert_allclose(res.arc_log.t_out, [1.0, 2.0])
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigurationError):
+            simulate_paths_event_driven(1, np.array([0.0]), [[0], [0]])
+        with pytest.raises(ConfigurationError):
+            simulate_paths_event_driven(
+                1, np.array([0.0]), [[0]], discipline="bad"
+            )
+
+    def test_custom_service_time(self):
+        res = simulate_paths_event_driven(
+            1, np.array([0.0, 0.0]), [[0], [0]], service=2.0
+        )
+        np.testing.assert_allclose(res.delivery, [2.0, 4.0])
+
+
+class TestEventDrivenPS:
+    def test_ps_sharing_pair(self):
+        res = simulate_paths_event_driven(
+            1, np.array([0.0, 0.5]), [[0], [0]], discipline="ps"
+        )
+        np.testing.assert_allclose(res.delivery, [1.5, 2.0])
+
+    def test_ps_tandem(self):
+        # lone packet: PS == FIFO
+        res = simulate_paths_event_driven(
+            2, np.array([0.0]), [[0, 1]], discipline="ps"
+        )
+        assert res.delivery[0] == pytest.approx(2.0)
+
+    def test_ps_triple_share(self):
+        res = simulate_paths_event_driven(
+            1, np.zeros(3), [[0], [0], [0]], discipline="ps"
+        )
+        np.testing.assert_allclose(res.delivery, [3.0, 3.0, 3.0])
+
+
+class TestPathConstruction:
+    def test_canonical_paths(self, cube3):
+        s = TrafficSample(
+            np.array([0.0]), np.array([0]), np.array([0b101]), 10.0
+        )
+        paths = hypercube_packet_paths(cube3, s)
+        assert paths == [[cube3.arc_index(0, 0), cube3.arc_index(1, 2)]]
+
+    def test_custom_orders(self, cube3):
+        s = TrafficSample(
+            np.array([0.0]), np.array([0]), np.array([0b101]), 10.0
+        )
+        paths = hypercube_packet_paths(cube3, s, orders=[[2, 0]])
+        assert paths == [[cube3.arc_index(0, 2), cube3.arc_index(4, 0)]]
+
+    def test_rejects_bad_order(self, cube3):
+        s = TrafficSample(
+            np.array([0.0]), np.array([0]), np.array([0b101]), 10.0
+        )
+        with pytest.raises(ConfigurationError):
+            hypercube_packet_paths(cube3, s, orders=[[0, 1]])

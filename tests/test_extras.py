@@ -1,0 +1,179 @@
+"""Tests for the extras: networkx adapters, occupancy pmf, warm-up
+detection, butterfly-R external sampling, and the public API surface."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.analysis.warmup import detect_warmup, welch_moving_average
+from repro.core.qnetwork import ButterflyRSpec
+from repro.sim.feedforward import simulate_markovian
+from repro.sim.measurement import arc_occupancy_pmf
+from repro.topology.butterfly import Butterfly
+from repro.topology.graphs import butterfly_digraph, hypercube_digraph
+from repro.topology.hypercube import Hypercube
+
+
+class TestNetworkxAdapters:
+    def test_hypercube_against_networkx(self):
+        cube = Hypercube(4)
+        g = hypercube_digraph(cube)
+        assert g.number_of_nodes() == 16
+        assert g.number_of_edges() == 64
+        # independent check: networkx's own hypercube graph is isomorphic
+        ref = nx.hypercube_graph(4)
+        assert nx.is_isomorphic(g.to_undirected(), nx.convert_node_labels_to_integers(ref))
+
+    def test_hypercube_diameter(self):
+        cube = Hypercube(5)
+        g = hypercube_digraph(cube)
+        assert nx.diameter(g.to_undirected()) == 5 == cube.diameter
+
+    def test_hypercube_degrees(self):
+        g = hypercube_digraph(Hypercube(3))
+        assert all(d == 3 for _, d in g.out_degree())
+        assert all(d == 3 for _, d in g.in_degree())
+
+    def test_shortest_path_lengths_match_hamming(self):
+        cube = Hypercube(4)
+        g = hypercube_digraph(cube).to_undirected()
+        for x in (0, 5, 15):
+            lengths = nx.single_source_shortest_path_length(g, x)
+            for z in (0, 3, 9, 12):
+                assert lengths[z] == cube.hamming(x, z)
+
+    def test_butterfly_structure(self):
+        bf = Butterfly(3)
+        g = butterfly_digraph(bf)
+        assert g.number_of_nodes() == bf.num_nodes
+        assert g.number_of_edges() == bf.num_arcs
+        # levels 0..d-1 have out-degree 2, final level 0
+        for node in g.nodes:
+            _, level = bf.node_components(node)
+            assert g.out_degree(node) == (2 if level < 3 else 0)
+
+    def test_butterfly_unique_paths(self):
+        bf = Butterfly(3)
+        g = butterfly_digraph(bf)
+        # exactly one path from any input to any output
+        src = bf.node_id(2, 0)
+        dst = bf.node_id(5, 3)
+        paths = list(nx.all_simple_paths(g, src, dst))
+        assert len(paths) == 1
+        assert len(paths[0]) == 4  # d+1 nodes
+
+    def test_canonical_path_is_a_networkx_path(self):
+        cube = Hypercube(4)
+        g = hypercube_digraph(cube)
+        nodes = cube.canonical_path_nodes(0b0011, 0b1100)
+        assert nx.is_path(g, nodes)
+
+
+class TestOccupancyPmf:
+    def test_single_busy_interval(self):
+        from repro.sim.feedforward import ArcLog
+
+        log = ArcLog(
+            pid=np.array([0]),
+            arc=np.array([7]),
+            t_in=np.array([0.0]),
+            t_out=np.array([1.0]),
+        )
+        pmf = arc_occupancy_pmf(log, 7, 0.0, 2.0, max_n=4)
+        assert pmf[1] == pytest.approx(0.5, abs=0.01)
+        assert pmf[0] == pytest.approx(0.5, abs=0.01)
+
+    def test_normalised(self):
+        from repro.core.greedy import GreedyHypercubeScheme
+
+        res = GreedyHypercubeScheme(3, 1.0, 0.5).run(
+            100.0, rng=1, record_arc_log=True
+        )
+        pmf = arc_occupancy_pmf(res.arc_log, 0, 20.0, 80.0)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_validates_window(self):
+        from repro.sim.feedforward import ArcLog
+        from repro.errors import MeasurementError
+
+        log = ArcLog(np.array([0]), np.array([0]), np.array([0.0]), np.array([1.0]))
+        with pytest.raises(MeasurementError):
+            arc_occupancy_pmf(log, 0, 5.0, 5.0)
+
+
+class TestWarmup:
+    def test_moving_average_flat_series(self):
+        x = np.full(100, 3.0)
+        np.testing.assert_allclose(welch_moving_average(x, 10), 3.0)
+
+    def test_moving_average_preserves_length(self):
+        assert welch_moving_average(np.arange(17.0), 3).shape == (17,)
+
+    def test_moving_average_validates(self):
+        with pytest.raises(ValueError):
+            welch_moving_average(np.arange(5.0), 0)
+
+    def test_detect_on_shifted_series(self):
+        # transient at level 1 for 200 samples, then steady at 10
+        gen = np.random.default_rng(0)
+        x = np.concatenate(
+            [
+                np.linspace(1.0, 10.0, 200) + gen.normal(0, 0.1, 200),
+                10.0 + gen.normal(0, 0.1, 1800),
+            ]
+        )
+        cut = detect_warmup(x, window=50, band=0.05)
+        assert 100 <= cut <= 400
+
+    def test_detect_on_stationary_series(self):
+        gen = np.random.default_rng(1)
+        x = 5.0 + gen.normal(0, 0.05, 1000)
+        assert detect_warmup(x, window=50, band=0.1) < 100
+
+    def test_detect_empty(self):
+        assert detect_warmup(np.zeros(0)) == 0
+
+
+class TestButterflyRSampling:
+    def test_external_arrivals_level0_only(self, bf3):
+        spec = ButterflyRSpec(bf3, 0.3)
+        times, arcs = spec.sample_external_arrivals(1.0, 400.0, rng=2)
+        assert np.all(arcs < 16)
+        kinds = arcs % 2
+        assert np.mean(kinds) == pytest.approx(0.3, abs=0.02)
+
+    def test_network_r_delay_matches_physical(self, bf3):
+        from repro.core.greedy import GreedyButterflyScheme
+
+        lam, p = 1.2, 0.5
+        spec = ButterflyRSpec(bf3, p)
+        times, arcs = spec.sample_external_arrivals(lam, 800.0, rng=3)
+        res = simulate_markovian(spec, times, arcs, rng=4)
+        t_r = float((res.exit_times - times).mean())
+        t_phys = GreedyButterflyScheme(d=3, lam=lam, p=p).measure_delay(
+            800.0, rng=5, warmup_fraction=0.0
+        )
+        assert t_r == pytest.approx(t_phys, rel=0.1)
+
+
+class TestPublicAPI:
+    def test_all_exports_importable(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_all_exports(self):
+        import repro.queueing as q
+        import repro.sim as s
+        import repro.topology as t
+        import repro.traffic as tr
+
+        for mod in (q, s, t, tr):
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{mod.__name__}.{name}"

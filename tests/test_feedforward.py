@@ -1,0 +1,211 @@
+"""Tests for the vectorised feed-forward simulator."""
+
+import numpy as np
+import pytest
+
+from repro.core.qnetwork import ExplicitLevelledSpec, HypercubeQSpec
+from repro.errors import ConfigurationError
+from repro.sim.feedforward import (
+    EXIT,
+    serve_level,
+    simulate_butterfly_greedy,
+    simulate_hypercube_greedy,
+    simulate_markovian,
+)
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+from repro.traffic.destinations import BernoulliFlipLaw
+from repro.traffic.workload import (
+    ButterflyWorkload,
+    HypercubeWorkload,
+    TrafficSample,
+)
+
+
+def _sample(times, origins, dests, horizon=100.0):
+    return TrafficSample(
+        np.asarray(times, dtype=float),
+        np.asarray(origins, dtype=np.int64),
+        np.asarray(dests, dtype=np.int64),
+        horizon,
+    )
+
+
+class TestServeLevel:
+    def test_independent_arcs(self):
+        arcs = np.array([0, 1, 0, 1])
+        times = np.array([0.0, 0.0, 0.5, 5.0])
+        pids = np.arange(4)
+        dep, _ = serve_level(arcs, times, pids)
+        np.testing.assert_allclose(dep, [1.0, 1.0, 2.0, 6.0])
+
+    def test_tie_broken_by_pid(self):
+        arcs = np.array([0, 0])
+        times = np.array([1.0, 1.0])
+        # pid 1 listed first but pid 0 must be served first
+        dep, _ = serve_level(arcs, times, np.array([1, 0]))
+        np.testing.assert_allclose(dep, [3.0, 2.0])
+
+    def test_ps_discipline(self):
+        arcs = np.array([0, 0])
+        times = np.array([0.0, 0.5])
+        dep, _ = serve_level(arcs, times, np.arange(2), discipline="ps")
+        np.testing.assert_allclose(dep, [1.5, 2.0])
+
+    def test_empty(self):
+        dep, order = serve_level(np.array([], dtype=np.int64), np.array([]), np.array([], dtype=np.int64))
+        assert dep.shape == (0,)
+        assert order.shape == (0,)
+
+    def test_rejects_unknown_discipline(self):
+        with pytest.raises(ConfigurationError):
+            serve_level(np.array([0]), np.array([0.0]), np.array([0]), "lifo")
+
+
+class TestHypercubePacketMode:
+    def test_single_packet_no_contention(self, cube3):
+        # 0 -> 7 crosses 3 dims: delivery = birth + 3
+        s = _sample([2.0], [0], [7])
+        res = simulate_hypercube_greedy(cube3, s)
+        assert res.delivery[0] == pytest.approx(5.0)
+        assert res.hops[0] == 3
+
+    def test_zero_hop_packet(self, cube3):
+        s = _sample([1.0], [5], [5])
+        res = simulate_hypercube_greedy(cube3, s)
+        assert res.delivery[0] == pytest.approx(1.0)
+        assert res.hops[0] == 0
+
+    def test_contention_on_shared_arc(self, cube3):
+        # two packets both need arc (0, dim 0) at t=0: second waits
+        s = _sample([0.0, 0.0], [0, 0], [1, 1])
+        res = simulate_hypercube_greedy(cube3, s)
+        np.testing.assert_allclose(np.sort(res.delivery), [1.0, 2.0])
+
+    def test_disjoint_paths_no_interaction(self, cube3):
+        # packets from different nodes crossing different arcs
+        s = _sample([0.0, 0.0], [0, 6], [1, 7])
+        res = simulate_hypercube_greedy(cube3, s)
+        np.testing.assert_allclose(res.delivery, [1.0, 1.0])
+
+    def test_pipeline_effect(self, cube3):
+        # back-to-back packets 0 -> 3 (dims 0 then 1): heads queue at
+        # dim 0, then flow through dim 1 without further waiting.
+        s = _sample([0.0, 0.0], [0, 0], [3, 3])
+        res = simulate_hypercube_greedy(cube3, s)
+        np.testing.assert_allclose(np.sort(res.delivery), [2.0, 3.0])
+
+    def test_dim_order_changes_paths(self, cube3):
+        # same workload, decreasing order: delivery times still valid
+        s = _sample([0.0, 0.1], [0, 2], [7, 5])
+        inc = simulate_hypercube_greedy(cube3, s)
+        dec = simulate_hypercube_greedy(cube3, s, dim_order=[2, 1, 0])
+        assert inc.hops.tolist() == dec.hops.tolist()
+        # all packets delivered at/after birth + hops
+        assert np.all(dec.delivery >= s.times + dec.hops - 1e-9)
+
+    def test_rejects_bad_dim_order(self, cube3):
+        s = _sample([0.0], [0], [1])
+        with pytest.raises(ConfigurationError):
+            simulate_hypercube_greedy(cube3, s, dim_order=[0, 1])
+
+    def test_arc_log_records_every_hop(self, cube4):
+        wl = HypercubeWorkload(cube4, 1.0, BernoulliFlipLaw(4, 0.5))
+        s = wl.generate(50.0, rng=1)
+        res = simulate_hypercube_greedy(cube4, s, record_arc_log=True)
+        assert res.arc_log.num_hops == int(res.hops.sum())
+        # every hop takes at least the unit service time
+        assert np.all(res.arc_log.t_out >= res.arc_log.t_in + 1.0 - 1e-9)
+
+    def test_delays_at_least_hops(self, cube4):
+        wl = HypercubeWorkload(cube4, 1.5, BernoulliFlipLaw(4, 0.5))
+        s = wl.generate(100.0, rng=2)
+        res = simulate_hypercube_greedy(cube4, s)
+        assert np.all(res.delays() >= res.hops - 1e-9)
+
+    def test_delay_record_roundtrip(self, cube3):
+        wl = HypercubeWorkload(cube3, 1.0, BernoulliFlipLaw(3, 0.5))
+        s = wl.generate(80.0, rng=3)
+        rec = simulate_hypercube_greedy(cube3, s).delay_record()
+        assert rec.num_packets == s.num_packets
+        assert rec.mean_delay() > 0
+
+
+class TestButterflyPacketMode:
+    def test_every_packet_takes_d_hops(self, bf3):
+        wl = ButterflyWorkload(bf3, 1.0, BernoulliFlipLaw(3, 0.5))
+        s = wl.generate(50.0, rng=1)
+        res = simulate_butterfly_greedy(bf3, s)
+        assert np.all(res.hops == 3)
+        assert np.all(res.delays() >= 3 - 1e-9)
+
+    def test_single_packet_delay_is_d(self, bf3):
+        s = _sample([0.0], [2], [5])
+        res = simulate_butterfly_greedy(bf3, s)
+        assert res.delivery[0] == pytest.approx(3.0)
+
+    def test_same_row_packets_share_straight_arcs(self, bf3):
+        # two packets from row 0 to row 0: identical straight paths
+        s = _sample([0.0, 0.0], [0, 0], [0, 0])
+        res = simulate_butterfly_greedy(bf3, s)
+        np.testing.assert_allclose(np.sort(res.delivery), [3.0, 4.0])
+
+    def test_ps_discipline_runs(self, bf3):
+        s = _sample([0.0, 0.0], [0, 0], [0, 0])
+        res = simulate_butterfly_greedy(bf3, s, discipline="ps")
+        # PS shares level-0 arc: both slowed there, then pipeline
+        assert np.all(res.delivery >= 3.0)
+
+
+class TestMarkovianMode:
+    def test_fig2_network_deterministic_route(self):
+        # both S1 customers routed to S3 with probability 1
+        spec = ExplicitLevelledSpec(
+            levels=[0, 0, 1],
+            routing={0: ([2], [1.0]), 1: ([2], [1.0])},
+        )
+        ext_t = np.array([0.0, 0.2])
+        ext_a = np.array([0, 1])
+        res = simulate_markovian(spec, ext_t, ext_a, rng=0)
+        # S1 departs 1.0 -> S3 [1,2]; S2 departs 1.2 -> S3 waits to 2 -> 3
+        np.testing.assert_allclose(np.sort(res.exit_times), [2.0, 3.0])
+        assert res.hops.tolist() == [2, 2]
+
+    def test_exit_count_matches_inputs(self, cube3):
+        spec = HypercubeQSpec(cube3, 0.5)
+        times, arcs = spec.sample_external_arrivals(1.0, 100.0, rng=1)
+        res = simulate_markovian(spec, times, arcs, rng=2)
+        assert res.exit_times.shape == times.shape
+        assert np.all(res.exit_times >= times + 1.0 - 1e-9)
+
+    def test_record_and_replay_decisions(self, cube3):
+        spec = HypercubeQSpec(cube3, 0.5)
+        times, arcs = spec.sample_external_arrivals(1.0, 60.0, rng=3)
+        first = simulate_markovian(spec, times, arcs, rng=4, record_decisions=True)
+        replay = simulate_markovian(spec, times, arcs, decisions=first.decisions)
+        np.testing.assert_allclose(first.exit_times, replay.exit_times)
+
+    def test_replay_with_short_decisions_fails(self, cube3):
+        from repro.errors import SimulationError
+
+        spec = HypercubeQSpec(cube3, 0.5)
+        times, arcs = spec.sample_external_arrivals(1.0, 60.0, rng=5)
+        first = simulate_markovian(spec, times, arcs, rng=6, record_decisions=True)
+        truncated = {a: d[:0] for a, d in first.decisions.items()}
+        with pytest.raises(SimulationError):
+            simulate_markovian(spec, times, arcs, decisions=truncated)
+
+    def test_rejects_mismatched_inputs(self, cube3):
+        spec = HypercubeQSpec(cube3, 0.5)
+        with pytest.raises(ConfigurationError):
+            simulate_markovian(spec, np.array([0.0]), np.array([0, 1]))
+
+    def test_hops_distribution_geometric(self, cube4):
+        # each customer crosses Geometric-like number of extra levels;
+        # mean total hops per ENTERING packet = d*p / (1-(1-p)^d)
+        p = 0.5
+        spec = HypercubeQSpec(cube4, p)
+        times, arcs = spec.sample_external_arrivals(1.0, 2000.0, rng=7)
+        res = simulate_markovian(spec, times, arcs, rng=8)
+        expected = 4 * p / (1 - (1 - p) ** 4)
+        assert res.hops.mean() == pytest.approx(expected, rel=0.05)

@@ -1,0 +1,186 @@
+"""Property-based tests on simulator invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.feedforward import serve_level, simulate_hypercube_greedy
+from repro.sim.lindley import fifo_departure_times
+from repro.topology.hypercube import Hypercube
+from repro.traffic.workload import TrafficSample
+
+
+@st.composite
+def level_instance(draw):
+    """Random (arcs, times, pids) for one level."""
+    n = draw(st.integers(min_value=1, max_value=60))
+    arcs = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=5), min_size=n, max_size=n
+            )
+        ),
+        dtype=np.int64,
+    )
+    times = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=30.0),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    pids = np.arange(n, dtype=np.int64)
+    return arcs, times, pids
+
+
+@settings(max_examples=150, deadline=None)
+@given(inst=level_instance())
+def test_property_serve_level_matches_per_arc_lindley(inst):
+    """serve_level == independent Lindley recursions per arc."""
+    arcs, times, pids = inst
+    dep, _ = serve_level(arcs, times, pids)
+    for arc in np.unique(arcs):
+        m = arcs == arc
+        order = np.lexsort((pids[m], times[m]))
+        expected = fifo_departure_times(times[m][order])
+        np.testing.assert_allclose(np.sort(dep[m]), expected, atol=1e-9)
+
+
+@settings(max_examples=150, deadline=None)
+@given(inst=level_instance())
+def test_property_serve_level_departure_spacing(inst):
+    """Per arc, departures are spaced >= 1 (unit service, one server)."""
+    arcs, times, pids = inst
+    dep, _ = serve_level(arcs, times, pids)
+    for arc in np.unique(arcs):
+        d = np.sort(dep[arcs == arc])
+        assert np.all(np.diff(d) >= 1.0 - 1e-9)
+        assert np.all(dep[arcs == arc] >= times[arcs == arc] + 1.0 - 1e-9)
+
+
+@settings(max_examples=150, deadline=None)
+@given(inst=level_instance())
+def test_property_serve_level_fifo_order(inst):
+    """Within an arc, (time, pid) order equals departure order."""
+    arcs, times, pids = inst
+    dep, _ = serve_level(arcs, times, pids)
+    for arc in np.unique(arcs):
+        m = arcs == arc
+        order = np.lexsort((pids[m], times[m]))
+        assert np.all(np.diff(dep[m][order]) > 0)
+
+
+@settings(max_examples=150, deadline=None)
+@given(inst=level_instance())
+def test_property_ps_dominates_fifo_per_level(inst):
+    """Lemma 7 at level granularity: FIFO departures <= PS departures."""
+    arcs, times, pids = inst
+    dep_fifo, _ = serve_level(arcs, times, pids, discipline="fifo")
+    dep_ps, _ = serve_level(arcs, times, pids, discipline="ps")
+    assert np.all(dep_fifo <= dep_ps + 1e-9)
+
+
+@st.composite
+def cube_traffic(draw):
+    d = draw(st.integers(min_value=1, max_value=4))
+    cube = Hypercube(d)
+    n = draw(st.integers(min_value=0, max_value=40))
+    times = np.sort(
+        np.array(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=20.0),
+                    min_size=n,
+                    max_size=n,
+                )
+            )
+        )
+    )
+    origins = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=cube.num_nodes - 1),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.int64,
+    )
+    dests = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=cube.num_nodes - 1),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.int64,
+    )
+    return cube, TrafficSample(times, origins, dests, 25.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ct=cube_traffic())
+def test_property_hypercube_sim_invariants(ct):
+    """Every packet's delay >= its hop count; hops == Hamming distance;
+    total hops conserved in the arc log."""
+    cube, sample = ct
+    res = simulate_hypercube_greedy(cube, sample, record_arc_log=True)
+    expected_hops = np.bitwise_count(sample.origins ^ sample.destinations)
+    np.testing.assert_array_equal(res.hops, expected_hops)
+    assert np.all(res.delivery - sample.times >= res.hops - 1e-9)
+    assert res.arc_log.num_hops == int(expected_hops.sum())
+
+
+@settings(max_examples=60, deadline=None)
+@given(ct=cube_traffic(), data=st.data())
+def test_property_translation_invariance(ct, data):
+    """§1.1: renaming every node ``x -> x ^ y*`` leaves all delays
+    unchanged (the whole system is XOR-translation symmetric)."""
+    cube, sample = ct
+    y_star = data.draw(st.integers(min_value=0, max_value=cube.num_nodes - 1))
+    base = simulate_hypercube_greedy(cube, sample)
+    translated = TrafficSample(
+        sample.times, sample.origins ^ y_star, sample.destinations ^ y_star, 25.0
+    )
+    moved = simulate_hypercube_greedy(cube, translated)
+    np.testing.assert_allclose(moved.delivery, base.delivery, atol=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ct=cube_traffic(), data=st.data())
+def test_property_time_shift_invariance(ct, data):
+    """Shifting all births by a constant shifts all deliveries by it."""
+    cube, sample = ct
+    tau = data.draw(st.floats(min_value=0.0, max_value=50.0))
+    base = simulate_hypercube_greedy(cube, sample)
+    shifted = TrafficSample(
+        sample.times + tau, sample.origins, sample.destinations, 25.0 + tau
+    )
+    moved = simulate_hypercube_greedy(cube, shifted)
+    np.testing.assert_allclose(moved.delivery, base.delivery + tau, atol=1e-7)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ct=cube_traffic())
+def test_property_temporal_separation(ct):
+    """Packet groups separated by more than the worst-case drain time
+    do not interact: joint simulation == separate simulations."""
+    cube, sample = ct
+    n = sample.num_packets
+    if n == 0:
+        return
+    base = simulate_hypercube_greedy(cube, sample)
+    # replay the same group far in the future (gap >> n*d drain bound)
+    gap = sample.times[-1] + (n + 1) * cube.d + 10.0
+    times2 = np.concatenate([sample.times, sample.times + gap])
+    orig2 = np.concatenate([sample.origins, sample.origins])
+    dest2 = np.concatenate([sample.destinations, sample.destinations])
+    joint = simulate_hypercube_greedy(
+        cube, TrafficSample(times2, orig2, dest2, 2 * gap + 25.0)
+    )
+    np.testing.assert_allclose(joint.delivery[:n], base.delivery, atol=1e-9)
+    np.testing.assert_allclose(joint.delivery[n:], base.delivery + gap, atol=1e-7)

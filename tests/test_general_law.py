@@ -1,0 +1,191 @@
+"""Tests for the §2.2 generalisation (arbitrary translation-invariant
+laws) and the non-TI traffic classes."""
+
+import numpy as np
+import pytest
+
+from repro.core.general import (
+    general_arc_rates,
+    general_load_factor,
+    general_load_vector,
+    general_oblivious_lower_bound,
+    general_stable,
+    general_universal_lower_bound,
+    general_zero_contention_delay,
+)
+from repro.core.load import lam_for_load
+from repro.errors import ConfigurationError, UnstableSystemError
+from repro.sim.feedforward import simulate_hypercube_greedy
+from repro.sim.measurement import arc_arrival_counts
+from repro.topology.hypercube import Hypercube
+from repro.traffic.destinations import (
+    BernoulliFlipLaw,
+    HotSpotTraffic,
+    PermutationTraffic,
+    TranslationInvariantLaw,
+    bit_reversal_permutation,
+    transpose_permutation,
+)
+from repro.traffic.workload import HypercubeWorkload
+
+
+def _skewed_law(d=3):
+    """A strongly asymmetric TI law: dimension 0 flipped often,
+    dimension d-1 rarely."""
+    pmf = np.zeros(1 << d)
+    pmf[0b001] = 0.55
+    pmf[0b011] = 0.2
+    pmf[0b100] = 0.05
+    pmf[0b000] = 0.2
+    return TranslationInvariantLaw(d, pmf)
+
+
+class TestGeneralCalculus:
+    def test_load_vector_matches_flip_probs(self):
+        law = _skewed_law()
+        np.testing.assert_allclose(
+            general_load_vector(2.0, law), 2.0 * law.flip_probabilities()
+        )
+
+    def test_load_factor_is_max(self):
+        law = _skewed_law()
+        # q = [0.75, 0.2, 0.05]
+        assert general_load_factor(1.0, law) == pytest.approx(0.75)
+
+    def test_reduces_to_paper_for_bernoulli(self):
+        law = BernoulliFlipLaw(4, 0.3)
+        assert general_load_factor(2.0, law) == pytest.approx(0.6)
+        assert general_zero_contention_delay(law) == pytest.approx(1.2)
+
+    def test_stability_driven_by_worst_dimension(self):
+        law = _skewed_law()
+        assert general_stable(1.3, law)  # 1.3*0.75 < 1
+        assert not general_stable(1.4, law)  # 1.4*0.75 > 1
+
+    def test_lower_bounds_ordering(self):
+        law = _skewed_law()
+        lam = 1.2
+        uni = general_universal_lower_bound(lam, law)
+        obl = general_oblivious_lower_bound(lam, law)
+        assert uni <= obl + 1e-12
+        assert obl >= general_zero_contention_delay(law)
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            general_oblivious_lower_bound(2.0, _skewed_law())
+
+    def test_arc_rates_dimension_major(self):
+        law = _skewed_law()
+        rates = general_arc_rates(1.0, law)
+        assert rates.shape == (3 * 8,)
+        np.testing.assert_allclose(rates[:8], 0.75)
+        np.testing.assert_allclose(rates[16:], 0.05)
+
+
+class TestGeneralSimulation:
+    def test_measured_arc_rates_match_general_prop5(self):
+        cube = Hypercube(3)
+        law = _skewed_law()
+        lam = 1.0
+        wl = HypercubeWorkload(cube, lam, law)
+        horizon = 3000.0
+        sample = wl.generate(horizon, rng=5)
+        res = simulate_hypercube_greedy(cube, sample, record_arc_log=True)
+        measured = arc_arrival_counts(res.arc_log.arc, cube.num_arcs) / horizon
+        expected = general_arc_rates(lam, law)
+        # per-dimension means match lam * q_j
+        for j in range(3):
+            sl = slice(8 * j, 8 * (j + 1))
+            assert measured[sl].mean() == pytest.approx(
+                expected[sl].mean(), rel=0.05
+            )
+
+    def test_delay_respects_general_lower_bound(self):
+        cube = Hypercube(3)
+        law = _skewed_law()
+        lam = 1.2  # rho = 0.9 on dimension 0
+        wl = HypercubeWorkload(cube, lam, law)
+        sample = wl.generate(2000.0, rng=6)
+        res = simulate_hypercube_greedy(cube, sample)
+        rec = res.delay_record()
+        t = rec.mean_delay()
+        assert t >= general_oblivious_lower_bound(lam, law) * 0.95
+
+    def test_greedy_stable_at_general_condition(self):
+        # rho = max_j rho_j = 0.9 < 1: delay converged across horizons
+        cube = Hypercube(3)
+        law = _skewed_law()
+        wl = HypercubeWorkload(cube, 1.2, law)
+        t1 = (
+            simulate_hypercube_greedy(cube, wl.generate(1500.0, rng=7))
+            .delay_record()
+            .mean_delay()
+        )
+        t2 = (
+            simulate_hypercube_greedy(cube, wl.generate(4500.0, rng=8))
+            .delay_record()
+            .mean_delay()
+        )
+        assert t2 < 1.4 * t1
+
+
+class TestPermutationTraffic:
+    def test_deterministic_destinations(self):
+        perm = bit_reversal_permutation(4)
+        law = PermutationTraffic(4, perm)
+        origins = np.arange(16)
+        np.testing.assert_array_equal(
+            law.sample_destinations(origins), perm
+        )
+
+    def test_bit_reversal_involution(self):
+        perm = bit_reversal_permutation(5)
+        np.testing.assert_array_equal(perm[perm], np.arange(32))
+
+    def test_bit_reversal_values(self):
+        perm = bit_reversal_permutation(3)
+        assert perm[0b001] == 0b100
+        assert perm[0b011] == 0b110
+        assert perm[0b111] == 0b111
+
+    def test_transpose_involution(self):
+        perm = transpose_permutation(6)
+        np.testing.assert_array_equal(perm[perm], np.arange(64))
+
+    def test_transpose_rejects_odd_d(self):
+        with pytest.raises(ConfigurationError):
+            transpose_permutation(3)
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ConfigurationError):
+            PermutationTraffic(2, [0, 0, 1, 2])
+
+    def test_workload_accepts_permutation_traffic(self):
+        cube = Hypercube(4)
+        law = PermutationTraffic(4, bit_reversal_permutation(4))
+        wl = HypercubeWorkload(cube, 0.5, law)
+        s = wl.generate(50.0, rng=9)
+        np.testing.assert_array_equal(
+            s.destinations, bit_reversal_permutation(4)[s.origins]
+        )
+
+
+class TestHotSpotTraffic:
+    def test_hot_fraction(self, rng):
+        law = HotSpotTraffic(BernoulliFlipLaw(4, 0.5), hot_node=3, beta=0.3)
+        origins = rng.integers(0, 16, size=20_000)
+        dests = law.sample_destinations(origins, rng)
+        frac = np.mean(dests == 3)
+        # 0.3 forced + background mass on node 3
+        assert 0.3 < frac < 0.4
+
+    def test_beta_one_all_hot(self, rng):
+        law = HotSpotTraffic(BernoulliFlipLaw(3, 0.5), hot_node=5, beta=1.0)
+        dests = law.sample_destinations(np.arange(8), rng)
+        assert np.all(dests == 5)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            HotSpotTraffic(BernoulliFlipLaw(3, 0.5), hot_node=9, beta=0.5)
+        with pytest.raises(ConfigurationError):
+            HotSpotTraffic(BernoulliFlipLaw(3, 0.5), hot_node=0, beta=1.5)

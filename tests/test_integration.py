@@ -1,0 +1,215 @@
+"""End-to-end integration tests: the paper's claims under simulation.
+
+Each test here is a miniature version of one EXPERIMENTS.md experiment,
+run at parameters small enough for CI but large enough to be
+statistically meaningful with fixed seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    antipodal_exact_delay,
+    greedy_delay_lower_bound,
+    greedy_delay_upper_bound,
+    mean_queue_per_node_bound,
+    oblivious_delay_lower_bound,
+    total_population_bound,
+    universal_delay_lower_bound,
+)
+from repro.core.greedy import GreedyButterflyScheme, GreedyHypercubeScheme
+from repro.core.load import lam_for_load
+from repro.queueing.productform import ProductFormNetwork
+from repro.sim.measurement import PopulationTracker, arc_arrival_counts
+from repro.topology.hypercube import Hypercube
+
+
+class TestProp5ArcRates:
+    """Prop 5: every arc carries total flow rho = lam * p."""
+
+    def test_measured_arc_rates_uniform(self):
+        scheme = GreedyHypercubeScheme(d=4, lam=1.2, p=0.5)
+        horizon = 2000.0
+        res = scheme.run(horizon, rng=100, record_arc_log=True)
+        counts = arc_arrival_counts(res.arc_log.arc, scheme.cube.num_arcs)
+        rates = counts / horizon
+        np.testing.assert_allclose(rates, scheme.rho, rtol=0.15)
+        assert rates.mean() == pytest.approx(scheme.rho, rel=0.02)
+
+    def test_property_a_external_split(self):
+        # first-arc dimension of each packet follows p(1-p)^i
+        scheme = GreedyHypercubeScheme(d=4, lam=1.0, p=0.5)
+        sample = scheme.workload().generate(3000.0, rng=101)
+        diff = sample.origins ^ sample.destinations
+        moving = diff != 0
+        lowest = diff[moving] & -diff[moving]
+        first_dim = np.bitwise_count(lowest - 1)
+        for i in range(4):
+            frac = np.mean(first_dim == i)
+            expected = 0.5 * 0.5**i / (1 - 0.5**4)
+            assert frac == pytest.approx(expected, rel=0.05)
+
+
+class TestProp6Stability:
+    """Prop 6: bounded delay for rho < 1; blow-up past saturation."""
+
+    def test_delay_bounded_below_saturation(self):
+        for rho in (0.3, 0.9):
+            scheme = GreedyHypercubeScheme(d=4, lam=lam_for_load(rho, 0.5), p=0.5)
+            t = scheme.measure_delay(horizon=800.0, rng=int(rho * 100))
+            assert t <= scheme.delay_upper_bound() * 1.1
+
+    def test_super_saturation_delay_grows_with_horizon(self):
+        # rho = 1.2: mean delay must grow linearly with the horizon
+        scheme = GreedyHypercubeScheme(d=4, lam=2.4, p=0.5)
+        t_short = scheme.run(200.0, rng=1).delay_record().mean_delay(0.5, 0.0)
+        t_long = scheme.run(800.0, rng=1).delay_record().mean_delay(0.5, 0.0)
+        assert t_long > 2.0 * t_short
+
+
+class TestProps12And13DelaySandwich:
+    """The headline result: dp + p rho/(2(1-rho)) <= T <= dp/(1-rho)."""
+
+    @pytest.mark.parametrize("d,rho", [(3, 0.5), (4, 0.7), (5, 0.8), (6, 0.5)])
+    def test_sandwich_uniform_traffic(self, d, rho):
+        p = 0.5
+        lam = lam_for_load(rho, p)
+        scheme = GreedyHypercubeScheme(d=d, lam=lam, p=p)
+        t = scheme.measure_delay(horizon=1200.0, rng=d * 17 + int(rho * 10))
+        assert greedy_delay_lower_bound(d, lam, p) * 0.97 <= t
+        assert t <= greedy_delay_upper_bound(d, lam, p) * 1.03
+
+    @pytest.mark.parametrize("p", [0.25, 0.75])
+    def test_sandwich_nonuniform_p(self, p):
+        d, rho = 4, 0.6
+        lam = lam_for_load(rho, p)
+        scheme = GreedyHypercubeScheme(d=d, lam=lam, p=p)
+        t = scheme.measure_delay(horizon=1200.0, rng=int(p * 100))
+        assert greedy_delay_lower_bound(d, lam, p) * 0.97 <= t
+        assert t <= greedy_delay_upper_bound(d, lam, p) * 1.03
+
+    def test_universal_and_oblivious_bounds_hold(self):
+        d, rho, p = 4, 0.7, 0.5
+        lam = lam_for_load(rho, p)
+        t = GreedyHypercubeScheme(d, lam, p).measure_delay(800.0, rng=55)
+        assert universal_delay_lower_bound(d, lam, p) <= t
+        assert oblivious_delay_lower_bound(d, lam, p) <= t
+
+    def test_delay_scales_linearly_in_d(self):
+        # O(d) delay claim: T/d roughly constant at fixed rho
+        p, rho = 0.5, 0.6
+        lam = lam_for_load(rho, p)
+        norm = []
+        for d in (3, 6):
+            t = GreedyHypercubeScheme(d, lam, p).measure_delay(700.0, rng=d)
+            norm.append(t / d)
+        assert norm[1] == pytest.approx(norm[0], rel=0.15)
+
+
+class TestAntipodalExact:
+    def test_p1_simulation_matches_closed_form(self):
+        # p = 1: disjoint paths; T = d + rho/(2(1-rho)) exactly
+        d, lam = 4, 0.7
+        scheme = GreedyHypercubeScheme(d=d, lam=lam, p=1.0)
+        t = scheme.measure_delay(horizon=2500.0, rng=77)
+        assert t == pytest.approx(antipodal_exact_delay(d, lam), rel=0.03)
+
+
+class TestQueueSizes:
+    """§3.3: mean packets per node <= d rho/(1-rho); population bound."""
+
+    def test_population_time_average_below_bound(self):
+        scheme = GreedyHypercubeScheme(d=4, lam=1.4, p=0.5)  # rho=0.7
+        horizon = 1500.0
+        res = scheme.run(horizon, rng=88)
+        pt = PopulationTracker.from_intervals(res.sample.times, res.delivery)
+        avg = pt.time_average(horizon * 0.25, horizon * 0.9)
+        assert avg <= total_population_bound(4, 1.4, 0.5)
+
+    def test_per_node_queue_bound(self):
+        d, lam, p = 4, 1.4, 0.5
+        scheme = GreedyHypercubeScheme(d=d, lam=lam, p=p)
+        horizon = 1500.0
+        res = scheme.run(horizon, rng=89)
+        pt = PopulationTracker.from_intervals(res.sample.times, res.delivery)
+        avg_per_node = pt.time_average(horizon * 0.25, horizon * 0.9) / 16
+        assert avg_per_node <= mean_queue_per_node_bound(d, lam, p)
+
+    def test_chernoff_whp_population(self):
+        # N(t) <= (1+eps) * d 2^d rho/(1-rho) w.h.p. — check empirically
+        d, rho, p = 4, 0.6, 0.5
+        scheme = GreedyHypercubeScheme(d=d, lam=lam_for_load(rho, p), p=p)
+        horizon = 1500.0
+        res = scheme.run(horizon, rng=90)
+        pt = PopulationTracker.from_intervals(res.sample.times, res.delivery)
+        bound = (1.0 + 1.0) * total_population_bound(d, scheme.lam, p)
+        grid = np.linspace(horizon * 0.3, horizon * 0.9, 500)
+        exceed = np.mean([pt.at(t) > bound for t in grid])
+        assert exceed < 0.01
+
+    def test_ps_product_form_population_prediction(self):
+        # the PS network's measured mean population matches the
+        # product-form prediction (Prop 12 machinery)
+        d, rho, p = 3, 0.6, 0.5
+        scheme = GreedyHypercubeScheme(d=d, lam=lam_for_load(rho, p), p=p)
+        horizon = 2500.0
+        res = scheme.run(horizon, rng=91, discipline="ps")
+        pt = PopulationTracker.from_intervals(res.sample.times, res.delivery)
+        measured = pt.time_average(horizon * 0.3, horizon * 0.9)
+        predicted = ProductFormNetwork(
+            np.full(d * 2**d, rho)
+        ).mean_population()
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+
+class TestButterflyIntegration:
+    """Props 14-17 under simulation."""
+
+    @pytest.mark.parametrize("p", [0.3, 0.5, 0.7])
+    def test_delay_sandwich(self, p):
+        d, lam = 4, 1.2
+        scheme = GreedyButterflyScheme(d=d, lam=lam, p=p)
+        assert scheme.stable
+        t = scheme.measure_delay(horizon=1000.0, rng=int(p * 1000))
+        assert scheme.delay_lower_bound() * 0.97 <= t
+        assert t <= scheme.delay_upper_bound() * 1.03
+
+    def test_prop15_arc_rates_by_kind(self):
+        d, lam, p = 3, 1.0, 0.3
+        scheme = GreedyButterflyScheme(d=d, lam=lam, p=p)
+        horizon = 2500.0
+        res = scheme.run(horizon, rng=92, record_arc_log=True)
+        counts = arc_arrival_counts(res.arc_log.arc, scheme.butterfly.num_arcs)
+        rates = counts / horizon
+        kinds = np.arange(scheme.butterfly.num_arcs) % 2
+        assert rates[kinds == 1].mean() == pytest.approx(lam * p, rel=0.05)
+        assert rates[kinds == 0].mean() == pytest.approx(lam * (1 - p), rel=0.05)
+
+    def test_hypercube_vs_butterfly_delay_relation(self):
+        # at p=1/2 and the same rho the butterfly averages more hops
+        # (d vs d/2), hence larger delay
+        rho = 0.6
+        hc = GreedyHypercubeScheme(d=4, lam=lam_for_load(rho, 0.5), p=0.5)
+        bf = GreedyButterflyScheme(d=4, lam=2 * rho, p=0.5)
+        t_hc = hc.measure_delay(600.0, rng=93)
+        t_bf = bf.measure_delay(600.0, rng=94)
+        assert t_bf > t_hc
+
+
+class TestSlottedIntegration:
+    def test_slotted_delay_below_bound(self):
+        from repro.sim.slotted import SlottedGreedyHypercube
+
+        for tau in (0.25, 0.5, 1.0):
+            s = SlottedGreedyHypercube(d=4, lam=1.4, p=0.5, tau=tau)
+            t = s.measure_delay(horizon=900.0, rng=int(tau * 100))
+            assert t <= s.delay_upper_bound() * 1.03
+
+    def test_slotted_close_to_continuous(self):
+        # the slotted system's delay is within ~tau of continuous time
+        from repro.sim.slotted import SlottedGreedyHypercube
+
+        d, lam, p, tau = 4, 1.2, 0.5, 0.5
+        cont = GreedyHypercubeScheme(d, lam, p).measure_delay(1200.0, rng=95)
+        slot = SlottedGreedyHypercube(d, lam, p, tau).measure_delay(1200.0, rng=96)
+        assert abs(slot - cont) <= tau + 0.5  # tau plus noise allowance

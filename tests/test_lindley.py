@@ -1,0 +1,121 @@
+"""Tests for the vectorised Lindley recursion (Lemma 8 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.lindley import (
+    fifo_departure_times,
+    fifo_departure_times_loop,
+    fifo_waiting_times,
+    unfinished_work,
+)
+
+sorted_times = (
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=60)
+    .map(sorted)
+    .map(np.array)
+)
+
+
+class TestFifoDepartures:
+    def test_single_customer(self):
+        np.testing.assert_allclose(fifo_departure_times(np.array([2.5])), [3.5])
+
+    def test_no_contention(self):
+        t = np.array([0.0, 5.0, 10.0])
+        np.testing.assert_allclose(fifo_departure_times(t), [1.0, 6.0, 11.0])
+
+    def test_back_to_back(self):
+        t = np.array([0.0, 0.0, 0.0])
+        np.testing.assert_allclose(fifo_departure_times(t), [1.0, 2.0, 3.0])
+
+    def test_mixed(self):
+        t = np.array([0.0, 0.5, 3.0])
+        np.testing.assert_allclose(fifo_departure_times(t), [1.0, 2.0, 4.0])
+
+    def test_custom_service(self):
+        t = np.array([0.0, 0.1])
+        np.testing.assert_allclose(fifo_departure_times(t, service=2.0), [2.0, 4.0])
+
+    def test_empty(self):
+        assert fifo_departure_times(np.array([])).shape == (0,)
+
+    def test_rejects_bad_service(self):
+        with pytest.raises(ValueError):
+            fifo_departure_times(np.array([0.0]), service=0.0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            fifo_departure_times(np.zeros((2, 2)))
+
+
+class TestWaitingTimes:
+    def test_values(self):
+        t = np.array([0.0, 0.0, 5.0])
+        np.testing.assert_allclose(fifo_waiting_times(t), [0.0, 1.0, 0.0])
+
+    def test_non_negative(self, rng):
+        t = np.sort(rng.random(100) * 50)
+        assert np.all(fifo_waiting_times(t) >= -1e-12)
+
+
+class TestUnfinishedWork:
+    def test_empty_before_arrival(self):
+        assert unfinished_work(np.array([5.0]), at=4.0) == 0.0
+
+    def test_one_customer_half_served(self):
+        assert unfinished_work(np.array([0.0]), at=0.5) == pytest.approx(0.5)
+
+    def test_queue_accumulates(self):
+        # 3 arrivals at 0: at t=0.5 work = 0.5 + 1 + 1
+        t = np.zeros(3)
+        assert unfinished_work(t, at=0.5) == pytest.approx(2.5)
+
+    def test_drains_to_zero(self):
+        t = np.array([0.0, 0.2])
+        assert unfinished_work(t, at=5.0) == 0.0
+
+    def test_left_limit_excludes_arrival_at_t(self):
+        # W(t-) does not see a customer arriving exactly at t
+        assert unfinished_work(np.array([1.0]), at=1.0) == 0.0
+
+
+@settings(max_examples=200, deadline=None)
+@given(t=sorted_times)
+def test_property_vectorised_equals_loop(t):
+    """The closed-form running-max identity equals the literal
+    Lindley recursion for arbitrary sorted inputs."""
+    np.testing.assert_allclose(
+        fifo_departure_times(t), fifo_departure_times_loop(t), rtol=0, atol=1e-9
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(t=sorted_times)
+def test_property_departures_sorted_and_spaced(t):
+    """Departures are strictly increasing with gaps >= service time
+    (one server, unit service)."""
+    d = fifo_departure_times(t)
+    assert np.all(np.diff(d) >= 1.0 - 1e-9)
+    assert np.all(d >= t + 1.0 - 1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(t=sorted_times, data=st.data())
+def test_property_lemma8_monotonicity(t, data):
+    """Lemma 8: delaying arrivals can only delay departures."""
+    shifts = np.array(
+        data.draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=10.0),
+                min_size=len(t),
+                max_size=len(t),
+            )
+        )
+    )
+    t_delayed = np.sort(t + shifts)  # re-sort to keep a valid stream
+    d = fifo_departure_times(t)
+    d_delayed = fifo_departure_times(t_delayed)
+    assert np.all(d_delayed >= d - 1e-9)

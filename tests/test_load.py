@@ -1,0 +1,74 @@
+"""Tests for load factors and stability conditions (§2.1, §4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.load import (
+    butterfly_lam_for_load,
+    butterfly_load_factor,
+    butterfly_stable,
+    hypercube_load_factor,
+    hypercube_load_vector,
+    hypercube_stable,
+    lam_for_load,
+)
+from repro.errors import ConfigurationError
+from repro.traffic.destinations import BernoulliFlipLaw, TranslationInvariantLaw
+
+
+class TestHypercubeLoad:
+    def test_rho_is_lam_p(self):
+        assert hypercube_load_factor(2.0, 0.4) == pytest.approx(0.8)
+
+    def test_stability_boundary(self):
+        assert hypercube_stable(1.9, 0.5)
+        assert not hypercube_stable(2.0, 0.5)  # rho == 1 unstable
+        assert not hypercube_stable(3.0, 0.5)
+
+    def test_load_vector_bernoulli(self):
+        law = BernoulliFlipLaw(4, 0.3)
+        np.testing.assert_allclose(hypercube_load_vector(2.0, law), 0.6)
+
+    def test_load_vector_general_law(self):
+        # §2.2: rho_j = lam * sum_{v: v_j = 1} f(v)
+        law = TranslationInvariantLaw(2, [0.4, 0.3, 0.2, 0.1])
+        np.testing.assert_allclose(
+            hypercube_load_vector(1.0, law), [0.3 + 0.1, 0.2 + 0.1]
+        )
+
+    def test_lam_for_load_roundtrip(self):
+        lam = lam_for_load(0.8, 0.4)
+        assert hypercube_load_factor(lam, 0.4) == pytest.approx(0.8)
+
+    def test_lam_for_load_rejects_p_zero(self):
+        with pytest.raises(ConfigurationError):
+            lam_for_load(0.5, 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            hypercube_load_factor(-1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            hypercube_load_factor(1.0, 1.5)
+
+
+class TestButterflyLoad:
+    def test_bottleneck_max(self):
+        # eq. (17): rho = lam * max(p, 1-p)
+        assert butterfly_load_factor(1.0, 0.7) == pytest.approx(0.7)
+        assert butterfly_load_factor(1.0, 0.2) == pytest.approx(0.8)
+
+    def test_p_half_is_best_case(self):
+        # at fixed lam, rho is minimised at p = 1/2
+        lam = 1.5
+        assert butterfly_load_factor(lam, 0.5) <= butterfly_load_factor(lam, 0.3)
+        assert butterfly_load_factor(lam, 0.5) <= butterfly_load_factor(lam, 0.9)
+
+    def test_stability(self):
+        assert butterfly_stable(1.9, 0.5)
+        assert not butterfly_stable(2.0, 0.5)
+        # asymmetric: straight arcs bottleneck at small p
+        assert not butterfly_stable(1.2, 0.1)
+
+    def test_lam_for_load_roundtrip(self):
+        lam = butterfly_lam_for_load(0.9, 0.3)
+        assert butterfly_load_factor(lam, 0.3) == pytest.approx(0.9)

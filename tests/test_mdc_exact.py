@@ -1,0 +1,73 @@
+"""Tests for the exact M/D/c solver (Crommelin embedded chain)."""
+
+import pytest
+
+from repro.errors import UnstableSystemError
+from repro.queueing.md1 import md1_sojourn
+from repro.queueing.mdc import (
+    mdc_sojourn_brumelle_lower,
+    mdc_sojourn_cosmetatos,
+    mdc_sojourn_exact,
+    mdc_sojourn_mc,
+)
+
+
+class TestExactMDC:
+    def test_reduces_to_md1(self):
+        # c = 1: must match Pollaczek-Khinchine exactly
+        for rho in (0.2, 0.5, 0.8, 0.95):
+            assert mdc_sojourn_exact(1, rho) == pytest.approx(
+                md1_sojourn(rho), rel=1e-6
+            )
+
+    def test_matches_monte_carlo(self):
+        for c, rho in [(2, 0.3), (4, 0.6), (8, 0.8)]:
+            mc = mdc_sojourn_mc(c, rho, num_customers=400_000, rng=1)
+            assert mdc_sojourn_exact(c, rho) == pytest.approx(mc, rel=0.01)
+
+    def test_cosmetatos_accuracy_quantified(self):
+        # the approximation is within ~1% of exact in this range
+        for c, rho in [(2, 0.5), (4, 0.7), (16, 0.9)]:
+            exact = mdc_sojourn_exact(c, rho)
+            approx = mdc_sojourn_cosmetatos(c, rho)
+            assert abs(approx - exact) / exact < 0.01
+
+    def test_paper_form_vs_exact_ordering(self):
+        # the reconstructed paper form overshoots at light load...
+        assert mdc_sojourn_brumelle_lower(2, 0.3) > mdc_sojourn_exact(2, 0.3)
+        # ...and converges in heavy traffic (scaled waits agree)
+        c, rho = 4, 0.95
+        paper_w = mdc_sojourn_brumelle_lower(c, rho) - 1.0
+        exact_w = mdc_sojourn_exact(c, rho) - 1.0
+        assert paper_w == pytest.approx(exact_w, rel=0.12)
+
+    def test_zero_load(self):
+        assert mdc_sojourn_exact(4, 0.0) == 1.0
+
+    def test_monotone_in_rho(self):
+        vals = [mdc_sojourn_exact(4, r) for r in (0.2, 0.5, 0.8, 0.9)]
+        assert vals == sorted(vals)
+
+    def test_decreasing_in_c(self):
+        # more servers at equal utilisation: less waiting
+        assert mdc_sojourn_exact(8, 0.7) < mdc_sojourn_exact(2, 0.7)
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            mdc_sojourn_exact(2, 1.0)
+
+    def test_truncation_guard(self):
+        with pytest.raises(RuntimeError):
+            mdc_sojourn_exact(2, 0.99999, max_states=512)
+
+
+class TestExactInProp2:
+    def test_universal_bound_exact_method(self):
+        from repro.core.bounds import universal_delay_lower_bound
+
+        d, lam, p = 3, 1.8, 0.5  # rho = 0.9
+        exact = universal_delay_lower_bound(d, lam, p, mdc_method="exact")
+        paper = universal_delay_lower_bound(d, lam, p, mdc_method="brumelle")
+        # both dominated by the measured delay elsewhere; here just check
+        # they are close and ordered sanely in heavy-ish traffic
+        assert exact == pytest.approx(paper, rel=0.2)

@@ -1,0 +1,217 @@
+"""Tests for the equivalent networks Q and R (§3.1, §4.3, Lemma 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.qnetwork import (
+    ButterflyRSpec,
+    ExplicitLevelledSpec,
+    HypercubeQSpec,
+    butterfly_external_from_sample,
+    hypercube_external_from_sample,
+)
+from repro.errors import ConfigurationError
+from repro.rng import as_generator
+from repro.sim.feedforward import EXIT
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+from repro.traffic.destinations import BernoulliFlipLaw
+from repro.traffic.workload import ButterflyWorkload, HypercubeWorkload
+
+
+class TestHypercubeQSpec:
+    def test_dimensions(self, cube3):
+        spec = HypercubeQSpec(cube3, 0.5)
+        assert spec.num_arcs == 24
+        assert spec.num_levels == 3
+
+    def test_arc_level_is_dimension(self, cube3):
+        spec = HypercubeQSpec(cube3, 0.5)
+        assert spec.arc_level(0) == 0
+        assert spec.arc_level(8) == 1
+        assert spec.arc_level(23) == 2
+
+    def test_property_a_external_rates(self, cube3):
+        # rate lam p (1-p)^dim at every arc of that dimension
+        spec = HypercubeQSpec(cube3, 0.25)
+        rates = spec.external_rates(2.0)
+        for arc in range(24):
+            dim = arc // 8
+            assert rates[arc] == pytest.approx(2.0 * 0.25 * 0.75**dim)
+
+    def test_external_rates_sum_to_moving_packets(self, cube3):
+        # total external rate = lam * 2^d * P[mask != 0]
+        p, lam = 0.3, 1.5
+        spec = HypercubeQSpec(cube3, p)
+        expected = lam * 8 * (1 - (1 - p) ** 3)
+        assert spec.external_rates(lam).sum() == pytest.approx(expected)
+
+    def test_prop5_traffic_equations(self, cube4):
+        # solving the flow equations must give lam*p at EVERY arc
+        for p in (0.2, 0.5, 0.9):
+            spec = HypercubeQSpec(cube4, p)
+            solved = spec.solve_total_rates(1.3)
+            np.testing.assert_allclose(solved, 1.3 * p, rtol=1e-12)
+
+    def test_lemma4_decision_distribution(self, cube3, rng):
+        # after crossing (x, dim 0), next dim j w.p. p(1-p)^(j-1), exit
+        # w.p. (1-p)^(d-1)
+        p = 0.4
+        spec = HypercubeQSpec(cube3, p)
+        arc = cube3.arc_index(5, 0)
+        dec = spec.draw_decisions(arc, 100_000, rng)
+        head = 5 ^ 1
+        frac_exit = np.mean(dec == EXIT)
+        frac_d1 = np.mean(dec == cube3.arc_index(head, 1))
+        frac_d2 = np.mean(dec == cube3.arc_index(head, 2))
+        assert frac_d1 == pytest.approx(p, abs=0.01)
+        assert frac_d2 == pytest.approx(p * (1 - p), abs=0.01)
+        assert frac_exit == pytest.approx((1 - p) ** 2, abs=0.01)
+
+    def test_decisions_target_correct_tail(self, cube3, rng):
+        # Property C: the next arc's tail is the current head
+        spec = HypercubeQSpec(cube3, 0.5)
+        arc = cube3.arc_index(3, 1)
+        head = 3 ^ 2
+        dec = spec.draw_decisions(arc, 1000, rng)
+        moving = dec[dec != EXIT]
+        tails = moving % 8
+        assert np.all(tails == head)
+
+    def test_last_dimension_always_exits(self, cube3, rng):
+        spec = HypercubeQSpec(cube3, 0.5)
+        arc = cube3.arc_index(0, 2)
+        dec = spec.draw_decisions(arc, 500, rng)
+        assert np.all(dec == EXIT)
+
+    def test_p_one_deterministic_chain(self, cube3, rng):
+        spec = HypercubeQSpec(cube3, 1.0)
+        arc = cube3.arc_index(0, 0)
+        dec = spec.draw_decisions(arc, 100, rng)
+        assert np.all(dec == cube3.arc_index(1, 1))
+
+    def test_rejects_p_zero(self, cube3):
+        with pytest.raises(ConfigurationError):
+            HypercubeQSpec(cube3, 0.0)
+
+    def test_sample_external_arrivals(self, cube3):
+        spec = HypercubeQSpec(cube3, 0.5)
+        times, arcs = spec.sample_external_arrivals(1.0, 500.0, rng=5)
+        assert np.all(np.diff(times) >= 0)
+        # empirical per-dim split ~ geometric
+        dims = arcs // 8
+        frac0 = np.mean(dims == 0)
+        assert frac0 == pytest.approx(0.5 / (1 - 0.5**3), abs=0.02)
+
+
+class TestButterflyRSpec:
+    def test_dimensions(self, bf3):
+        spec = ButterflyRSpec(bf3, 0.5)
+        assert spec.num_arcs == 48
+        assert spec.num_levels == 3
+
+    def test_prop15_traffic_equations(self, bf3):
+        for p in (0.2, 0.5, 0.8):
+            spec = ButterflyRSpec(bf3, p)
+            solved = spec.solve_total_rates(1.1)
+            expected = spec.total_rates(1.1)
+            np.testing.assert_allclose(solved, expected, rtol=1e-12)
+
+    def test_total_rates_by_kind(self, bf3):
+        spec = ButterflyRSpec(bf3, 0.3)
+        rates = spec.total_rates(2.0)
+        kinds = np.arange(48) % 2
+        np.testing.assert_allclose(rates[kinds == 0], 2.0 * 0.7)
+        np.testing.assert_allclose(rates[kinds == 1], 2.0 * 0.3)
+
+    def test_external_only_at_level0(self, bf3):
+        spec = ButterflyRSpec(bf3, 0.5)
+        rates = spec.external_rates(1.0)
+        assert np.all(rates[16:] == 0.0)
+        assert rates[:16].sum() == pytest.approx(8.0)
+
+    def test_decision_kind_probability(self, bf3, rng):
+        spec = ButterflyRSpec(bf3, 0.3)
+        arc = bf3.arc_index(2, 0, 0)
+        dec = spec.draw_decisions(arc, 50_000, rng)
+        kinds = dec % 2
+        assert np.mean(kinds == 1) == pytest.approx(0.3, abs=0.01)
+
+    def test_final_level_exits(self, bf3, rng):
+        spec = ButterflyRSpec(bf3, 0.5)
+        arc = bf3.arc_index(0, 2, 1)
+        assert np.all(spec.draw_decisions(arc, 100, rng) == EXIT)
+
+    def test_vertical_decision_updates_row(self, bf3, rng):
+        spec = ButterflyRSpec(bf3, 0.5)
+        arc = bf3.arc_index(1, 0, 1)  # vertical at level 0: row 1 -> 0
+        dec = spec.draw_decisions(arc, 200, rng)
+        rows = (dec % 16) // 2
+        assert np.all(rows == 0)
+
+
+class TestExplicitSpec:
+    def _fig2_network(self, q1=0.5, q2=0.5):
+        """The Fig. 2 three-server network: S1, S2 feed S3."""
+        return ExplicitLevelledSpec(
+            levels=[0, 0, 1],
+            routing={
+                0: ([2, EXIT], [q1, 1 - q1]),
+                1: ([2, EXIT], [q2, 1 - q2]),
+            },
+        )
+
+    def test_fig2_structure(self):
+        spec = self._fig2_network()
+        assert spec.num_arcs == 3
+        assert spec.num_levels == 2
+        assert spec.arc_level(2) == 1
+
+    def test_unrouted_arc_exits(self, rng):
+        spec = self._fig2_network()
+        assert np.all(spec.draw_decisions(2, 50, rng) == EXIT)
+
+    def test_decision_frequencies(self, rng):
+        spec = self._fig2_network(q1=0.8)
+        dec = spec.draw_decisions(0, 20_000, rng)
+        assert np.mean(dec == 2) == pytest.approx(0.8, abs=0.01)
+
+    def test_rejects_level_violation(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitLevelledSpec(levels=[0, 0], routing={0: ([1], [1.0])})
+
+    def test_rejects_bad_pmf(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitLevelledSpec(levels=[0, 1], routing={0: ([1], [0.5])})
+
+    def test_rejects_empty_levels(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitLevelledSpec(levels=[], routing={})
+
+
+class TestExternalFromSample:
+    def test_hypercube_entry_arcs(self, cube4):
+        wl = HypercubeWorkload(cube4, 1.0, BernoulliFlipLaw(4, 0.5))
+        sample = wl.generate(200.0, rng=3)
+        times, arcs, pids = hypercube_external_from_sample(cube4, sample)
+        diff = sample.origins ^ sample.destinations
+        moving = diff != 0
+        assert times.shape[0] == int(moving.sum())
+        # entry arc dimension == lowest set bit of the mask
+        for k in range(min(50, times.shape[0])):
+            pid = pids[k]
+            v = int(diff[pid])
+            first = (v & -v).bit_length() - 1
+            assert arcs[k] // 16 == first
+            assert arcs[k] % 16 == sample.origins[pid]
+
+    def test_butterfly_every_packet_enters(self, bf3):
+        wl = ButterflyWorkload(bf3, 1.0, BernoulliFlipLaw(3, 0.5))
+        sample = wl.generate(100.0, rng=4)
+        times, arcs, pids = butterfly_external_from_sample(bf3, sample)
+        assert times.shape[0] == sample.num_packets
+        # all entry arcs at level 0
+        assert np.all(arcs < 16)
+        kinds = arcs % 2
+        expected = (sample.origins ^ sample.destinations) & 1
+        np.testing.assert_array_equal(kinds, expected)

@@ -1,0 +1,229 @@
+"""Tests for the queueing-theory formulas (M/D/1, M/D/c, product form)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import UnstableSystemError
+from repro.queueing.littleslaw import delay_from_population, population_from_delay
+from repro.queueing.md1 import md1_mean_number, md1_sojourn, md1_wait
+from repro.queueing.mdc import (
+    erlang_b,
+    erlang_c,
+    mdc_sojourn_brumelle_lower,
+    mdc_sojourn_cosmetatos,
+    mdc_sojourn_mc,
+    mmc_wait,
+)
+from repro.queueing.mm1 import (
+    geometric_mean,
+    geometric_pmf,
+    geometric_tail,
+    mm1_mean_number,
+)
+from repro.queueing.productform import (
+    ProductFormNetwork,
+    butterfly_ps_mean_population,
+    hypercube_ps_mean_population,
+)
+
+
+class TestMD1:
+    def test_wait_formula(self):
+        assert md1_wait(0.5) == pytest.approx(0.5)
+        assert md1_wait(0.8) == pytest.approx(0.8 / 0.4)
+
+    def test_sojourn_is_wait_plus_service(self):
+        assert md1_sojourn(0.6) == pytest.approx(1.0 + md1_wait(0.6))
+
+    def test_mean_number_eq16(self):
+        rho = 0.7
+        assert md1_mean_number(rho) == pytest.approx(rho + rho**2 / (2 * 0.3))
+
+    def test_littles_law_consistency(self):
+        # N = rho * T for M/D/1 (arrival rate == rho at unit service)
+        rho = 0.65
+        assert md1_mean_number(rho) == pytest.approx(rho * md1_sojourn(rho))
+
+    def test_zero_load(self):
+        assert md1_wait(0.0) == 0.0
+        assert md1_sojourn(0.0) == 1.0
+
+    @pytest.mark.parametrize("rho", [1.0, 1.5])
+    def test_unstable_raises(self, rho):
+        with pytest.raises(UnstableSystemError):
+            md1_wait(rho)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            md1_wait(-0.1)
+
+
+class TestErlang:
+    def test_erlang_b_known_values(self):
+        # classic: c=1 -> B = a/(1+a)
+        assert erlang_b(1, 1.0) == pytest.approx(0.5)
+        assert erlang_b(2, 1.0) == pytest.approx(0.2)
+
+    def test_erlang_b_zero_servers(self):
+        assert erlang_b(0, 2.0) == 1.0
+
+    def test_erlang_c_single_server(self):
+        # M/M/1: probability of waiting = rho
+        assert erlang_c(1, 0.7) == pytest.approx(0.7)
+
+    def test_erlang_c_unstable(self):
+        with pytest.raises(UnstableSystemError):
+            erlang_c(2, 2.0)
+
+    def test_mmc_wait_single_server(self):
+        # M/M/1 wait = rho/(1-rho)
+        assert mmc_wait(1, 0.5) == pytest.approx(1.0)
+
+    def test_mmc_wait_decreases_with_servers(self):
+        assert mmc_wait(4, 0.8) < mmc_wait(2, 0.8) < mmc_wait(1, 0.8)
+
+
+class TestMDC:
+    def test_brumelle_at_c1_below_exact(self):
+        # c=1: bound 1 + rho/(2(1-rho)) equals the exact M/D/1 sojourn.
+        rho = 0.6
+        assert mdc_sojourn_brumelle_lower(1, rho) == pytest.approx(md1_sojourn(rho))
+
+    def test_brumelle_decreases_with_servers(self):
+        assert mdc_sojourn_brumelle_lower(8, 0.8) < mdc_sojourn_brumelle_lower(2, 0.8)
+
+    def test_cosmetatos_exact_at_c1(self):
+        rho = 0.7
+        assert mdc_sojourn_cosmetatos(1, rho) == pytest.approx(md1_sojourn(rho))
+
+    def test_brumelle_form_heavy_traffic_agreement(self):
+        # The paper's closed form is asymptotically exact as rho -> 1:
+        # (1-rho)-scaled waits converge to 1/(2c).
+        c = 4
+        for rho in (0.95, 0.99):
+            paper = (mdc_sojourn_brumelle_lower(c, rho) - 1.0) * (1 - rho)
+            assert paper == pytest.approx(rho / (2 * c), abs=1e-12)
+
+    def test_mc_close_to_cosmetatos(self):
+        # Monte Carlo vs approximation: a few percent at c=4
+        c, rho = 4, 0.7
+        mc = mdc_sojourn_mc(c, rho, num_customers=150_000, rng=3)
+        assert mc == pytest.approx(mdc_sojourn_cosmetatos(c, rho), rel=0.05)
+
+    def test_paper_form_vs_true_value_documented_gap(self):
+        # Documented behaviour: the reconstructed closed form exceeds
+        # the true sojourn at light load (where Prop 2's max picks dp).
+        c, rho = 2, 0.3
+        mc = mdc_sojourn_mc(c, rho, num_customers=100_000, rng=4)
+        assert mc < mdc_sojourn_brumelle_lower(c, rho)
+
+    def test_mc_zero_load(self):
+        assert mdc_sojourn_mc(4, 0.0, num_customers=10, rng=0) == 1.0
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            mdc_sojourn_brumelle_lower(4, 1.0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            mdc_sojourn_brumelle_lower(0, 0.5)
+        with pytest.raises(ValueError):
+            mdc_sojourn_mc(2, 0.5, num_customers=0)
+
+
+class TestGeometric:
+    def test_pmf_normalises(self):
+        n = np.arange(200)
+        assert geometric_pmf(0.6, n).sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_tail_consistency(self):
+        rho = 0.5
+        assert geometric_tail(rho, 3) == pytest.approx(rho**3)
+        assert geometric_tail(rho, 0) == 1.0
+
+    def test_mean(self):
+        assert mm1_mean_number(0.5) == pytest.approx(1.0)
+        assert geometric_mean(0.75) == pytest.approx(3.0)
+
+    def test_negative_n_pmf_zero(self):
+        assert geometric_pmf(0.5, -1) == 0.0
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            mm1_mean_number(1.0)
+
+
+class TestProductForm:
+    def test_mean_population_sum(self):
+        net = ProductFormNetwork([0.5, 0.5, 0.8])
+        assert net.mean_population() == pytest.approx(1.0 + 1.0 + 4.0)
+
+    def test_hypercube_formula(self):
+        # N = d 2^d rho/(1-rho)
+        assert hypercube_ps_mean_population(3, 0.5) == pytest.approx(24.0)
+        net = ProductFormNetwork([0.5] * 24)
+        assert net.mean_population() == pytest.approx(
+            hypercube_ps_mean_population(3, 0.5)
+        )
+
+    def test_butterfly_formula_eq21(self):
+        d, lam, p = 3, 1.2, 0.4
+        rv, rs = lam * p, lam * (1 - p)
+        expected = 3 * 8 * (rv / (1 - rv) + rs / (1 - rs))
+        assert butterfly_ps_mean_population(d, lam, p) == pytest.approx(expected)
+
+    def test_mean_delay_little(self):
+        net = ProductFormNetwork([0.5] * 24)  # cube d=3, rho=.5
+        lam2d = 8.0  # throughput
+        # T = N/Lambda = 24/8 = 3 = d*p/(1-rho) with p=.5? dp/(1-rho)=1.5/.5=3 yes
+        assert net.mean_delay(lam2d) == pytest.approx(3.0)
+
+    def test_chernoff_tail_below_one_above_mean(self):
+        net = ProductFormNetwork([0.6] * 50)
+        bound = net.chernoff_tail(1.5 * net.mean_population())
+        assert 0.0 < bound < 1.0
+
+    def test_chernoff_vacuous_below_mean(self):
+        net = ProductFormNetwork([0.6] * 10)
+        assert net.chernoff_tail(0.5 * net.mean_population()) == 1.0
+
+    def test_chernoff_tightens_with_scale(self):
+        # more servers -> relatively tighter concentration
+        small = ProductFormNetwork([0.5] * 10)
+        large = ProductFormNetwork([0.5] * 200)
+        eps = 0.5
+        assert large.population_quantile_bound(eps) < small.population_quantile_bound(eps)
+
+    def test_mgf_infinite_beyond_radius(self):
+        net = ProductFormNetwork([0.5])
+        assert net.log_mgf(math.log(2.0) + 0.1) == math.inf
+
+    def test_unstable_raises(self):
+        with pytest.raises(UnstableSystemError):
+            ProductFormNetwork([0.5, 1.0])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ProductFormNetwork([])
+        with pytest.raises(ValueError):
+            ProductFormNetwork([-0.1])
+        with pytest.raises(ValueError):
+            hypercube_ps_mean_population(0, 0.5)
+        with pytest.raises(UnstableSystemError):
+            butterfly_ps_mean_population(3, 2.5, 0.5)
+
+
+class TestLittlesLaw:
+    def test_roundtrip(self):
+        assert delay_from_population(10.0, 2.0) == 5.0
+        assert population_from_delay(5.0, 2.0) == 10.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            delay_from_population(1.0, 0.0)
+        with pytest.raises(ValueError):
+            population_from_delay(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            delay_from_population(-1.0, 1.0)

@@ -1,0 +1,72 @@
+"""Tests for RNG plumbing and the exception hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.rng import as_generator, spawn, spawn_many
+
+
+class TestAsGenerator:
+    def test_none_gives_fresh_generator(self):
+        g1, g2 = as_generator(None), as_generator(None)
+        assert isinstance(g1, np.random.Generator)
+        assert g1 is not g2
+
+    def test_int_seed_reproducible(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_generator(g) is g
+
+    def test_seed_sequence(self):
+        ss = np.random.SeedSequence(7)
+        a = as_generator(ss).random(3)
+        b = as_generator(np.random.SeedSequence(7)).random(3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSpawn:
+    def test_children_independent_of_parent_consumption(self):
+        g1 = as_generator(1)
+        g2 = as_generator(1)
+        # consuming the parent before/after spawn gives same child stream
+        child1 = spawn(g1)
+        g2.random(100)
+        child2 = spawn(g2)
+        np.testing.assert_array_equal(child1.random(5), child2.random(5))
+
+    def test_spawn_many_distinct(self):
+        children = spawn_many(as_generator(3), 4)
+        outs = [c.random(3).tolist() for c in children]
+        assert len({tuple(o) for o in outs}) == 4
+
+    def test_spawn_many_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_many(as_generator(0), -1)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (
+            errors.TopologyError,
+            errors.UnstableSystemError,
+            errors.SimulationError,
+            errors.MeasurementError,
+            errors.ConfigurationError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_unstable_formats_rho(self):
+        err = errors.UnstableSystemError(1.25, "thing")
+        assert "1.25" in str(err)
+        assert err.rho == 1.25
+
+    def test_value_error_compatibility(self):
+        # users may catch ValueError for config/stability issues
+        assert issubclass(errors.UnstableSystemError, ValueError)
+        assert issubclass(errors.ConfigurationError, ValueError)
+        assert issubclass(errors.TopologyError, ValueError)

@@ -1,0 +1,130 @@
+"""Tests for the FIFO and PS server primitives, incl. Lemma 7."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.lindley import fifo_departure_times, unfinished_work
+from repro.sim.servers import FifoServer, PSServer, ps_departure_times
+
+sorted_times = (
+    st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=40)
+    .map(sorted)
+    .map(np.array)
+)
+
+
+class TestFifoServer:
+    def test_matches_offline_lindley(self, rng):
+        t = np.sort(rng.random(200) * 100)
+        server = FifoServer()
+        online = np.array([server.arrive(ti) for ti in t])
+        np.testing.assert_allclose(online, fifo_departure_times(t))
+
+    def test_rejects_decreasing_arrivals(self):
+        server = FifoServer()
+        server.arrive(5.0)
+        with pytest.raises(ValueError):
+            server.arrive(4.0)
+
+    def test_rejects_bad_service(self):
+        with pytest.raises(ValueError):
+            FifoServer(service=-1.0)
+
+    def test_busy_until(self):
+        server = FifoServer()
+        server.arrive(0.0)
+        server.arrive(0.0)
+        assert server.busy_until == pytest.approx(2.0)
+
+
+class TestPSServer:
+    def test_paper_example(self):
+        """§3.3 worked example: arrivals at 0 and 1/2, unit work.
+
+        First customer departs at 3/2, second at 2 (both slowed to
+        rate 1/2 while sharing).
+        """
+        out = ps_departure_times(np.array([0.0, 0.5]))
+        np.testing.assert_allclose(out, [1.5, 2.0])
+
+    def test_lone_customer_unit_service(self):
+        np.testing.assert_allclose(ps_departure_times(np.array([3.0])), [4.0])
+
+    def test_simultaneous_pair_shares_equally(self):
+        out = ps_departure_times(np.array([2.0, 2.0]))
+        np.testing.assert_allclose(out, [4.0, 4.0])
+
+    def test_three_way_sharing(self):
+        # arrivals at 0, 0, 0: each served at 1/3 -> all depart at 3.
+        out = ps_departure_times(np.zeros(3))
+        np.testing.assert_allclose(out, [3.0, 3.0, 3.0])
+
+    def test_departures_preserve_arrival_order(self, rng):
+        t = np.sort(rng.random(100) * 30)
+        out = ps_departure_times(t)
+        assert np.all(np.diff(out) >= -1e-9)
+
+    def test_empty(self):
+        assert ps_departure_times(np.array([])).shape == (0,)
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            ps_departure_times(np.array([1.0, 0.0]))
+
+    def test_server_object_rejects_bad_work(self):
+        srv = PSServer()
+        with pytest.raises(ValueError):
+            srv.arrive(0.0, work=0.0)
+
+    def test_server_time_cannot_go_backwards(self):
+        srv = PSServer()
+        srv.arrive(5.0)
+        with pytest.raises(ValueError):
+            srv.advance(1.0)
+
+    def test_pop_departure_empty(self):
+        with pytest.raises(RuntimeError):
+            PSServer().pop_departure()
+
+    def test_next_departure_none_when_idle(self):
+        assert PSServer().next_departure_time() is None
+
+
+class TestLemma7:
+    """Lemma 7: FIFO departures never trail PS departures."""
+
+    def test_example_from_proof(self):
+        t = np.array([0.0, 0.5])
+        d_fifo = fifo_departure_times(t)
+        d_ps = ps_departure_times(t)
+        assert np.all(d_fifo <= d_ps + 1e-12)
+        # and the inequality is strict for the first customer here
+        assert d_fifo[0] < d_ps[0]
+
+    @settings(max_examples=200, deadline=None)
+    @given(t=sorted_times)
+    def test_property_fifo_dominates_ps(self, t):
+        d_fifo = fifo_departure_times(t)
+        d_ps = ps_departure_times(t)
+        assert np.all(d_fifo <= d_ps + 1e-9)
+
+    @settings(max_examples=100, deadline=None)
+    @given(t=sorted_times)
+    def test_property_work_conservation(self, t):
+        """PS and FIFO finish the same total work by any time: the
+        last departure coincides (both disciplines are work-conserving
+        and non-idling)."""
+        d_fifo = fifo_departure_times(t)
+        d_ps = ps_departure_times(t)
+        assert d_fifo[-1] == pytest.approx(d_ps[-1], abs=1e-6)
+
+    @settings(max_examples=100, deadline=None)
+    @given(t=sorted_times, data=st.data())
+    def test_property_ps_departure_after_remaining_work(self, t, data):
+        """Eq. (12) of the proof: D~_i >= t_i + W(t_i-) + 1."""
+        i = data.draw(st.integers(min_value=0, max_value=len(t) - 1))
+        d_ps = ps_departure_times(t)
+        w = unfinished_work(t, at=float(t[i]))
+        assert d_ps[i] >= t[i] + w + 1.0 - 1e-6

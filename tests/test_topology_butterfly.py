@@ -1,0 +1,129 @@
+"""Unit tests for the butterfly topology (paper §4.1, Fig. 3a)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.butterfly import STRAIGHT, VERTICAL, Butterfly
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        bf = Butterfly(2)
+        assert bf.d == 2
+        assert bf.rows == 4
+        assert bf.num_nodes == 12  # (d+1) * 2^d
+        assert bf.num_arcs == 16  # d * 2^(d+1)
+        assert bf.num_levels == 2
+
+    @pytest.mark.parametrize("d", [1, 3, 6])
+    def test_counts_scale(self, d):
+        bf = Butterfly(d)
+        assert bf.num_nodes == (d + 1) * 2**d
+        assert bf.num_arcs == d * 2 ** (d + 1)
+
+    @pytest.mark.parametrize("bad", [0, -2, 30, 1.5, True])
+    def test_rejects_bad_dimension(self, bad):
+        with pytest.raises(TopologyError):
+            Butterfly(bad)
+
+    def test_equality(self):
+        assert Butterfly(3) == Butterfly(3)
+        assert Butterfly(3) != Butterfly(2)
+
+
+class TestArcIndexing:
+    def test_roundtrip(self, bf3):
+        for index in range(bf3.num_arcs):
+            row, level, kind = bf3.arc_components(index)
+            assert bf3.arc_index(row, level, kind) == index
+
+    def test_level_slices_partition_arcs(self, bf3):
+        seen = []
+        for level in range(bf3.num_levels):
+            s = bf3.level_slice(level)
+            seen.extend(range(s.start, s.stop))
+        assert seen == list(range(bf3.num_arcs))
+
+    def test_straight_arc_preserves_row(self, bf3):
+        arc = bf3.arc(bf3.arc_index(5, 1, STRAIGHT))
+        row_t, lvl_t = bf3.node_components(arc.tail)
+        row_h, lvl_h = bf3.node_components(arc.head)
+        assert (row_t, lvl_t) == (5, 1)
+        assert (row_h, lvl_h) == (5, 2)
+
+    def test_vertical_arc_flips_level_bit(self, bf3):
+        arc = bf3.arc(bf3.arc_index(5, 1, VERTICAL))
+        row_h, lvl_h = bf3.node_components(arc.head)
+        assert row_h == 5 ^ 2  # flips bit 1
+        assert lvl_h == 2
+
+    def test_arc_validation(self, bf3):
+        with pytest.raises(TopologyError):
+            bf3.arc_index(8, 0, STRAIGHT)
+        with pytest.raises(TopologyError):
+            bf3.arc_index(0, 3, STRAIGHT)  # arc levels go 0..d-1
+        with pytest.raises(TopologyError):
+            bf3.arc_index(0, 0, 2)
+
+    def test_node_id_roundtrip(self, bf3):
+        for level in range(bf3.d + 1):
+            for row in range(bf3.rows):
+                node = bf3.node_id(row, level)
+                assert bf3.node_components(node) == (row, level)
+
+    def test_each_tail_node_has_two_outgoing_arcs(self, bf3):
+        from collections import Counter
+
+        tails = Counter(a.tail for a in bf3.arcs())
+        # every node at levels 0..d-1 has exactly 2 outgoing arcs
+        assert all(c == 2 for c in tails.values())
+        assert len(tails) == bf3.d * bf3.rows
+
+
+class TestUniquePaths:
+    def test_path_kinds_match_xor(self, bf3):
+        kinds = bf3.path_kinds(0b000, 0b101)
+        assert kinds == [1, 0, 1]
+
+    def test_path_has_d_arcs(self, bf3):
+        for x in (0, 3, 7):
+            for z in (0, 5, 6):
+                assert len(bf3.path_arcs(x, z)) == 3
+
+    def test_path_rows_end_at_destination(self, bf3):
+        for x in (0, 2, 7):
+            for z in (1, 4, 7):
+                rows = bf3.path_rows(x, z)
+                assert rows[0] == x
+                assert rows[-1] == z
+                assert len(rows) == bf3.d + 1
+
+    def test_path_arcs_are_level_ordered(self, bf3):
+        arcs = bf3.path_arcs(2, 5)
+        levels = [bf3.arc_components(a)[1] for a in arcs]
+        assert levels == [0, 1, 2]
+
+    def test_vertical_count_equals_hamming(self, bf3):
+        # §4.1: the path has exactly H(x, z) vertical arcs.
+        for x in range(8):
+            for z in range(8):
+                arcs = bf3.path_arcs(x, z)
+                verticals = sum(bf3.arc_components(a)[2] for a in arcs)
+                assert verticals == bf3.hamming(x, z)
+
+    def test_paths_consistent_with_arcs(self, bf3):
+        # following the arcs from [x;0] must land on [z;d]
+        x, z = 0b011, 0b100
+        rows = bf3.path_rows(x, z)
+        for arc_id, level in zip(bf3.path_arcs(x, z), range(3)):
+            arc = bf3.arc(arc_id)
+            assert bf3.node_components(arc.tail) == (rows[level], level)
+            assert bf3.node_components(arc.head) == (rows[level + 1], level + 1)
+
+    def test_antipodal_path_all_vertical(self, bf3):
+        kinds = bf3.path_kinds(0, 7)
+        assert kinds == [1, 1, 1]
+
+    def test_same_row_path_all_straight(self, bf3):
+        kinds = bf3.path_kinds(5, 5)
+        assert kinds == [0, 0, 0]

@@ -1,0 +1,190 @@
+"""Unit tests for the d-cube topology (paper §1.1, Fig. 1a)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.hypercube import Hypercube
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        cube = Hypercube(3)
+        assert cube.d == 3
+        assert cube.num_nodes == 8
+        assert cube.num_arcs == 24  # d * 2^d
+        assert cube.num_levels == 3
+        assert cube.diameter == 3
+
+    @pytest.mark.parametrize("d", [1, 2, 5, 10])
+    def test_counts_scale(self, d):
+        cube = Hypercube(d)
+        assert cube.num_nodes == 2**d
+        assert cube.num_arcs == d * 2**d
+
+    @pytest.mark.parametrize("bad", [0, -1, 25, 3.5, "3", True])
+    def test_rejects_bad_dimension(self, bad):
+        with pytest.raises(TopologyError):
+            Hypercube(bad)
+
+    def test_equality_and_hash(self):
+        assert Hypercube(3) == Hypercube(3)
+        assert Hypercube(3) != Hypercube(4)
+        assert hash(Hypercube(3)) == hash(Hypercube(3))
+
+
+class TestNodeOps:
+    def test_e_vectors(self, cube3):
+        assert [cube3.e(j) for j in range(3)] == [1, 2, 4]
+
+    def test_e_rejects_bad_dim(self, cube3):
+        with pytest.raises(TopologyError):
+            cube3.e(3)
+        with pytest.raises(TopologyError):
+            cube3.e(-1)
+
+    def test_flip_is_involution(self, cube3):
+        for x in range(8):
+            for j in range(3):
+                assert cube3.flip(cube3.flip(x, j), j) == x
+
+    def test_neighbors(self, cube3):
+        assert sorted(cube3.neighbors(0)) == [1, 2, 4]
+        assert sorted(cube3.neighbors(7)) == [3, 5, 6]
+
+    def test_neighbors_are_at_distance_one(self, cube4):
+        for x in (0, 5, 15):
+            for y in cube4.neighbors(x):
+                assert cube4.hamming(x, y) == 1
+
+    def test_validate_node_range(self, cube3):
+        with pytest.raises(TopologyError):
+            cube3.validate_node(8)
+        with pytest.raises(TopologyError):
+            cube3.validate_node(-1)
+
+    def test_antipode(self, cube3):
+        assert cube3.antipode(0) == 7
+        assert cube3.antipode(5) == 2
+        for x in range(8):
+            assert cube3.hamming(x, cube3.antipode(x)) == 3
+
+    def test_translate_preserves_distance(self, cube4):
+        # §1.1: renaming x -> x ^ y* preserves all Hamming distances.
+        y_star = 0b1010
+        for x in range(16):
+            for z in (0, 3, 9, 15):
+                assert cube4.hamming(x, z) == cube4.hamming(
+                    cube4.translate(x, y_star), cube4.translate(z, y_star)
+                )
+
+
+class TestHamming:
+    def test_scalar_values(self, cube3):
+        assert cube3.hamming(0, 0) == 0
+        assert cube3.hamming(0, 7) == 3
+        assert cube3.hamming(0b101, 0b011) == 2
+
+    def test_symmetry(self, cube4):
+        for x in (0, 7, 12):
+            for z in (1, 5, 15):
+                assert cube4.hamming(x, z) == cube4.hamming(z, x)
+
+    def test_triangle_inequality(self, cube3):
+        nodes = range(8)
+        for x in nodes:
+            for y in nodes:
+                for z in nodes:
+                    assert cube3.hamming(x, z) <= cube3.hamming(x, y) + cube3.hamming(y, z)
+
+    def test_vectorised_matches_scalar(self, cube4, rng):
+        x = rng.integers(0, 16, size=50)
+        y = rng.integers(0, 16, size=50)
+        vec = cube4.hamming_many(x, y)
+        ref = [cube4.hamming(int(a), int(b)) for a, b in zip(x, y)]
+        assert vec.tolist() == ref
+
+
+class TestArcIndexing:
+    def test_roundtrip(self, cube3):
+        for index in range(cube3.num_arcs):
+            arc = cube3.arc(index)
+            assert arc.index == index
+            assert cube3.arc_index(arc.tail, arc.level) == index
+
+    def test_layout_is_dimension_major(self, cube3):
+        # dimension k occupies [k * 2^d, (k+1) * 2^d)
+        assert cube3.arc_index(0, 0) == 0
+        assert cube3.arc_index(7, 0) == 7
+        assert cube3.arc_index(0, 1) == 8
+        assert cube3.arc_index(5, 2) == 21
+
+    def test_level_slice(self, cube3):
+        s = cube3.level_slice(1)
+        assert (s.start, s.stop) == (8, 16)
+        for idx in range(s.start, s.stop):
+            assert cube3.arc_dim(idx) == 1
+
+    def test_arc_head_flips_dim(self, cube3):
+        arc = cube3.arc(cube3.arc_index(5, 1))
+        assert arc.head == 5 ^ 2
+
+    def test_all_arcs_enumeration(self, cube3):
+        arcs = list(cube3.arcs())
+        assert len(arcs) == cube3.num_arcs
+        assert [a.index for a in arcs] == list(range(cube3.num_arcs))
+        # every arc connects nodes at Hamming distance 1
+        for a in arcs:
+            assert cube3.hamming(a.tail, a.head) == 1
+
+    def test_antiparallel_pairs_exist(self, cube3):
+        arcs = {(a.tail, a.head) for a in cube3.arcs()}
+        for (t, h) in arcs:
+            assert (h, t) in arcs
+
+    def test_arc_index_many(self, cube4, rng):
+        tails = rng.integers(0, 16, size=30)
+        dims = rng.integers(0, 4, size=30)
+        out = cube4.arc_index_many(tails, dims)
+        ref = [cube4.arc_index(int(t), int(j)) for t, j in zip(tails, dims)]
+        assert out.tolist() == ref
+
+    def test_validate_arc_index(self, cube3):
+        with pytest.raises(TopologyError):
+            cube3.arc(24)
+        with pytest.raises(TopologyError):
+            cube3.arc(-1)
+
+
+class TestCanonicalPaths:
+    def test_dims_increasing(self, cube4):
+        assert cube4.dims_to_cross(0b0000, 0b1011) == [0, 1, 3]
+
+    def test_path_matches_paper_example(self):
+        # Paper §1.1: (0,0,0,0) -> (1,0,1,1) crosses dims 1,3,4 (1-based)
+        # via (0001), (0101)... our 0-based: 0, 1, 3.
+        cube = Hypercube(4)
+        nodes = cube.canonical_path_nodes(0b0000, 0b1011)
+        assert nodes == [0b0000, 0b0001, 0b0011, 0b1011]
+
+    def test_path_length_equals_hamming(self, cube4):
+        for x in (0, 6, 15):
+            for z in (0, 3, 10):
+                arcs = cube4.canonical_path_arcs(x, z)
+                assert len(arcs) == cube4.hamming(x, z)
+
+    def test_empty_path_for_self(self, cube3):
+        assert cube3.canonical_path_arcs(5, 5) == []
+        assert cube3.canonical_path_nodes(5, 5) == [5]
+
+    def test_path_arcs_consistent_with_nodes(self, cube4):
+        x, z = 0b0101, 0b1010
+        nodes = cube4.canonical_path_nodes(x, z)
+        arcs = cube4.canonical_path_arcs(x, z)
+        for arc_id, (a, b) in zip(arcs, zip(nodes, nodes[1:])):
+            arc = cube4.arc(arc_id)
+            assert (arc.tail, arc.head) == (a, b)
+
+    def test_path_unique_per_pair(self, cube3):
+        # Canonical path is deterministic: same input, same output.
+        assert cube3.canonical_path_arcs(1, 6) == cube3.canonical_path_arcs(1, 6)

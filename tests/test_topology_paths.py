@@ -1,0 +1,109 @@
+"""Tests for shortest-path utilities, incl. hypothesis properties."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.topology.hypercube import Hypercube
+from repro.topology.paths import (
+    all_shortest_paths,
+    dims_to_cross,
+    is_shortest_path,
+    path_arcs,
+)
+
+
+class TestDimsToCross:
+    def test_default_is_increasing(self, cube4):
+        assert dims_to_cross(cube4, 0, 0b1101) == [0, 2, 3]
+
+    def test_custom_order(self, cube4):
+        assert dims_to_cross(cube4, 0, 0b101, order=[2, 0]) == [2, 0]
+
+    def test_rejects_non_permutation(self, cube4):
+        with pytest.raises(TopologyError):
+            dims_to_cross(cube4, 0, 0b101, order=[0, 1])
+        with pytest.raises(TopologyError):
+            dims_to_cross(cube4, 0, 0b101, order=[0])
+
+
+class TestPathArcs:
+    def test_any_order_reaches_destination(self, cube4):
+        x, z = 0b0011, 0b1100
+        for order in ([0, 1, 2, 3], [3, 2, 1, 0], [1, 3, 0, 2]):
+            arcs = path_arcs(cube4, x, z, order=order)
+            cur = x
+            for a in arcs:
+                arc = cube4.arc(a)
+                assert arc.tail == cur
+                cur = arc.head
+            assert cur == z
+
+
+class TestAllShortestPaths:
+    def test_count_is_factorial_of_distance(self, cube4):
+        x, z = 0, 0b0111
+        paths = list(all_shortest_paths(cube4, x, z))
+        assert len(paths) == math.factorial(3)
+        # all distinct
+        assert len({tuple(p) for p in paths}) == len(paths)
+
+    def test_all_are_shortest(self, cube4):
+        for nodes in all_shortest_paths(cube4, 0b0001, 0b1110):
+            assert is_shortest_path(cube4, nodes)
+
+    def test_canonical_path_is_among_them(self, cube4):
+        x, z = 0b0010, 0b1001
+        canonical = cube4.canonical_path_nodes(x, z)
+        assert canonical in list(all_shortest_paths(cube4, x, z))
+
+
+class TestIsShortestPath:
+    def test_empty_and_singleton(self, cube3):
+        assert not is_shortest_path(cube3, [])
+        assert is_shortest_path(cube3, [5])
+
+    def test_detects_non_adjacent_hop(self, cube3):
+        assert not is_shortest_path(cube3, [0, 3])
+
+    def test_detects_dimension_recross(self, cube3):
+        assert not is_shortest_path(cube3, [0, 1, 0, 2])
+
+    def test_detects_self_loop(self, cube3):
+        assert not is_shortest_path(cube3, [0, 0])
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+def test_property_canonical_path_is_shortest(d, data):
+    """For every (x, z): the canonical path is a valid shortest path
+    whose length equals the Hamming distance."""
+    cube = Hypercube(d)
+    x = data.draw(st.integers(min_value=0, max_value=cube.num_nodes - 1))
+    z = data.draw(st.integers(min_value=0, max_value=cube.num_nodes - 1))
+    nodes = cube.canonical_path_nodes(x, z)
+    assert nodes[0] == x and nodes[-1] == z
+    assert len(nodes) - 1 == cube.hamming(x, z)
+    assert is_shortest_path(cube, nodes)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    d=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+def test_property_canonical_dims_sorted(d, data):
+    """The canonical crossing order is strictly increasing (the paper's
+    increasing index-order rule)."""
+    cube = Hypercube(d)
+    x = data.draw(st.integers(min_value=0, max_value=cube.num_nodes - 1))
+    z = data.draw(st.integers(min_value=0, max_value=cube.num_nodes - 1))
+    dims = cube.dims_to_cross(x, z)
+    assert dims == sorted(dims)
+    assert len(set(dims)) == len(dims)

@@ -1,0 +1,133 @@
+"""Tests for figure generation (paper Figs 1-3) and per-level stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.hopstats import LevelHopStats, per_level_hop_stats
+from repro.core.greedy import GreedyHypercubeScheme
+from repro.core.qnetwork import ButterflyRSpec, HypercubeQSpec
+from repro.errors import MeasurementError
+from repro.queueing.md1 import md1_wait
+from repro.sim.feedforward import ArcLog
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+from repro.viz.diagrams import (
+    butterfly_dot,
+    fig2_networks_dot,
+    hypercube_dot,
+    qnetwork_dot,
+    rnetwork_dot,
+)
+
+
+class TestDiagrams:
+    def test_fig1a_counts(self):
+        dot = hypercube_dot(Hypercube(3))
+        assert dot.startswith("digraph")
+        # 12 undirected edges drawn once each
+        assert dot.count("dir=both") == 12
+        assert '"000"' in dot and '"111"' in dot
+
+    def test_fig1a_scales(self):
+        dot = hypercube_dot(Hypercube(4))
+        assert dot.count("dir=both") == 32  # d * 2^d / 2
+
+    def test_fig1b_server_count(self):
+        dot = qnetwork_dot(HypercubeQSpec(Hypercube(3), 0.5))
+        # one node statement per arc-server
+        assert dot.count("s0 [") == 1
+        for arc in range(24):
+            assert f"s{arc} [" in dot
+
+    def test_fig1b_routing_probabilities(self):
+        dot = qnetwork_dot(HypercubeQSpec(Hypercube(3), 0.5))
+        # Lemma 4: p(1-p)^0 = 0.5 and p(1-p)^1 = 0.25 appear as labels
+        assert 'label="0.5"' in dot
+        assert 'label="0.25"' in dot
+
+    def test_fig2_has_three_networks(self):
+        dot = fig2_networks_dot()
+        for tag in ("cluster_g", "cluster_gt", "cluster_gp"):
+            assert tag in dot
+        assert dot.count("FIFO") == 4  # 3 in g + 1 in g'
+        assert dot.count("PS") == 5  # 3 in g~ + 2 in g'
+
+    def test_fig3a_arc_styles(self):
+        dot = butterfly_dot(Butterfly(2))
+        assert dot.count("style=solid") == 8  # straight arcs
+        assert dot.count("style=dashed") == 8  # vertical arcs
+
+    def test_fig3b_routing_edges(self):
+        dot = rnetwork_dot(ButterflyRSpec(Butterfly(2), 0.3))
+        # only level-0 servers route onward: 8 sources x 2 targets
+        assert dot.count(" -> ") == 16
+        assert 'label="0.3"' in dot and 'label="0.7"' in dot
+
+    def test_all_dots_parse_as_balanced(self):
+        # cheap syntactic sanity: braces balance in every figure
+        for dot in (
+            hypercube_dot(Hypercube(2)),
+            butterfly_dot(Butterfly(2)),
+            qnetwork_dot(HypercubeQSpec(Hypercube(2), 0.4)),
+            rnetwork_dot(ButterflyRSpec(Butterfly(2), 0.4)),
+            fig2_networks_dot(),
+        ):
+            assert dot.count("{") == dot.count("}")
+
+
+class TestHopStats:
+    def _log(self):
+        # level geometry: 2 arcs per level, 2 levels
+        return ArcLog(
+            pid=np.array([0, 0, 1]),
+            arc=np.array([0, 2, 1]),
+            t_in=np.array([0.0, 1.0, 0.5]),
+            t_out=np.array([1.0, 2.5, 1.5]),
+        )
+
+    def test_basic_levels(self):
+        stats = per_level_hop_stats(self._log(), arcs_per_level=2, num_levels=2)
+        assert stats[0].level == 0
+        assert stats[0].num_hops == 2
+        assert stats[0].mean_wait == pytest.approx(0.0)
+        assert stats[1].num_hops == 1
+        assert stats[1].mean_wait == pytest.approx(0.5)
+        assert stats[1].mean_service == pytest.approx(1.0)
+
+    def test_window_trimming(self):
+        stats = per_level_hop_stats(
+            self._log(), arcs_per_level=2, num_levels=2, t0=0.4
+        )
+        assert stats[0].num_hops == 1  # the t_in=0.0 hop dropped
+
+    def test_empty_level_is_nan(self):
+        log = ArcLog(
+            pid=np.array([0]),
+            arc=np.array([0]),
+            t_in=np.array([0.0]),
+            t_out=np.array([1.0]),
+        )
+        stats = per_level_hop_stats(log, arcs_per_level=2, num_levels=2)
+        assert stats[1].num_hops == 0
+        assert np.isnan(stats[1].mean_wait)
+
+    def test_validates_geometry(self):
+        with pytest.raises(MeasurementError):
+            per_level_hop_stats(self._log(), arcs_per_level=1, num_levels=2)
+        with pytest.raises(MeasurementError):
+            per_level_hop_stats(self._log(), arcs_per_level=0, num_levels=2)
+
+    def test_level0_wait_is_md1(self):
+        # first-dimension arcs are exact M/D/1 queues (Prop 13 proof)
+        rho = 0.7
+        scheme = GreedyHypercubeScheme(d=4, lam=rho / 0.5, p=0.5)
+        horizon = 2500.0
+        res = scheme.run(horizon, rng=3, record_arc_log=True)
+        stats = per_level_hop_stats(
+            res.arc_log,
+            arcs_per_level=16,
+            num_levels=4,
+            t0=horizon * 0.25,
+            t1=horizon * 0.9,
+        )
+        assert stats[0].mean_wait == pytest.approx(md1_wait(rho), rel=0.08)

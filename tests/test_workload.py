@@ -1,0 +1,111 @@
+"""Tests for workload generation (TrafficSample plumbing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.topology.butterfly import Butterfly
+from repro.topology.hypercube import Hypercube
+from repro.traffic.destinations import BernoulliFlipLaw
+from repro.traffic.workload import (
+    ButterflyWorkload,
+    HypercubeWorkload,
+    SlottedHypercubeWorkload,
+    TrafficSample,
+)
+
+
+class TestTrafficSample:
+    def test_basic_properties(self):
+        s = TrafficSample(
+            np.array([0.0, 1.0, 2.0]),
+            np.array([0, 1, 2]),
+            np.array([3, 2, 1]),
+            10.0,
+        )
+        assert s.num_packets == 3
+        assert len(s) == 3
+
+    def test_rejects_unsorted_times(self):
+        with pytest.raises(ConfigurationError):
+            TrafficSample(
+                np.array([1.0, 0.5]), np.array([0, 1]), np.array([1, 0]), 10.0
+            )
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            TrafficSample(np.array([0.0]), np.array([0, 1]), np.array([1]), 10.0)
+
+
+class TestHypercubeWorkload:
+    def test_generates_valid_sample(self, small_cube_workload, rng):
+        s = small_cube_workload.generate(100.0, rng)
+        assert np.all(np.diff(s.times) >= 0)
+        assert s.origins.min() >= 0 and s.origins.max() < 16
+        assert s.destinations.min() >= 0 and s.destinations.max() < 16
+        assert s.horizon == 100.0
+
+    def test_total_rate(self, small_cube_workload, rng):
+        s = small_cube_workload.generate(1000.0, rng)
+        expected = small_cube_workload.total_rate * 1000.0
+        assert s.num_packets == pytest.approx(expected, rel=0.05)
+
+    def test_reproducible_with_seed(self, small_cube_workload):
+        a = small_cube_workload.generate(50.0, rng=7)
+        b = small_cube_workload.generate(50.0, rng=7)
+        np.testing.assert_array_equal(a.times, b.times)
+        np.testing.assert_array_equal(a.origins, b.origins)
+        np.testing.assert_array_equal(a.destinations, b.destinations)
+
+    def test_different_seeds_differ(self, small_cube_workload):
+        a = small_cube_workload.generate(50.0, rng=1)
+        b = small_cube_workload.generate(50.0, rng=2)
+        assert a.num_packets != b.num_packets or not np.array_equal(a.times, b.times)
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            HypercubeWorkload(Hypercube(4), 1.0, BernoulliFlipLaw(3, 0.5))
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigurationError):
+            HypercubeWorkload(Hypercube(3), 0.0, BernoulliFlipLaw(3, 0.5))
+
+    def test_destination_distribution(self, rng):
+        # empirical Hamming distance distribution ~ Binomial(d, p)
+        wl = HypercubeWorkload(Hypercube(5), 4.0, BernoulliFlipLaw(5, 0.3))
+        s = wl.generate(500.0, rng)
+        dist = np.bitwise_count(s.origins ^ s.destinations)
+        assert dist.mean() == pytest.approx(5 * 0.3, rel=0.05)
+
+
+class TestButterflyWorkload:
+    def test_rows_in_range(self, small_bf_workload, rng):
+        s = small_bf_workload.generate(200.0, rng)
+        assert s.origins.max() < 8
+        assert s.destinations.max() < 8
+
+    def test_rejects_dimension_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            ButterflyWorkload(Butterfly(3), 1.0, BernoulliFlipLaw(4, 0.5))
+
+
+class TestSlottedWorkload:
+    def test_times_are_slot_aligned(self, rng):
+        wl = SlottedHypercubeWorkload(
+            Hypercube(3), 1.0, BernoulliFlipLaw(3, 0.5), tau=0.5
+        )
+        s = wl.generate(20.0, rng)
+        np.testing.assert_allclose(s.times % 0.5, 0.0, atol=1e-12)
+
+    def test_intensity_matches_continuous(self, rng):
+        wl = SlottedHypercubeWorkload(
+            Hypercube(3), 1.2, BernoulliFlipLaw(3, 0.5), tau=0.25
+        )
+        s = wl.generate(500.0, rng)
+        assert s.num_packets / (8 * 500.0) == pytest.approx(1.2, rel=0.05)
+
+    def test_rejects_mismatched_law(self):
+        with pytest.raises(ConfigurationError):
+            SlottedHypercubeWorkload(
+                Hypercube(3), 1.0, BernoulliFlipLaw(4, 0.5), tau=0.5
+            )
