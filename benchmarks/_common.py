@@ -13,12 +13,18 @@ Run with::
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 #: global seed base so every experiment is reproducible end to end
 SEED = 20260611
+
+#: parallel worker processes for scenario-runner fan-out; the numbers
+#: are bit-identical at any value (seeds are derived centrally), so
+#: this only trades wall-clock for cores
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
 
 
 def emit(name: str, text: str) -> None:

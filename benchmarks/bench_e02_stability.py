@@ -5,40 +5,67 @@ Below 1 the delay stays within the Prop 12 bound; past 1 the measured
 delay grows with the horizon (no steady state) — the table reports the
 delay at two horizons and their ratio, which jumps above 1 exactly at
 saturation.
+
+Thin wrapper over the registered ``hypercube-greedy-mid`` scenario:
+each (rho, horizon) cell is a derived spec (no cool-down trim — the
+divergence near the horizon end is the signal here), fanned out in one
+parallel batch.
 """
 
 from repro.analysis.tables import format_table
-from repro.core.bounds import greedy_delay_upper_bound
-from repro.core.greedy import GreedyHypercubeScheme
-from repro.core.load import lam_for_load
+from repro.runner import get_scenario, measure, measure_many
 
-from _common import SEED, emit
+from _common import BENCH_JOBS, SEED, emit
 
 D, P = 5, 0.5
 RHOS = [0.2, 0.5, 0.8, 0.9, 0.95, 1.05]
+HORIZONS = (400.0, 1600.0)
+
+BASE = get_scenario("hypercube-greedy-mid").replace(
+    d=D,
+    p=P,
+    replications=1,
+    seed_policy="sequential",
+    warmup_fraction=0.3,
+    cooldown_fraction=0.0,
+)
 
 
-def run_point(rho: float, horizon: float, seed: int) -> float:
-    scheme = GreedyHypercubeScheme(d=D, lam=lam_for_load(rho, P), p=P)
-    return scheme.run(horizon, rng=seed).delay_record().mean_delay(0.3, 0.0)
+def grid():
+    return [
+        BASE.replace(
+            name=f"e02-rho{rho}-h{int(horizon)}",
+            rho=rho,
+            horizon=horizon,
+            base_seed=SEED + i,
+        )
+        for i, rho in enumerate(RHOS)
+        for horizon in HORIZONS
+    ]
 
 
 def run_experiment():
+    ms = measure_many(grid(), jobs=BENCH_JOBS)
     rows = []
-    for i, rho in enumerate(RHOS):
-        t_short = run_point(rho, 400.0, SEED + i)
-        t_long = run_point(rho, 1600.0, SEED + i)
-        bound = (
-            greedy_delay_upper_bound(D, lam_for_load(rho, P), P)
-            if rho < 1
-            else float("inf")
+    for k, rho in enumerate(RHOS):
+        short, long = ms[2 * k], ms[2 * k + 1]
+        bound = long.upper_bound if rho < 1 else float("inf")
+        rows.append(
+            (rho, short.mean_delay, long.mean_delay,
+             long.mean_delay / short.mean_delay, bound)
         )
-        rows.append((rho, t_short, t_long, t_long / t_short, bound))
     return rows
 
 
 def test_e02_stability(benchmark):
-    benchmark.pedantic(lambda: run_point(0.8, 300.0, SEED), rounds=3, iterations=1)
+    benchmark.pedantic(
+        lambda: measure(
+            BASE.replace(name="e02-timing", rho=0.8, horizon=300.0,
+                         base_seed=SEED)
+        ),
+        rounds=3,
+        iterations=1,
+    )
     rows = run_experiment()
     emit(
         "e02_stability",

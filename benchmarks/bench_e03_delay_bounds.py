@@ -8,33 +8,53 @@ Regenerated series: measured T vs rho for d in {4, 6, 8} at p = 1/2,
 printed next to both bounds.  The shape to check: T sits between the
 curves, hugging the lower bound at small rho and bending up like
 1/(1-rho) near saturation.
+
+The grid derives from the registered ``hypercube-greedy-mid`` scenario
+and fans out through the parallel experiment engine; sequential
+single-replication seeds keep the numbers identical to the historical
+hand-rolled loop.
 """
 
-from repro.analysis.experiments import measure_hypercube_delay
 from repro.analysis.tables import format_table
+from repro.runner import get_scenario, measure, measure_many
 
-from _common import SEED, emit
+from _common import BENCH_JOBS, SEED, emit
 
 RHOS = [0.2, 0.4, 0.6, 0.8, 0.9]
 DIMS = [4, 6, 8]
 
+BASE = get_scenario("hypercube-greedy-mid").replace(
+    replications=1, seed_policy="sequential"
+)
+
+
+def grid(horizon=1200.0):
+    return [
+        BASE.replace(
+            name=f"e03-d{d}-rho{rho}",
+            d=d,
+            rho=rho,
+            horizon=horizon,
+            base_seed=SEED + 100 * d + i,
+        )
+        for d in DIMS
+        for i, rho in enumerate(RHOS)
+    ]
+
 
 def run_experiment(horizon=1200.0):
-    rows = []
-    for d in DIMS:
-        for i, rho in enumerate(RHOS):
-            m = measure_hypercube_delay(
-                d, rho, p=0.5, horizon=horizon, rng=SEED + 100 * d + i
-            )
-            rows.append(
-                (d, rho, m.lower_bound, m.mean_delay, m.upper_bound, m.within_bounds)
-            )
-    return rows
+    return [
+        (m.d, m.rho, m.lower_bound, m.mean_delay, m.upper_bound, m.within_bounds)
+        for m in measure_many(grid(horizon), jobs=BENCH_JOBS)
+    ]
 
 
 def test_e03_delay_bounds(benchmark):
     benchmark.pedantic(
-        lambda: measure_hypercube_delay(6, 0.8, horizon=300.0, rng=SEED),
+        lambda: measure(
+            BASE.replace(name="e03-timing", d=6, rho=0.8, horizon=300.0,
+                         base_seed=SEED)
+        ),
         rounds=3,
         iterations=1,
     )

@@ -4,31 +4,51 @@ Prop 12 guarantees ``T <= dp/(1-rho)``: at fixed ``rho`` the delay per
 dimension is bounded by a constant.  Regenerated series: T and T/d for
 d = 3..9 at rho in {0.5, 0.8}.  The shape: T grows linearly, T/d is a
 horizontal line between ``p`` and ``p/(1-rho)``.
+
+Thin wrapper over the registered ``hypercube-greedy-mid`` scenario;
+the d-grid fans out through the parallel experiment engine.
 """
 
-from repro.analysis.experiments import measure_hypercube_delay
 from repro.analysis.tables import format_table
+from repro.runner import get_scenario, measure, measure_many
 
-from _common import SEED, emit
+from _common import BENCH_JOBS, SEED, emit
 
 DIMS = [3, 4, 5, 6, 7, 8, 9]
 RHOS = [0.5, 0.8]
 
+BASE = get_scenario("hypercube-greedy-mid").replace(
+    replications=1, seed_policy="sequential"
+)
+
+
+def grid(horizon=900.0):
+    return [
+        BASE.replace(
+            name=f"e04-d{d}-rho{rho}",
+            d=d,
+            rho=rho,
+            horizon=horizon,
+            base_seed=SEED + d + int(rho * 1000),
+        )
+        for rho in RHOS
+        for d in DIMS
+    ]
+
 
 def run_experiment(horizon=900.0):
-    rows = []
-    for rho in RHOS:
-        for d in DIMS:
-            m = measure_hypercube_delay(
-                d, rho, p=0.5, horizon=horizon, rng=SEED + d + int(rho * 1000)
-            )
-            rows.append((rho, d, m.mean_delay, m.normalised_delay))
-    return rows
+    return [
+        (m.rho, m.d, m.mean_delay, m.normalised_delay)
+        for m in measure_many(grid(horizon), jobs=BENCH_JOBS)
+    ]
 
 
 def test_e04_delay_vs_d(benchmark):
     benchmark.pedantic(
-        lambda: measure_hypercube_delay(9, 0.8, horizon=300.0, rng=SEED),
+        lambda: measure(
+            BASE.replace(name="e04-timing", d=9, rho=0.8, horizon=300.0,
+                         base_seed=SEED)
+        ),
         rounds=3,
         iterations=1,
     )

@@ -5,46 +5,77 @@ ends the paper conjectures tight (upper for p in (0,1), lower at p=1).
 Regenerated series: ``(1-rho) T`` for rho -> 0.98 at d = 5, p = 1/2,
 plus the p = 1 case where the limit is exactly ``rho/2 -> 1/2`` (the
 paper's tightness example, cf. antipodal_exact_delay).
+
+Thin wrapper over the registered ``hypercube-greedy-heavy`` and
+``hypercube-greedy-antipodal`` scenarios; both rho-grids fan out as
+one parallel batch.
 """
 
-from repro.analysis.experiments import measure_hypercube_delay
-from repro.analysis.tables import format_table
 from repro.core.bounds import heavy_traffic_window
-from repro.core.greedy import GreedyHypercubeScheme
+from repro.analysis.tables import format_table
+from repro.runner import get_scenario, measure, measure_many
 
-from _common import SEED, emit
+from _common import BENCH_JOBS, SEED, emit
 
 D, P = 5, 0.5
 RHOS = [0.8, 0.9, 0.95, 0.98]
 
 
+def _horizon(rho):
+    return 3000.0 if rho >= 0.95 else 1500.0
+
+
+HEAVY = get_scenario("hypercube-greedy-heavy").replace(
+    d=D, p=P, replications=1, seed_policy="sequential"
+)
+ANTIPODAL = get_scenario("hypercube-greedy-antipodal").replace(
+    d=D, replications=1, seed_policy="sequential"
+)
+
+
+def grid():
+    uniform = [
+        HEAVY.replace(
+            name=f"e05-rho{rho}", rho=rho, horizon=_horizon(rho),
+            base_seed=SEED + i,
+        )
+        for i, rho in enumerate(RHOS)
+    ]
+    antipodal = [
+        ANTIPODAL.replace(
+            name=f"e05b-rho{rho}", rho=rho, horizon=_horizon(rho),
+            base_seed=SEED + 50 + i,
+        )
+        for i, rho in enumerate(RHOS)
+    ]
+    return uniform, antipodal
+
+
 def run_experiment():
+    uniform, antipodal = grid()
+    ms = measure_many(uniform + antipodal, jobs=BENCH_JOBS)
     lo, hi = heavy_traffic_window(D, P)
-    rows = []
-    for i, rho in enumerate(RHOS):
-        horizon = 3000.0 if rho >= 0.95 else 1500.0
-        m = measure_hypercube_delay(D, rho, p=P, horizon=horizon, rng=SEED + i)
-        rows.append((rho, m.mean_delay, (1 - rho) * m.mean_delay, lo, hi))
-    return rows
-
-
-def run_p1_case():
-    rows = []
-    for i, rho in enumerate(RHOS):
-        scheme = GreedyHypercubeScheme(d=D, lam=rho, p=1.0)
-        horizon = 3000.0 if rho >= 0.95 else 1500.0
-        t = scheme.measure_delay(horizon, rng=SEED + 50 + i)
-        rows.append((rho, t, (1 - rho) * t, rho / 2))
-    return rows
+    rows = [
+        (m.rho, m.mean_delay, (1 - m.rho) * m.mean_delay, lo, hi)
+        for m in ms[: len(uniform)]
+    ]
+    p1_rows = [
+        (m.rho, m.mean_delay, (1 - m.rho) * m.mean_delay, m.rho / 2)
+        for m in ms[len(uniform):]
+    ]
+    return rows, p1_rows
 
 
 def test_e05_heavy_traffic(benchmark):
     benchmark.pedantic(
-        lambda: measure_hypercube_delay(D, 0.95, p=P, horizon=600.0, rng=SEED),
+        lambda: measure(
+            HEAVY.replace(name="e05-timing", rho=0.95, horizon=600.0,
+                          base_seed=SEED)
+        ),
         rounds=3,
         iterations=1,
     )
-    rows = run_experiment()
+    rows, p1_rows = run_experiment()
     emit(
         "e05_heavy_traffic",
         format_table(
@@ -58,7 +89,6 @@ def test_e05_heavy_traffic(benchmark):
     _, _, scaled, _, _ = rows[-1]
     assert lo * 0.9 <= scaled <= hi * 1.05
 
-    p1_rows = run_p1_case()
     emit(
         "e05_heavy_traffic_p1",
         format_table(

@@ -7,22 +7,30 @@ Regenerated tables:
 * the delay sandwich Prop 14 <= T <= Prop 17 across a p-sweep — note
   the symmetric-in-p bounds and the bottleneck flip at p = 1/2;
 * stability flips exactly when ``lam max(p, 1-p)`` crosses 1 (Prop 16).
+
+The delay sweep is a thin wrapper over the registered
+``butterfly-greedy-mid`` scenario; the Prop 15 flow check keeps the
+direct scheme run (it needs the per-arc log, not a delay estimate).
 """
 
 import numpy as np
 import pytest
 
-from repro.analysis.experiments import measure_butterfly_delay
 from repro.analysis.tables import format_table
 from repro.core.greedy import GreedyButterflyScheme
+from repro.runner import get_scenario, measure, measure_many
 from repro.sim.measurement import arc_arrival_counts
 
-from _common import SEED, emit
+from _common import BENCH_JOBS, SEED, emit
 
 D = 4
 P_SWEEP = [0.1, 0.3, 0.5, 0.7, 0.9]
 RHO = 0.7
 HORIZON = 1200.0
+
+BASE = get_scenario("butterfly-greedy-mid").replace(
+    d=D, rho=RHO, horizon=HORIZON, replications=1, seed_policy="sequential"
+)
 
 
 def run_rates(d, lam, p, horizon, seed):
@@ -31,6 +39,13 @@ def run_rates(d, lam, p, horizon, seed):
     rates = arc_arrival_counts(res.arc_log.arc, scheme.butterfly.num_arcs) / horizon
     kinds = np.arange(scheme.butterfly.num_arcs) % 2
     return float(rates[kinds == 0].mean()), float(rates[kinds == 1].mean())
+
+
+def grid():
+    return [
+        BASE.replace(name=f"e10-p{p}", p=p, base_seed=SEED + 10 * i)
+        for i, p in enumerate(P_SWEEP)
+    ]
 
 
 def run_experiment():
@@ -42,20 +57,18 @@ def run_experiment():
         ("vertical", vertical, lam * p),
     ]
     # delay sandwich across p at fixed rho
-    delay_rows = []
-    for i, p in enumerate(P_SWEEP):
-        m = measure_butterfly_delay(
-            D, RHO, p=p, horizon=HORIZON, rng=SEED + 10 * i
-        )
-        delay_rows.append(
-            (p, m.lam, m.lower_bound, m.mean_delay, m.upper_bound, m.within_bounds)
-        )
+    delay_rows = [
+        (m.p, m.lam, m.lower_bound, m.mean_delay, m.upper_bound, m.within_bounds)
+        for m in measure_many(grid(), jobs=BENCH_JOBS)
+    ]
     return rate_rows, delay_rows
 
 
 def test_e10_butterfly(benchmark):
     benchmark.pedantic(
-        lambda: measure_butterfly_delay(D, RHO, 0.5, horizon=300.0, rng=SEED),
+        lambda: measure(
+            BASE.replace(name="e10-timing", horizon=300.0, base_seed=SEED)
+        ),
         rounds=3,
         iterations=1,
     )

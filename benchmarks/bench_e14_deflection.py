@@ -6,43 +6,66 @@ of [GrH89]/[Var90].  Regenerated table: mean delay and mean extra hops
 same parameters.  The shape: deflection matches greedy at light load
 (no contention, both follow shortest paths) and degrades as load
 grows, paying extra hops instead of queueing time.
+
+Thin wrapper over the registered ``hypercube-deflection`` and
+``hypercube-slotted`` scenarios; the deflection count rides along as a
+pooled side metric of the measurement.
 """
 
 from repro.analysis.tables import format_table
-from repro.schemes.deflection import DeflectionRouter
-from repro.sim.slotted import SlottedGreedyHypercube
+from repro.runner import get_scenario, measure, measure_many
 
-from _common import SEED, emit
+from _common import BENCH_JOBS, SEED, emit
 
 D, P = 5, 0.5
 LAMS = [0.2, 0.8, 1.4]  # rho = 0.1, 0.4, 0.7
 SLOTS = 600
 
+DEFLECTION = get_scenario("hypercube-deflection").replace(
+    d=D, p=P, horizon=float(SLOTS), replications=1, seed_policy="sequential"
+)
+SLOTTED = get_scenario("hypercube-slotted").replace(
+    d=D, p=P, horizon=float(SLOTS), extra={"tau": 1.0},
+    replications=1, seed_policy="sequential",
+)
 
-def run_deflection(lam, slots, seed):
-    return DeflectionRouter(d=D, lam=lam, p=P).run(slots, rng=seed)
+
+def grid():
+    deflect = [
+        DEFLECTION.replace(name=f"e14-deflect-lam{lam}", lam=lam,
+                           base_seed=SEED + i)
+        for i, lam in enumerate(LAMS)
+    ]
+    slotted = [
+        SLOTTED.replace(name=f"e14-greedy-lam{lam}", lam=lam,
+                        base_seed=SEED + 10 + i)
+        for i, lam in enumerate(LAMS)
+    ]
+    return deflect, slotted
 
 
 def run_experiment():
+    deflect, slotted = grid()
+    ms = measure_many(deflect + slotted, jobs=BENCH_JOBS)
     rows = []
     for i, lam in enumerate(LAMS):
-        res = run_deflection(lam, SLOTS, SEED + i)
-        greedy = SlottedGreedyHypercube(d=D, lam=lam, p=P, tau=1.0)
-        t_greedy = greedy.measure_delay(float(SLOTS), rng=SEED + 10 + i)
+        m_def, m_slot = ms[i], ms[len(LAMS) + i]
         rows.append(
-            (
-                lam,
-                lam * P,
-                res.mean_delay(),
-                res.mean_deflections(),
-                t_greedy,
-            )
+            (lam, lam * P, m_def.mean_delay,
+             m_def.metric("mean_deflections"), m_slot.mean_delay)
         )
     return rows
 
 
 def test_e14_deflection(benchmark):
-    benchmark.pedantic(lambda: run_deflection(0.8, 80, SEED), rounds=3, iterations=1)
+    benchmark.pedantic(
+        lambda: measure(
+            DEFLECTION.replace(name="e14-timing", lam=0.8, horizon=80.0,
+                               base_seed=SEED)
+        ),
+        rounds=3,
+        iterations=1,
+    )
     rows = run_experiment()
     emit(
         "e14_deflection",

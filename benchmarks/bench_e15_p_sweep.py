@@ -6,39 +6,56 @@ rho = lam p the paper's bounds scale as dp (paths lengthen with p even
 as per-arc load stays constant).  Regenerated table: measured T vs p at
 fixed rho, with the bound bracket — plus the p = 1 endpoint where the
 paper gives the exact value d + rho/(2(1-rho)) (tight lower bound).
+
+Thin wrapper over the registered ``hypercube-greedy-mid`` /
+``hypercube-greedy-antipodal`` scenarios; the whole sweep runs as one
+parallel batch.
 """
 
-from repro.analysis.experiments import measure_hypercube_delay
 from repro.analysis.tables import format_table
 from repro.core.bounds import antipodal_exact_delay
-from repro.core.greedy import GreedyHypercubeScheme
+from repro.runner import get_scenario, measure, measure_many
 
-from _common import SEED, emit
+from _common import BENCH_JOBS, SEED, emit
 
 D, RHO = 6, 0.7
 PS = [0.1, 0.25, 0.5, 0.75, 0.9]
 HORIZON = 1500.0
 
+BASE = get_scenario("hypercube-greedy-mid").replace(
+    d=D, rho=RHO, horizon=HORIZON, replications=1, seed_policy="sequential"
+)
+ENDPOINT = get_scenario("hypercube-greedy-antipodal").replace(
+    d=D, rho=RHO, horizon=2000.0, replications=1, seed_policy="sequential",
+    base_seed=SEED + 99, name="e15b-antipodal",
+)
 
-def run_point(p, horizon, seed):
-    return measure_hypercube_delay(D, RHO, p=p, horizon=horizon, rng=seed)
+
+def grid():
+    return [
+        BASE.replace(name=f"e15-p{p}", p=p, base_seed=SEED + i)
+        for i, p in enumerate(PS)
+    ]
 
 
 def run_experiment():
-    rows = []
-    for i, p in enumerate(PS):
-        m = run_point(p, HORIZON, SEED + i)
-        rows.append((p, m.lower_bound, m.mean_delay, m.upper_bound, m.mean_delay / p))
-    # exact p = 1 endpoint
-    lam = RHO
-    scheme = GreedyHypercubeScheme(d=D, lam=lam, p=1.0)
-    t1 = scheme.measure_delay(2000.0, rng=SEED + 99)
-    exact = antipodal_exact_delay(D, lam)
-    return rows, (1.0, exact, t1)
+    ms = measure_many(grid() + [ENDPOINT], jobs=BENCH_JOBS)
+    rows = [
+        (m.p, m.lower_bound, m.mean_delay, m.upper_bound, m.mean_delay / m.p)
+        for m in ms[:-1]
+    ]
+    exact = antipodal_exact_delay(D, ENDPOINT.resolved_lam)
+    return rows, (1.0, exact, ms[-1].mean_delay)
 
 
 def test_e15_p_sweep(benchmark):
-    benchmark.pedantic(lambda: run_point(0.5, 300.0, SEED), rounds=3, iterations=1)
+    benchmark.pedantic(
+        lambda: measure(
+            BASE.replace(name="e15-timing", horizon=300.0, base_seed=SEED)
+        ),
+        rounds=3,
+        iterations=1,
+    )
     rows, p1 = run_experiment()
     emit(
         "e15_p_sweep",

@@ -8,55 +8,62 @@ traffic skew.  Regenerated table on bit-reversal permutation traffic:
   lam = 0.4 (d = 6), measured delays exploding with the horizon;
 * two-phase: every arc's flow stays ~lam — stable, with delay near the
   uncontended 2x path length.
+
+Thin wrapper over the registered ``hypercube-greedy-bitrev`` and
+``hypercube-twophase-bitrev`` scenarios; the arc-load theory check
+stays closed-form.
 """
 
 from repro.analysis.tables import format_table
-from repro.schemes.twophase import TwoPhaseScheme, direct_greedy_arc_loads
-from repro.sim.feedforward import simulate_hypercube_greedy
+from repro.runner import get_scenario, measure, measure_many
+from repro.schemes.twophase import direct_greedy_arc_loads
 from repro.topology.hypercube import Hypercube
 from repro.traffic.destinations import PermutationTraffic, bit_reversal_permutation
-from repro.traffic.workload import HypercubeWorkload
 
-from _common import SEED, emit
+from _common import BENCH_JOBS, SEED, emit
 
 D, LAM = 6, 0.4
 
-
-def run_direct(horizon, seed):
-    cube = Hypercube(D)
-    law = PermutationTraffic(D, bit_reversal_permutation(D))
-    wl = HypercubeWorkload(cube, LAM, law)
-    sample = wl.generate(horizon, rng=seed)
-    res = simulate_hypercube_greedy(cube, sample)
-    mask = sample.times >= 0.3 * horizon
-    return float((res.delivery[mask] - sample.times[mask]).mean())
-
-
-def run_twophase(horizon, seed):
-    law = PermutationTraffic(D, bit_reversal_permutation(D))
-    return TwoPhaseScheme(d=D, lam=LAM, law=law).measure_delay(horizon, rng=seed)
+DIRECT = get_scenario("hypercube-greedy-bitrev").replace(
+    d=D, lam=LAM, replications=1, seed_policy="sequential", base_seed=SEED,
+    warmup_fraction=0.3, cooldown_fraction=0.0,
+)
+TWOPHASE = get_scenario("hypercube-twophase-bitrev").replace(
+    d=D, lam=LAM, horizon=200.0, replications=1, seed_policy="sequential",
+    base_seed=SEED + 1,
+)
 
 
 def run_experiment():
     cube = Hypercube(D)
     law = PermutationTraffic(D, bit_reversal_permutation(D))
     loads = direct_greedy_arc_loads(cube, law, LAM)
-    t_direct_200 = run_direct(200.0, SEED)
-    t_direct_600 = run_direct(600.0, SEED)
-    t_two = run_twophase(200.0, SEED + 1)
+    specs = [
+        DIRECT.replace(name="e18-direct-h200", horizon=200.0),
+        DIRECT.replace(name="e18-direct-h600", horizon=600.0),
+        TWOPHASE.replace(name="e18-twophase"),
+    ]
+    m200, m600, m_two = measure_many(specs, jobs=BENCH_JOBS)
     rows = [
         ("max arc load, direct greedy", float(loads.max()), "> 1: saturated"),
         ("max arc load, two-phase", LAM, "< 1: stable"),
-        ("direct T (horizon 200)", t_direct_200, "grows with horizon"),
-        ("direct T (horizon 600)", t_direct_600, "grows with horizon"),
-        ("direct growth ratio", t_direct_600 / t_direct_200, "> 1.5: unstable"),
-        ("two-phase T", t_two, "O(d), stable"),
+        ("direct T (horizon 200)", m200.mean_delay, "grows with horizon"),
+        ("direct T (horizon 600)", m600.mean_delay, "grows with horizon"),
+        ("direct growth ratio", m600.mean_delay / m200.mean_delay,
+         "> 1.5: unstable"),
+        ("two-phase T", m_two.mean_delay, "O(d), stable"),
     ]
     return rows
 
 
 def test_e18_twophase(benchmark):
-    benchmark.pedantic(lambda: run_twophase(80.0, SEED), rounds=3, iterations=1)
+    benchmark.pedantic(
+        lambda: measure(
+            TWOPHASE.replace(name="e18-timing", horizon=80.0)
+        ),
+        rounds=3,
+        iterations=1,
+    )
     rows = run_experiment()
     emit(
         "e18_twophase",

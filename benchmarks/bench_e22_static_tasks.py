@@ -7,47 +7,62 @@ its dynamic problem.  Regenerated table: one-shot makespans of
 * greedy on bit reversal — Theta(2^{d/2}) (Borodin–Hopcroft adversary);
 * Valiant–Brebner two-phase on bit reversal — back to O(d) w.h.p.
 
-This is the static ancestor of the dynamic E18 result.
+This is the static ancestor of the dynamic E18 result.  Thin wrapper
+over the registered ``static-greedy-bitrev`` / ``static-valiant-bitrev``
+scenarios; the makespan rides along as a pooled side metric.
 """
 
-import numpy as np
-
 from repro.analysis.tables import format_table
-from repro.schemes.static_tasks import (
-    route_permutation_greedy,
-    route_permutation_valiant,
-)
-from repro.topology.hypercube import Hypercube
-from repro.traffic.destinations import bit_reversal_permutation
+from repro.runner import get_scenario, measure, measure_many
 
-from _common import SEED, emit
+from _common import BENCH_JOBS, SEED, emit
 
 DIMS = [4, 6, 8]
 
+GREEDY = get_scenario("static-greedy-bitrev").replace(seed_policy="sequential")
+VALIANT = get_scenario("static-valiant-bitrev").replace(
+    replications=1, seed_policy="sequential"
+)
 
-def run_case(d, seed):
-    cube = Hypercube(d)
-    gen = np.random.default_rng(seed)
-    random_perm = gen.permutation(cube.num_nodes)
-    bitrev = bit_reversal_permutation(d)
-    return {
-        "greedy / random perm": route_permutation_greedy(cube, random_perm),
-        "greedy / bit reversal": route_permutation_greedy(cube, bitrev),
-        "valiant / bit reversal": route_permutation_valiant(cube, bitrev, rng=seed),
-    }
+CASES = [
+    ("greedy / random perm", GREEDY, {"perm": "random"}),
+    ("greedy / bit reversal", GREEDY, {"perm": "bitrev"}),
+    ("valiant / bit reversal", VALIANT, {"perm": "bitrev"}),
+]
+
+
+def grid():
+    return [
+        base.replace(
+            name=f"e22-{name.replace(' ', '')}-d{d}",
+            d=d,
+            base_seed=SEED + i,
+            extra=extra,
+        )
+        for i, d in enumerate(DIMS)
+        for name, base, extra in CASES
+    ]
 
 
 def run_experiment():
+    ms = measure_many(grid(), jobs=BENCH_JOBS)
     rows = []
-    for i, d in enumerate(DIMS):
-        results = run_case(d, SEED + i)
-        for name, res in results.items():
-            rows.append((d, name, res.completion_time, res.mean_delay))
+    for k, d in enumerate(DIMS):
+        for j, (name, _, _) in enumerate(CASES):
+            m = ms[k * len(CASES) + j]
+            rows.append((d, name, m.metric("makespan"), m.mean_delay))
     return rows
 
 
 def test_e22_static_tasks(benchmark):
-    benchmark.pedantic(lambda: run_case(6, SEED), rounds=3, iterations=1)
+    benchmark.pedantic(
+        lambda: measure(
+            GREEDY.replace(name="e22-timing", d=6, extra={"perm": "random"},
+                           base_seed=SEED)
+        ),
+        rounds=3,
+        iterations=1,
+    )
     rows = run_experiment()
     emit(
         "e22_static_tasks",

@@ -6,38 +6,46 @@ multicomputer exchange messages while executing a parallel algorithm;
 we need to know how communication delay grows with the offered load,
 and whether the network can be driven near its capacity.
 
-This sweep measures the greedy scheme's mean delay across the whole
-stable region and prints it against the Prop 12/13 bracket — the
-executable version of the paper's T <= dp/(1-rho) story, including the
-1/(1-rho) blow-up near saturation.
+This sweep is a thin wrapper over the registered
+``hypercube-greedy-mid`` scenario: each load point is a derived spec
+with 4 independent replications, fanned out across worker processes by
+the experiment engine, and the confidence interval is pooled across
+replications.  The printed bracket is the executable version of the
+paper's T <= dp/(1-rho) story, including the 1/(1-rho) blow-up near
+saturation.
 
-Run:  python examples/delay_vs_load_sweep.py [d]
+Run:  python examples/delay_vs_load_sweep.py [d] [jobs]
 """
 
 import sys
 
-from repro.analysis.experiments import measure_hypercube_delay
 from repro.analysis.tables import format_table
+from repro.runner import get_scenario, measure_many
 
 
-def main(d: int = 6) -> None:
+def main(d: int = 6, jobs: int = 4) -> None:
     rhos = [0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95]
-    rows = []
-    for i, rho in enumerate(rhos):
-        horizon = 2000.0 if rho >= 0.9 else 800.0
-        m = measure_hypercube_delay(
-            d, rho, p=0.5, horizon=horizon, rng=1000 + i, with_ci=True
+    base = get_scenario("hypercube-greedy-mid").replace(d=d, replications=4)
+    specs = [
+        base.replace(
+            name=f"sweep-rho{rho}",
+            rho=rho,
+            horizon=2000.0 if rho >= 0.9 else 800.0,
+            base_seed=1000 + i,
         )
-        rows.append(
-            (
-                rho,
-                m.lower_bound,
-                m.mean_delay,
-                f"±{m.ci.halfwidth:.3f}",
-                m.upper_bound,
-                (1 - rho) * m.mean_delay,
-            )
+        for i, rho in enumerate(rhos)
+    ]
+    rows = [
+        (
+            m.rho,
+            m.lower_bound,
+            m.mean_delay,
+            f"±{m.ci.halfwidth:.3f}",
+            m.upper_bound,
+            (1 - m.rho) * m.mean_delay,
         )
+        for m in measure_many(specs, jobs=jobs)
+    ]
     print(
         format_table(
             ["rho", "Prop13 lower", "measured T", "95% CI", "Prop12 upper", "(1-rho)T"],
@@ -53,4 +61,7 @@ def main(d: int = 6) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 6)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 6,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 4,
+    )

@@ -6,27 +6,39 @@ at arbitrary real times.  §3.4 shows the analysis survives: with
 Poisson(lam*tau) batches every tau (1/tau integer), the mean delay
 satisfies T~ <= dp/(1-rho) + tau.
 
-This script sweeps the slot length and shows the measured slotted delay
-tracking the continuous-time system to within a slot.
+This script is a thin wrapper over the registered ``hypercube-slotted``
+and ``hypercube-greedy-mid`` scenarios: the tau-sweep (plus the
+continuous-time reference) runs as one parallel batch through the
+experiment engine, and the printed upper bounds come straight off the
+pooled measurements.
 
 Run:  python examples/slotted_time.py
 """
 
 from repro.analysis.tables import format_table
-from repro.core.greedy import GreedyHypercubeScheme
-from repro.sim.slotted import SlottedGreedyHypercube
+from repro.runner import get_scenario, measure_many
 
 
 def main() -> None:
     d, lam, p, horizon = 5, 1.5, 0.5, 1000.0  # rho = 0.75
-    cont = GreedyHypercubeScheme(d=d, lam=lam, p=p)
-    t_cont = cont.measure_delay(horizon, rng=11)
-
-    rows = [("continuous", "-", t_cont, cont.delay_upper_bound())]
-    for i, tau in enumerate([0.125, 0.25, 0.5, 1.0]):
-        s = SlottedGreedyHypercube(d=d, lam=lam, p=p, tau=tau)
-        t = s.measure_delay(horizon, rng=12 + i)
-        rows.append((f"slotted", tau, t, s.delay_upper_bound()))
+    taus = [0.125, 0.25, 0.5, 1.0]
+    continuous = get_scenario("hypercube-greedy-mid").replace(
+        name="slotted-continuous", d=d, lam=lam, p=p, horizon=horizon,
+        replications=2, base_seed=11,
+    )
+    slotted = get_scenario("hypercube-slotted").replace(
+        d=d, lam=lam, p=p, horizon=horizon, replications=2
+    )
+    specs = [continuous] + [
+        slotted.replace(name=f"slotted-tau{tau}", extra={"tau": tau},
+                        base_seed=12 + i)
+        for i, tau in enumerate(taus)
+    ]
+    ms = measure_many(specs, jobs=4)
+    rows = [("continuous", "-", ms[0].mean_delay, ms[0].upper_bound)] + [
+        ("slotted", tau, m.mean_delay, m.upper_bound)
+        for tau, m in zip(taus, ms[1:])
+    ]
     print(
         format_table(
             ["system", "tau", "measured T", "upper bound dp/(1-rho) + tau"],

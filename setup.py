@@ -1,8 +1,8 @@
 """Legacy setup shim.
 
-The canonical metadata lives in ``pyproject.toml``; this file exists so
-environments without the ``wheel`` package (offline installs) can use
-``pip install -e . --no-use-pep517 --no-build-isolation``.
+The canonical metadata lives in ``pyproject.toml`` (PEP 621); this file
+exists so environments without the ``wheel`` package (offline installs)
+can use ``pip install -e . --no-use-pep517 --no-build-isolation``.
 """
 
 from setuptools import setup

@@ -1,16 +1,22 @@
-"""Command-line interface: ``python -m repro``.
+"""Command-line interface: ``python -m repro`` (or the ``repro``
+console script after ``pip install``).
 
 Subcommands:
 
-* ``bounds``  — print the paper's closed-form theory for given parameters;
-* ``simulate`` — run one simulation and compare against the bounds;
-* ``sweep``   — delay-vs-load series with an ASCII plot.
+* ``bounds``          — print the paper's closed-form theory for given parameters;
+* ``simulate``        — run one simulation and compare against the bounds;
+* ``sweep``           — delay-vs-load series with an ASCII plot (parallel with ``--jobs``);
+* ``list-scenarios``  — the registered scenario catalog;
+* ``run``             — execute a registered scenario: parallel replications,
+  pooled confidence interval, content-hash results cache.
 
 Examples::
 
     python -m repro bounds --d 6 --rho 0.8
     python -m repro simulate --network butterfly --d 5 --rho 0.7 --p 0.3
-    python -m repro sweep --d 5 --points 6
+    python -m repro sweep --d 5 --points 6 --jobs 4
+    python -m repro list-scenarios
+    python -m repro run hypercube-greedy-mid --replications 8 --jobs 4
 """
 
 from __future__ import annotations
@@ -18,14 +24,18 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.experiments import (
-    measure_butterfly_delay,
-    measure_hypercube_delay,
-)
 from repro.analysis.plotting import ascii_plot
 from repro.analysis.tables import format_table
 from repro.core import bounds as B
 from repro.core.load import butterfly_lam_for_load, lam_for_load
+from repro.runner import (
+    ResultsStore,
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    measure,
+    measure_many,
+)
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
@@ -68,50 +78,61 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     return 0
 
 
+def _legacy_spec(args: argparse.Namespace, rho: float, seed: int) -> ScenarioSpec:
+    """One single-run greedy cell with a directly applied seed — the
+    protocol the pre-runner ``simulate``/``sweep`` commands used."""
+    return ScenarioSpec(
+        name=f"cli-{args.network}",
+        network=args.network,
+        d=args.d,
+        rho=rho,
+        p=args.p,
+        horizon=args.horizon,
+        replications=1,
+        base_seed=seed,
+        seed_policy="sequential",
+    )
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    measure = (
-        measure_hypercube_delay
-        if args.network == "hypercube"
-        else measure_butterfly_delay
-    )
-    m = measure(
-        args.d, args.rho, p=args.p, horizon=args.horizon, rng=args.seed, with_ci=True
-    )
+    from repro.runner.engine import run_replication, theory_bounds
+
+    spec = _legacy_spec(args, args.rho, args.seed)
+    out = run_replication(spec, keep_record=True)
+    ci = out.record.mean_delay_ci(spec.warmup_fraction)
+    lower, upper = theory_bounds(spec)
+    within = lower <= out.mean_delay <= upper
     print(
         format_table(
             ["quantity", "value"],
             [
-                ("packets simulated", m.num_packets),
-                ("lower bound", m.lower_bound),
-                ("measured mean delay", m.mean_delay),
-                ("95% CI halfwidth", m.ci.halfwidth if m.ci else float("nan")),
-                ("upper bound", m.upper_bound),
-                ("inside the bracket", m.within_bounds),
+                ("packets simulated", out.num_packets),
+                ("lower bound", lower),
+                ("measured mean delay", out.mean_delay),
+                ("95% CI halfwidth", ci.halfwidth),
+                ("upper bound", upper),
+                ("inside the bracket", within),
             ],
             title=(
-                f"{args.network} d={m.d} rho={m.rho} p={m.p} "
-                f"horizon={m.horizon} seed={args.seed}"
+                f"{args.network} d={args.d} rho={args.rho} p={args.p} "
+                f"horizon={args.horizon} seed={args.seed}"
             ),
         )
     )
-    return 0 if m.within_bounds else 1
+    return 0 if within else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    measure = (
-        measure_hypercube_delay
-        if args.network == "hypercube"
-        else measure_butterfly_delay
-    )
     rhos = [0.95 * (i + 1) / args.points for i in range(args.points)]
-    xs, ys, rows = [], [], []
-    for i, rho in enumerate(rhos):
-        m = measure(
-            args.d, rho, p=args.p, horizon=args.horizon, rng=args.seed + i
-        )
-        xs.append(rho)
-        ys.append(m.mean_delay)
-        rows.append((rho, m.lower_bound, m.mean_delay, m.upper_bound))
+    specs = [
+        _legacy_spec(args, rho, args.seed + i) for i, rho in enumerate(rhos)
+    ]
+    measurements = measure_many(specs, jobs=args.jobs)
+    xs = [m.rho for m in measurements]
+    ys = [m.mean_delay for m in measurements]
+    rows = [
+        (m.rho, m.lower_bound, m.mean_delay, m.upper_bound) for m in measurements
+    ]
     print(
         format_table(
             ["rho", "lower", "measured T", "upper"],
@@ -122,6 +143,86 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print()
     print(ascii_plot(xs, ys, width=60, height=14, xlabel="rho", ylabel="T"))
     return 0
+
+
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
+    rows = []
+    for s in list_scenarios():
+        point = f"rho={s.rho}" if s.rho is not None else (
+            f"lam={s.lam}" if s.lam is not None else "-"
+        )
+        rows.append(
+            (s.name, s.network, s.scheme, s.discipline, s.d, point, s.p,
+             s.replications, s.description)
+        )
+    print(
+        format_table(
+            ["name", "network", "scheme", "disc", "d", "load", "p", "reps",
+             "description"],
+            rows,
+            title="registered scenarios (run one with: python -m repro run <name>)",
+        )
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = get_scenario(args.scenario)
+    overrides = {}
+    if args.replications is not None:
+        overrides["replications"] = args.replications
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    if args.d is not None:
+        overrides["d"] = args.d
+    if args.seed is not None:
+        overrides["base_seed"] = args.seed
+    if overrides:
+        spec = spec.replace(**overrides)
+    store = None if args.no_cache else ResultsStore(args.cache_dir)
+    # a corrupt/torn cell counts as a miss, so probe with load, not contains
+    m = None
+    if store is not None and not args.refresh:
+        m = store.load(spec)
+    cached = m is not None
+    if m is None:
+        m = measure(spec, jobs=args.jobs, store=store, refresh=args.refresh)
+    rows = [
+        ("network / scheme", f"{m.network} / {m.scheme} ({m.discipline})"),
+        ("d, rho, p", f"{m.d}, {m.rho:.4g}, {m.p}"),
+        ("per-node rate lam", m.lam),
+        ("replications", m.num_replications),
+        ("packets simulated", m.num_packets),
+        ("lower bound", m.lower_bound),
+        ("pooled mean delay", m.mean_delay),
+        (
+            "95% CI halfwidth",
+            m.ci.halfwidth if m.ci is not None else float("nan"),
+        ),
+        ("upper bound", m.upper_bound),
+        ("inside the bracket", m.within_bounds),
+    ]
+    rows += [(f"metric: {k}", v) for k, v in m.metrics]
+    if m.replication_delays is not None:
+        rows.append(
+            (
+                "per-replication T",
+                " ".join(f"{x:.6g}" for x in m.replication_delays),
+            )
+        )
+    source = "results cache" if (cached and not args.refresh) else (
+        f"computed with jobs={args.jobs}"
+    )
+    rows.append(("source", source))
+    print(
+        format_table(
+            ["quantity", "value"],
+            rows,
+            title=f"scenario {spec.name!r} (seed {spec.base_seed}, "
+            f"policy {spec.seed_policy})",
+        )
+    )
+    return 0 if m.within_bounds else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,7 +255,31 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--points", type=int, default=6)
     sp.add_argument("--horizon", type=float, default=500.0)
     sp.add_argument("--seed", type=int, default=0)
+    sp.add_argument("--jobs", type=int, default=1,
+                    help="parallel worker processes")
     sp.set_defaults(func=_cmd_sweep)
+
+    sp = sub.add_parser("list-scenarios", help="the registered scenario catalog")
+    sp.set_defaults(func=_cmd_list_scenarios)
+
+    sp = sub.add_parser(
+        "run",
+        help="run a registered scenario (parallel replications, cached results)",
+    )
+    sp.add_argument("scenario", help="a name from list-scenarios")
+    sp.add_argument("--replications", type=int, default=None)
+    sp.add_argument("--jobs", type=int, default=1,
+                    help="parallel worker processes")
+    sp.add_argument("--horizon", type=float, default=None)
+    sp.add_argument("--d", type=int, default=None)
+    sp.add_argument("--seed", type=int, default=None, help="base seed")
+    sp.add_argument("--cache-dir", default=None,
+                    help="results store root (default: $REPRO_CACHE_DIR or .repro-cache)")
+    sp.add_argument("--no-cache", action="store_true",
+                    help="neither read nor write the results store")
+    sp.add_argument("--refresh", action="store_true",
+                    help="recompute even on a cache hit")
+    sp.set_defaults(func=_cmd_run)
     return parser
 
 

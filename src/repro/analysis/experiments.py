@@ -1,26 +1,30 @@
-"""Experiment runners: parameterised delay measurements and sweeps.
+"""Legacy experiment runners (deprecated shims).
 
-These wrap the scheme objects with the standard experimental protocol
-used throughout ``EXPERIMENTS.md``: fix a load factor ``rho`` (not a
-raw rate), simulate a horizon, trim warm-up/cool-down, and report the
-measurement next to the paper's closed-form bounds.
+The hand-rolled per-network measurement protocol that used to live
+here is now the scenario runner (:mod:`repro.runner`): a declarative
+:class:`~repro.runner.spec.ScenarioSpec` executed by a parallel
+engine with pooled replications and a results cache.  These wrappers
+keep the historical call signatures working — and bit-for-bit
+reproduce the old numbers (single run, caller-supplied seed) — for
+benchmarks and notebooks not yet migrated.
+
+Prefer::
+
+    from repro.runner import ScenarioSpec, measure
+
+    m = measure(ScenarioSpec(name="mine", d=6, rho=0.8), jobs=4)
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 from typing import Optional, Sequence
 
-from repro.stats import ConfidenceInterval
-from repro.core.bounds import (
-    butterfly_delay_lower_bound,
-    butterfly_delay_upper_bound,
-    greedy_delay_lower_bound,
-    greedy_delay_upper_bound,
-)
-from repro.core.greedy import GreedyButterflyScheme, GreedyHypercubeScheme
-from repro.core.load import butterfly_lam_for_load, lam_for_load
 from repro.rng import SeedLike
+from repro.runner.engine import theory_bounds
+from repro.runner.results import DelayMeasurement
+from repro.runner.spec import ScenarioSpec
+from repro.sim.run_spec import run_spec
 
 __all__ = [
     "DelayMeasurement",
@@ -30,31 +34,53 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
-class DelayMeasurement:
-    """One steady-state delay estimate with its theoretical bracket."""
+def _deprecated(old: str, hint: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {hint} (see repro.runner)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
-    network: str
-    d: int
-    rho: float
-    p: float
-    lam: float
-    horizon: float
-    num_packets: int
-    mean_delay: float
-    ci: Optional[ConfidenceInterval]
-    lower_bound: float
-    upper_bound: float
 
-    @property
-    def within_bounds(self) -> bool:
-        """Point-estimate check against the paper's bracket."""
-        return self.lower_bound <= self.mean_delay <= self.upper_bound
-
-    @property
-    def normalised_delay(self) -> float:
-        """``T / d`` — flat in d when the O(d) claim holds."""
-        return self.mean_delay / self.d
+def _measure_single(
+    network: str,
+    d: int,
+    rho: float,
+    p: float,
+    horizon: float,
+    rng: SeedLike,
+    warmup_fraction: float,
+    with_ci: bool,
+) -> DelayMeasurement:
+    """One greedy run with a caller-supplied seed (the legacy protocol)."""
+    spec = ScenarioSpec(
+        name=f"legacy-{network}",
+        network=network,
+        d=d,
+        rho=rho,
+        p=p,
+        horizon=horizon,
+        warmup_fraction=warmup_fraction,
+        replications=1,
+        seed_policy="sequential",
+    )
+    out = run_spec(spec, rng, keep_record=True)
+    ci = out.record.mean_delay_ci(warmup_fraction) if with_ci else None
+    lower, upper = theory_bounds(spec)
+    return DelayMeasurement(
+        network=network,
+        d=d,
+        rho=rho,
+        p=p,
+        lam=spec.resolved_lam,
+        horizon=horizon,
+        num_packets=out.num_packets,
+        mean_delay=out.mean_delay,
+        ci=ci,
+        lower_bound=lower,
+        upper_bound=upper,
+        replication_delays=(out.mean_delay,),
+    )
 
 
 def measure_hypercube_delay(
@@ -66,24 +92,12 @@ def measure_hypercube_delay(
     warmup_fraction: float = 0.2,
     with_ci: bool = False,
 ) -> DelayMeasurement:
-    """Measure greedy hypercube delay at load factor *rho* (Props 12/13)."""
-    lam = lam_for_load(rho, p)
-    scheme = GreedyHypercubeScheme(d, lam, p)
-    rec = scheme.run(horizon, rng).delay_record()
-    ci = rec.mean_delay_ci(warmup_fraction) if with_ci else None
-    return DelayMeasurement(
-        network="hypercube",
-        d=d,
-        rho=rho,
-        p=p,
-        lam=lam,
-        horizon=horizon,
-        num_packets=rec.num_packets,
-        mean_delay=rec.mean_delay(warmup_fraction),
-        ci=ci,
-        lower_bound=greedy_delay_lower_bound(d, lam, p),
-        upper_bound=greedy_delay_upper_bound(d, lam, p),
-    )
+    """Measure greedy hypercube delay at load factor *rho* (Props 12/13).
+
+    .. deprecated:: use ``measure(ScenarioSpec(...))`` instead.
+    """
+    _deprecated("measure_hypercube_delay", "measure(ScenarioSpec(network='hypercube'))")
+    return _measure_single("hypercube", d, rho, p, horizon, rng, warmup_fraction, with_ci)
 
 
 def measure_butterfly_delay(
@@ -95,24 +109,12 @@ def measure_butterfly_delay(
     warmup_fraction: float = 0.2,
     with_ci: bool = False,
 ) -> DelayMeasurement:
-    """Measure greedy butterfly delay at load factor *rho* (Props 14/17)."""
-    lam = butterfly_lam_for_load(rho, p)
-    scheme = GreedyButterflyScheme(d, lam, p)
-    rec = scheme.run(horizon, rng).delay_record()
-    ci = rec.mean_delay_ci(warmup_fraction) if with_ci else None
-    return DelayMeasurement(
-        network="butterfly",
-        d=d,
-        rho=rho,
-        p=p,
-        lam=lam,
-        horizon=horizon,
-        num_packets=rec.num_packets,
-        mean_delay=rec.mean_delay(warmup_fraction),
-        ci=ci,
-        lower_bound=butterfly_delay_lower_bound(d, lam, p),
-        upper_bound=butterfly_delay_upper_bound(d, lam, p),
-    )
+    """Measure greedy butterfly delay at load factor *rho* (Props 14/17).
+
+    .. deprecated:: use ``measure(ScenarioSpec(...))`` instead.
+    """
+    _deprecated("measure_butterfly_delay", "measure(ScenarioSpec(network='butterfly'))")
+    return _measure_single("butterfly", d, rho, p, horizon, rng, warmup_fraction, with_ci)
 
 
 def sweep_load_factors(
@@ -123,11 +125,12 @@ def sweep_load_factors(
     seed: int = 0,
     network: str = "hypercube",
 ) -> list[DelayMeasurement]:
-    """Delay-vs-load series (the E3 sweep); one fresh seed per point."""
-    measure = (
-        measure_hypercube_delay if network == "hypercube" else measure_butterfly_delay
-    )
+    """Delay-vs-load series (the E3 sweep); one fresh seed per point.
+
+    .. deprecated:: use ``measure_many`` over derived specs instead.
+    """
+    _deprecated("sweep_load_factors", "measure_many([spec.replace(rho=...) ...])")
     return [
-        measure(d, rho, p, horizon, rng=seed + 1000 * i)
+        _measure_single(network, d, rho, p, horizon, seed + 1000 * i, 0.2, False)
         for i, rho in enumerate(rhos)
     ]

@@ -1,0 +1,54 @@
+"""Scenario registry + parallel experiment engine.
+
+The measurement protocol used throughout the repository — fix an
+operating point, simulate a horizon, trim warm-up/cool-down, pool
+independent replications into a confidence interval — as a declarative
+subsystem:
+
+* :class:`ScenarioSpec` — one frozen experiment cell;
+* :func:`register` / :func:`get_scenario` / :func:`list_scenarios` —
+  the name-based catalog covering every scheme in the library;
+* :func:`measure` / :func:`measure_many` — multiprocessing-parallel
+  replication fan-out with centralized seed spawning;
+* :class:`ResultsStore` — content-hash-addressed JSON cache so
+  repeated runs skip already-computed cells;
+* :class:`DelayMeasurement` — the pooled result record.
+
+Quickstart::
+
+    from repro.runner import get_scenario, measure
+
+    m = measure(get_scenario("hypercube-greedy-mid"), jobs=4)
+    print(m.mean_delay, m.ci.halfwidth, m.within_bounds)
+"""
+
+from repro.runner.engine import (
+    measure,
+    measure_many,
+    run_replication,
+    theory_bounds,
+)
+from repro.runner.registry import (
+    get_scenario,
+    list_scenarios,
+    register,
+    scenario_names,
+)
+from repro.runner.results import DelayMeasurement
+from repro.runner.spec import SCHEMES, ScenarioSpec
+from repro.runner.store import ResultsStore
+
+__all__ = [
+    "ScenarioSpec",
+    "SCHEMES",
+    "DelayMeasurement",
+    "ResultsStore",
+    "register",
+    "get_scenario",
+    "list_scenarios",
+    "scenario_names",
+    "measure",
+    "measure_many",
+    "run_replication",
+    "theory_bounds",
+]

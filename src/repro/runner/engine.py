@@ -1,0 +1,190 @@
+"""Parallel scenario execution: replication fan-out and pooling.
+
+The hot path of every experiment is running R independent replications
+of one spec (or a whole sweep of specs).  This module executes that
+fan-out with :mod:`multiprocessing`, flattening *all* replications of
+*all* requested specs into one task list so a sweep saturates the pool
+even when individual specs have few replications.
+
+Determinism: every replication's seed is derived **centrally** from the
+spec (:func:`repro.rng.replication_seeds`) before any fan-out, and each
+task consumes only its own stream — so the numbers are bit-for-bit
+identical whatever ``jobs`` is, and identical between a pooled run and
+calling :func:`repro.sim.run_spec.run_spec` by hand.
+"""
+
+from __future__ import annotations
+
+import math
+from multiprocessing import get_context
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import bounds as _bounds
+from repro.errors import UnstableSystemError
+from repro.rng import replication_seeds
+from repro.runner.results import DelayMeasurement
+from repro.runner.spec import STATIC_SCHEMES, ScenarioSpec
+from repro.runner.store import ResultsStore
+from repro.sim.run_spec import ReplicationOutput, run_spec
+from repro.stats import mean_confidence_interval
+
+__all__ = [
+    "measure",
+    "measure_many",
+    "run_replication",
+    "theory_bounds",
+]
+
+
+def theory_bounds(spec: ScenarioSpec) -> Tuple[float, float]:
+    """The paper's closed-form bracket for *spec*, when it has one.
+
+    Greedy routing gets Props 12/13 (hypercube) or 14/17 (butterfly);
+    the slotted variant gets the §3.4 upper bound next to the Prop 13
+    lower bound.  Unstable operating points and schemes outside the
+    paper's analysis get ``(-inf, +inf)`` — "no known constraint".
+    """
+    no_bracket = (-math.inf, math.inf)
+    if spec.option("law", "bernoulli") != "bernoulli":
+        return no_bracket
+    lam, p, d = spec.resolved_lam, spec.p, spec.d
+    try:
+        if spec.scheme == "greedy":
+            if spec.network == "hypercube":
+                return (
+                    _bounds.greedy_delay_lower_bound(d, lam, p),
+                    _bounds.greedy_delay_upper_bound(d, lam, p),
+                )
+            return (
+                _bounds.butterfly_delay_lower_bound(d, lam, p),
+                _bounds.butterfly_delay_upper_bound(d, lam, p),
+            )
+        if spec.scheme == "slotted":
+            tau = float(spec.option("tau", 0.5))
+            return (
+                _bounds.greedy_delay_lower_bound(d, lam, p),
+                _bounds.slotted_delay_upper_bound(d, lam, p, tau),
+            )
+    except UnstableSystemError:
+        return no_bracket
+    return no_bracket
+
+
+def run_replication(
+    spec: ScenarioSpec, rep: int = 0, *, keep_record: bool = True
+) -> ReplicationOutput:
+    """Execute replication *rep* of *spec* under its seed policy.
+
+    The low-level door for callers that need per-packet records or
+    scheme-specific result objects; :func:`measure` is the pooled path.
+    """
+    seeds = replication_seeds(spec.base_seed, spec.replications, spec.seed_policy)
+    return run_spec(spec, seeds[rep], keep_record=keep_record)
+
+
+def _run_task(task: Tuple[ScenarioSpec, object]) -> ReplicationOutput:
+    spec, seed = task
+    return run_spec(spec, seed)
+
+
+def _execute(
+    tasks: Sequence[Tuple[ScenarioSpec, object]], jobs: int
+) -> List[ReplicationOutput]:
+    if jobs <= 1 or len(tasks) <= 1:
+        return [_run_task(t) for t in tasks]
+    with get_context().Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(_run_task, tasks, chunksize=1)
+
+
+def _pool_measurement(
+    spec: ScenarioSpec, outputs: Sequence[ReplicationOutput]
+) -> DelayMeasurement:
+    rep_means = np.array([o.mean_delay for o in outputs], dtype=float)
+    ci = (
+        mean_confidence_interval(rep_means)
+        if rep_means.shape[0] >= 2
+        else None
+    )
+    metric_sums: Dict[str, float] = {}
+    for o in outputs:
+        for key, value in o.metrics:
+            metric_sums[key] = metric_sums.get(key, 0.0) + value
+    metrics = tuple(
+        sorted((k, v / len(outputs)) for k, v in metric_sums.items())
+    )
+    lower, upper = theory_bounds(spec)
+    static = spec.scheme in STATIC_SCHEMES
+    return DelayMeasurement(
+        network=spec.network,
+        d=spec.d,
+        rho=spec.resolved_rho,
+        p=spec.p,
+        lam=spec.resolved_lam,
+        horizon=0.0 if static else spec.horizon,
+        num_packets=int(sum(o.num_packets for o in outputs)),
+        mean_delay=float(rep_means.mean()),
+        ci=ci,
+        lower_bound=lower,
+        upper_bound=upper,
+        scheme=spec.scheme,
+        discipline=spec.discipline,
+        scenario=spec.name,
+        replication_delays=tuple(float(x) for x in rep_means),
+        metrics=metrics,
+    )
+
+
+def measure(
+    spec: ScenarioSpec,
+    jobs: int = 1,
+    store: Optional[ResultsStore] = None,
+    refresh: bool = False,
+) -> DelayMeasurement:
+    """Run every replication of *spec* (in parallel when ``jobs > 1``)
+    and pool them into one :class:`DelayMeasurement`.
+
+    With a *store*, a previously computed spec (same content hash) is
+    returned from cache without simulating; ``refresh=True`` forces
+    recomputation (and overwrites the cache cell).
+    """
+    return measure_many([spec], jobs=jobs, store=store, refresh=refresh)[0]
+
+
+def measure_many(
+    specs: Sequence[ScenarioSpec],
+    jobs: int = 1,
+    store: Optional[ResultsStore] = None,
+    refresh: bool = False,
+) -> List[DelayMeasurement]:
+    """Batched :func:`measure`: one flat task list across all *specs*.
+
+    Cached specs contribute no tasks; the rest fan out together, so a
+    20-cell sweep with 4 replications each keeps ``jobs`` processes
+    busy on 80 independent tasks.
+    """
+    results: List[Optional[DelayMeasurement]] = [None] * len(specs)
+    tasks: List[Tuple[ScenarioSpec, object]] = []
+    slots: List[Tuple[int, int]] = []  # task index -> (spec index, #reps)
+    for i, spec in enumerate(specs):
+        if store is not None and not refresh:
+            cached = store.load(spec)
+            if cached is not None:
+                results[i] = cached
+                continue
+        seeds = replication_seeds(
+            spec.base_seed, spec.replications, spec.seed_policy
+        )
+        slots.append((i, len(seeds)))
+        tasks.extend((spec, seed) for seed in seeds)
+    outputs = _execute(tasks, jobs)
+    cursor = 0
+    for i, count in slots:
+        chunk = outputs[cursor : cursor + count]
+        cursor += count
+        m = _pool_measurement(specs[i], chunk)
+        if store is not None:
+            store.save(specs[i], m)
+        results[i] = m
+    return results  # type: ignore[return-value]

@@ -1,0 +1,207 @@
+"""The name-based scenario registry.
+
+Every workload the repository measures is a named, frozen
+:class:`~repro.runner.spec.ScenarioSpec`.  The built-in catalog below
+covers every scheme in the library — greedy dimension-order routing on
+both topologies (FIFO and PS, both engines), the slotted variant,
+two-phase Valiant mixing, the §2.3 pipelined-batch baseline,
+hot-potato deflection, per-packet random order, and the static
+one-shot permutation tasks — so ``python -m repro list-scenarios``
+doubles as a map of the reproduction.
+
+Benchmarks and examples derive their grids from these entries via
+:meth:`ScenarioSpec.replace`, keeping every protocol decision (warm-up
+windows, seed policy, horizons) in one reviewable place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.runner.spec import ScenarioSpec
+
+__all__ = ["register", "get_scenario", "list_scenarios", "scenario_names"]
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec, overwrite: bool = False) -> ScenarioSpec:
+    """Add *spec* to the registry under ``spec.name``."""
+    if not spec.name:
+        raise ConfigurationError("a registered scenario needs a name")
+    if spec.name in _REGISTRY and not overwrite:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} is already registered "
+            "(pass overwrite=True to replace it)"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; registered: {known}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def list_scenarios() -> List[ScenarioSpec]:
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+# ---------------------------------------------------------------------------
+# built-in catalog
+# ---------------------------------------------------------------------------
+
+_BUILTINS = [
+    ScenarioSpec(
+        name="smoke",
+        d=3,
+        rho=0.5,
+        horizon=120.0,
+        replications=2,
+        description="tiny fast cell for CI smoke tests",
+    ),
+    ScenarioSpec(
+        name="hypercube-greedy-light",
+        d=6,
+        rho=0.3,
+        description="greedy d-cube routing far from saturation (Props 12/13)",
+    ),
+    ScenarioSpec(
+        name="hypercube-greedy-mid",
+        d=6,
+        rho=0.7,
+        description="greedy d-cube routing at moderate load (Props 12/13)",
+    ),
+    ScenarioSpec(
+        name="hypercube-greedy-heavy",
+        d=5,
+        rho=0.95,
+        horizon=3000.0,
+        description="heavy traffic: (1-rho)T inside the §3.3 window",
+    ),
+    ScenarioSpec(
+        name="hypercube-greedy-ps",
+        discipline="ps",
+        d=5,
+        rho=0.7,
+        description="network Q-tilde: every arc served Processor Sharing (§3.3)",
+    ),
+    ScenarioSpec(
+        name="hypercube-greedy-event",
+        engine="event",
+        d=4,
+        rho=0.7,
+        description="greedy routing on the event-driven engine (cross-validation)",
+    ),
+    ScenarioSpec(
+        name="hypercube-greedy-antipodal",
+        d=5,
+        rho=0.7,
+        p=1.0,
+        description="p=1 endpoint: disjoint paths, exact delay formula (§3.3)",
+    ),
+    ScenarioSpec(
+        name="hypercube-greedy-bitrev",
+        d=6,
+        lam=0.4,
+        extra={"law": "bitrev"},
+        description="direct greedy under bit-reversal traffic — saturated arcs (§5)",
+    ),
+    ScenarioSpec(
+        name="hypercube-slotted",
+        scheme="slotted",
+        d=5,
+        rho=0.75,
+        extra={"tau": 0.5},
+        description="§3.4 slotted time: T <= dp/(1-rho) + tau",
+    ),
+    ScenarioSpec(
+        name="hypercube-random-order",
+        scheme="random_order",
+        d=5,
+        rho=0.8,
+        horizon=700.0,
+        description="E13 ablation: per-packet random dimension order (event engine)",
+    ),
+    ScenarioSpec(
+        name="hypercube-twophase",
+        scheme="twophase",
+        d=5,
+        lam=0.5,
+        description="Valiant two-phase mixing under uniform traffic (§5)",
+    ),
+    ScenarioSpec(
+        name="hypercube-twophase-bitrev",
+        scheme="twophase",
+        d=6,
+        lam=0.4,
+        horizon=200.0,
+        extra={"law": "bitrev"},
+        description="two-phase mixing neutralises bit-reversal traffic (§5 / E18)",
+    ),
+    ScenarioSpec(
+        name="hypercube-pipelined-batch",
+        scheme="pipelined_batch",
+        d=5,
+        rho=0.05,
+        description="§2.3 non-greedy baseline: stable only for rho = O(1/d)",
+    ),
+    ScenarioSpec(
+        name="hypercube-deflection",
+        scheme="deflection",
+        d=5,
+        lam=0.8,
+        horizon=600.0,
+        description="hot-potato baseline in the spirit of [GrH89] (E14)",
+    ),
+    ScenarioSpec(
+        name="butterfly-greedy-mid",
+        network="butterfly",
+        d=4,
+        rho=0.7,
+        description="greedy butterfly routing at moderate load (Props 14/17)",
+    ),
+    ScenarioSpec(
+        name="butterfly-greedy-asym",
+        network="butterfly",
+        d=4,
+        rho=0.7,
+        p=0.3,
+        description="asymmetric p: straight arcs are the bottleneck (Prop 15)",
+    ),
+    ScenarioSpec(
+        name="static-greedy-bitrev",
+        scheme="static_greedy",
+        d=6,
+        horizon=1.0,
+        warmup_fraction=0.0,
+        cooldown_fraction=0.0,
+        replications=1,
+        extra={"perm": "bitrev"},
+        description="one-shot bit reversal: the Theta(2^{d/2}) greedy blow-up",
+    ),
+    ScenarioSpec(
+        name="static-valiant-bitrev",
+        scheme="static_valiant",
+        d=6,
+        horizon=1.0,
+        warmup_fraction=0.0,
+        cooldown_fraction=0.0,
+        extra={"perm": "bitrev"},
+        description="[VaB81] two-phase one-shot routing: O(d) makespan w.h.p.",
+    ),
+]
+
+for _spec in _BUILTINS:
+    register(_spec)
+del _spec

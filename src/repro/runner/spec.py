@@ -1,0 +1,224 @@
+"""Declarative experiment scenarios.
+
+A :class:`ScenarioSpec` freezes everything that determines one
+measurement: the network, the routing scheme, the queueing discipline,
+the operating point ``(d, rho-or-lam, p)``, the horizon and trimming
+windows, the replication count, and the seed policy.  Specs are
+immutable, hashable, picklable (they cross process boundaries in the
+parallel engine) and content-addressed: :meth:`ScenarioSpec.content_hash`
+keys the results cache, so two specs that would produce the same
+numbers share one cache cell regardless of how they are named.
+
+Scheme-specific knobs (slot length ``tau``, a fixed ``dim_order``, the
+destination ``law``, the static ``perm``) travel in the ``extra``
+mapping, stored as a sorted tuple of pairs to stay hashable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.load import butterfly_lam_for_load, lam_for_load
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ScenarioSpec",
+    "NETWORKS",
+    "SCHEMES",
+    "DISCIPLINES",
+    "SEED_POLICIES",
+    "ENGINES",
+    "STATIC_SCHEMES",
+]
+
+NETWORKS = ("hypercube", "butterfly")
+DISCIPLINES = ("fifo", "ps")
+#: ``spawn`` derives replication seeds via ``SeedSequence(base_seed).spawn``
+#: (provably independent streams); ``sequential`` uses ``base_seed + k``,
+#: matching the historical hand-rolled experiment loops bit for bit.
+SEED_POLICIES = ("spawn", "sequential")
+ENGINES = ("auto", "vectorized", "event")
+SCHEMES = (
+    "greedy",
+    "slotted",
+    "random_order",
+    "twophase",
+    "pipelined_batch",
+    "deflection",
+    "static_greedy",
+    "static_valiant",
+)
+#: one-shot permutation tasks: no arrival process, horizon ignored
+STATIC_SCHEMES = ("static_greedy", "static_valiant")
+
+ExtraValue = Union[int, float, str, bool, Tuple[Any, ...]]
+
+
+def _freeze_extra(
+    extra: Union[Mapping[str, Any], Sequence[Tuple[str, Any]], None],
+) -> Tuple[Tuple[str, ExtraValue], ...]:
+    if extra is None:
+        return ()
+    items = extra.items() if isinstance(extra, Mapping) else extra
+    frozen = []
+    for key, value in items:
+        if isinstance(value, list):
+            value = tuple(value)
+        if not isinstance(value, (int, float, str, bool, tuple)):
+            raise ConfigurationError(
+                f"extra[{key!r}] must be a scalar or tuple, got {type(value)}"
+            )
+        frozen.append((str(key), value))
+    frozen.sort()
+    names = [k for k, _ in frozen]
+    if len(set(names)) != len(names):
+        raise ConfigurationError(f"duplicate keys in extra: {names}")
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully specified experiment cell.
+
+    Exactly one of ``rho`` (load factor) and ``lam`` (raw per-node
+    rate) must be given for dynamic schemes; static schemes
+    (:data:`STATIC_SCHEMES`) take neither.
+    """
+
+    name: str
+    network: str = "hypercube"
+    scheme: str = "greedy"
+    discipline: str = "fifo"
+    d: int = 4
+    rho: Optional[float] = None
+    lam: Optional[float] = None
+    p: float = 0.5
+    horizon: float = 400.0
+    warmup_fraction: float = 0.2
+    cooldown_fraction: float = 0.1
+    replications: int = 4
+    base_seed: int = 0
+    seed_policy: str = "spawn"
+    engine: str = "auto"
+    extra: Tuple[Tuple[str, ExtraValue], ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "extra", _freeze_extra(self.extra))
+        if self.network not in NETWORKS:
+            raise ConfigurationError(f"unknown network {self.network!r}")
+        if self.scheme not in SCHEMES:
+            raise ConfigurationError(f"unknown scheme {self.scheme!r}")
+        if self.discipline not in DISCIPLINES:
+            raise ConfigurationError(f"unknown discipline {self.discipline!r}")
+        if self.seed_policy not in SEED_POLICIES:
+            raise ConfigurationError(f"unknown seed policy {self.seed_policy!r}")
+        if self.engine not in ENGINES:
+            raise ConfigurationError(f"unknown engine {self.engine!r}")
+        if self.network == "butterfly" and self.scheme != "greedy":
+            raise ConfigurationError(
+                f"scheme {self.scheme!r} is defined on the hypercube only"
+            )
+        if self.d < 1:
+            raise ConfigurationError(f"d must be >= 1, got {self.d}")
+        if not 0.0 <= self.p <= 1.0:
+            raise ConfigurationError(f"p must lie in [0, 1], got {self.p}")
+        static = self.scheme in STATIC_SCHEMES
+        if static:
+            if self.rho is not None or self.lam is not None:
+                raise ConfigurationError(
+                    f"static scheme {self.scheme!r} takes neither rho nor lam"
+                )
+        else:
+            if (self.rho is None) == (self.lam is None):
+                raise ConfigurationError(
+                    "exactly one of rho and lam must be set "
+                    f"(got rho={self.rho}, lam={self.lam})"
+                )
+            if self.horizon <= 0:
+                raise ConfigurationError(f"horizon must be > 0, got {self.horizon}")
+        if not 0 <= self.warmup_fraction < 1 or not 0 <= self.cooldown_fraction < 1:
+            raise ConfigurationError("trim fractions must lie in [0, 1)")
+        if self.warmup_fraction + self.cooldown_fraction >= 1:
+            raise ConfigurationError("warmup + cooldown must leave a window")
+        if self.replications < 1:
+            raise ConfigurationError(
+                f"replications must be >= 1, got {self.replications}"
+            )
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def resolved_lam(self) -> float:
+        """Per-node arrival rate, whichever way the spec was given."""
+        if self.scheme in STATIC_SCHEMES:
+            return float("nan")
+        if self.lam is not None:
+            return float(self.lam)
+        if self.network == "hypercube":
+            return lam_for_load(self.rho, self.p)
+        return butterfly_lam_for_load(self.rho, self.p)
+
+    @property
+    def resolved_rho(self) -> float:
+        """Load factor, whichever way the spec was given."""
+        if self.scheme in STATIC_SCHEMES:
+            return float("nan")
+        if self.rho is not None:
+            return float(self.rho)
+        if self.network == "hypercube":
+            return self.lam * self.p
+        return self.lam * max(self.p, 1.0 - self.p)
+
+    def option(self, key: str, default: Any = None) -> Any:
+        """Look up a scheme-specific knob from ``extra``."""
+        for k, v in self.extra:
+            if k == key:
+                return v
+        return default
+
+    # -- derivation -----------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "ScenarioSpec":
+        """A copy with fields overridden (``dataclasses.replace`` that
+        also resolves the rho/lam exclusivity: overriding one clears
+        the other unless both are given explicitly)."""
+        if "rho" in changes and "lam" not in changes and self.lam is not None:
+            changes["lam"] = None
+        if "lam" in changes and "rho" not in changes and self.rho is not None:
+            changes["rho"] = None
+        if "extra" in changes:
+            changes["extra"] = _freeze_extra(changes["extra"])
+        return dataclasses.replace(self, **changes)
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = dataclasses.asdict(self)
+        out["extra"] = {k: list(v) if isinstance(v, tuple) else v
+                        for k, v in self.extra}
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(f"unknown spec fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    def content_hash(self) -> str:
+        """Stable digest of everything that affects the numbers.
+
+        ``name`` and ``description`` are labels, not physics: two specs
+        differing only there share a cache cell.
+        """
+        payload = self.to_dict()
+        payload.pop("name")
+        payload.pop("description")
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode()).hexdigest()[:20]

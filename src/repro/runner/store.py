@@ -1,0 +1,89 @@
+"""Content-addressed JSON results store.
+
+Every measured spec is persisted as ``<content-hash>.json`` holding
+both the spec (for provenance/inspection) and the pooled measurement.
+Because the key is :meth:`ScenarioSpec.content_hash` — a digest of
+every field that affects the numbers — repeated benchmark runs skip
+already-computed cells, and renaming a scenario does not invalidate
+its results.
+
+The default root is ``$REPRO_CACHE_DIR`` or ``.repro-cache`` under the
+current directory; writes are atomic (temp file + rename) so parallel
+sweeps never leave a torn cell behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.runner.results import (
+    DelayMeasurement,
+    measurement_from_dict,
+    measurement_to_dict,
+)
+from repro.runner.spec import ScenarioSpec
+
+__all__ = ["ResultsStore", "default_cache_dir"]
+
+_ENV_VAR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get(_ENV_VAR, ".repro-cache"))
+
+
+class ResultsStore:
+    """A directory of content-addressed measurement cells."""
+
+    def __init__(self, root: Union[str, os.PathLike, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, spec: ScenarioSpec) -> Path:
+        return self.root / f"{spec.content_hash()}.json"
+
+    def contains(self, spec: ScenarioSpec) -> bool:
+        return self.path_for(spec).is_file()
+
+    def load(self, spec: ScenarioSpec) -> Optional[DelayMeasurement]:
+        """The cached measurement for *spec*, or ``None`` on a miss.
+
+        A corrupt cell (torn write from a crashed run, hand edit) is
+        treated as a miss rather than an error.
+        """
+        path = self.path_for(spec)
+        try:
+            payload = json.loads(path.read_text())
+            return measurement_from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+
+    def save(self, spec: ScenarioSpec, measurement: DelayMeasurement) -> Path:
+        path = self.path_for(spec)
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "spec": spec.to_dict(),
+            "result": measurement_to_dict(measurement),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, indent=1, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))

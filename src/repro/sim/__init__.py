@@ -13,8 +13,11 @@ levelled networks (cross-validated in the test suite):
   paper's proof technique (Lemmas 7–10, Prop 11) compares against.
 
 :mod:`repro.sim.servers` holds the exact single-server building blocks,
-:mod:`repro.sim.measurement` the statistics collectors, and
-:mod:`repro.sim.slotted` the §3.4 synchronous variant.
+:mod:`repro.sim.measurement` the statistics collectors,
+:mod:`repro.sim.slotted` the §3.4 synchronous variant, and
+:mod:`repro.sim.run_spec` the scenario-runner entry point that
+dispatches a :class:`~repro.runner.spec.ScenarioSpec` replication to
+whichever engine its scheme admits.
 """
 
 from repro.sim.engine import EventCalendar
@@ -23,11 +26,14 @@ from repro.sim.lindley import (
     fifo_waiting_times,
     unfinished_work,
 )
+from repro.sim.run_spec import ReplicationOutput, run_spec
 from repro.sim.servers import FifoServer, PSServer, ps_departure_times
 from repro.sim.measurement import DelayRecord, PopulationTracker, arc_arrival_counts
 
 __all__ = [
     "EventCalendar",
+    "ReplicationOutput",
+    "run_spec",
     "fifo_departure_times",
     "fifo_waiting_times",
     "unfinished_work",

@@ -53,3 +53,49 @@ class TestEventCalendar:
         cal.schedule(1.0, "x")
         assert len(cal) == 1
         assert cal.peek_time() == 1.0
+
+    def test_full_triple_ordering(self):
+        """(time, priority, seq) is the total order: time first, then
+        priority, then insertion sequence — regression for the exact
+        rule the simulators rely on for determinism."""
+        cal = EventCalendar()
+        cal.schedule(2.0, "t2-early", priority=-5)
+        cal.schedule(1.0, "t1-p0-first", priority=0)
+        cal.schedule(1.0, "t1-p-1", priority=-1)
+        cal.schedule(1.0, "t1-p0-second", priority=0)
+        cal.schedule(0.5, "t05", priority=99)
+        order = [cal.pop()[1] for _ in range(5)]
+        assert order == [
+            "t05",          # earliest time wins regardless of priority
+            "t1-p-1",       # at equal times, lower priority first
+            "t1-p0-first",  # at equal (time, priority), insertion order
+            "t1-p0-second",
+            "t2-early",
+        ]
+
+    def test_peek_time_empty_after_drain(self):
+        cal = EventCalendar()
+        cal.schedule(1.0, "x")
+        cal.pop()
+        assert cal.peek_time() is None
+        assert len(cal) == 0
+        with pytest.raises(IndexError):
+            cal.pop()
+
+    def test_past_rejection_boundary(self):
+        """Scheduling *at* now (or within the 1e-12 float slack) is
+        allowed — simultaneous follow-on events are the normal case —
+        while anything clearly earlier raises."""
+        cal = EventCalendar()
+        cal.schedule(5.0, "x")
+        cal.pop()
+        cal.schedule(5.0, "same-time ok")
+        cal.schedule(5.0 - 1e-13, "within slack ok")
+        with pytest.raises(ValueError):
+            cal.schedule(5.0 - 1e-9, "too early")
+
+    def test_many_ties_fire_in_insertion_order(self):
+        cal = EventCalendar()
+        for i in range(100):
+            cal.schedule(3.0, i)
+        assert [cal.pop()[1] for _ in range(100)] == list(range(100))

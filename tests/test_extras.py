@@ -166,7 +166,7 @@ class TestPublicAPI:
     def test_version(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_subpackage_all_exports(self):
         import repro.queueing as q

@@ -83,22 +83,38 @@ def test_property_ps_dominates_fifo_per_level(inst):
     assert np.all(dep_fifo <= dep_ps + 1e-9)
 
 
+# Birth times are drawn on the dyadic grid 2^-6 so that the translated
+# inputs built by the invariance tests below (times + tau, times + gap)
+# are *exactly representable* in float64.  With arbitrary floats the
+# translated sample can differ from the original: e.g. an eps-scale
+# offset between two births is absorbed when a large shift is added
+# (171.0 + 2.2e-16 == 171.0), which collapses distinct arrival epochs
+# into a tie and legitimately flips the engine's deterministic
+# (time, pid) FIFO tie-break — the joint simulation is then run on
+# genuinely different inputs, not evidence of an engine bug (this was
+# the discovered falsifying example of test_property_temporal_separation).
+# On the grid, every sum stays exact and the properties are exact
+# statements about the engine.
+TIME_GRID = 64.0
+
+
+def _grid_times(draw, n: int, max_value: float) -> np.ndarray:
+    raw = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=max_value),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return np.round(np.array(raw) * TIME_GRID) / TIME_GRID
+
+
 @st.composite
 def cube_traffic(draw):
     d = draw(st.integers(min_value=1, max_value=4))
     cube = Hypercube(d)
     n = draw(st.integers(min_value=0, max_value=40))
-    times = np.sort(
-        np.array(
-            draw(
-                st.lists(
-                    st.floats(min_value=0.0, max_value=20.0),
-                    min_size=n,
-                    max_size=n,
-                )
-            )
-        )
-    )
+    times = np.sort(_grid_times(draw, n, 20.0))
     origins = np.array(
         draw(
             st.lists(
@@ -153,15 +169,20 @@ def test_property_translation_invariance(ct, data):
 @settings(max_examples=60, deadline=None)
 @given(ct=cube_traffic(), data=st.data())
 def test_property_time_shift_invariance(ct, data):
-    """Shifting all births by a constant shifts all deliveries by it."""
+    """Shifting all births by a constant shifts all deliveries by it.
+
+    The shift is drawn on the same dyadic grid as the births, so
+    ``times + tau`` is exact and the assertion can be exact too.
+    """
     cube, sample = ct
     tau = data.draw(st.floats(min_value=0.0, max_value=50.0))
+    tau = round(tau * TIME_GRID) / TIME_GRID
     base = simulate_hypercube_greedy(cube, sample)
     shifted = TrafficSample(
         sample.times + tau, sample.origins, sample.destinations, 25.0 + tau
     )
     moved = simulate_hypercube_greedy(cube, shifted)
-    np.testing.assert_allclose(moved.delivery, base.delivery + tau, atol=1e-7)
+    np.testing.assert_array_equal(moved.delivery, base.delivery + tau)
 
 
 @settings(max_examples=40, deadline=None)
@@ -182,5 +203,52 @@ def test_property_temporal_separation(ct):
     joint = simulate_hypercube_greedy(
         cube, TrafficSample(times2, orig2, dest2, 2 * gap + 25.0)
     )
-    np.testing.assert_allclose(joint.delivery[:n], base.delivery, atol=1e-9)
-    np.testing.assert_allclose(joint.delivery[n:], base.delivery + gap, atol=1e-7)
+    # On the dyadic grid every arithmetic step (gap construction, the
+    # shifted births, the unit-service Lindley recursions) is exact, so
+    # the separation property holds with equality, not a tolerance.
+    np.testing.assert_array_equal(joint.delivery[:n], base.delivery)
+    np.testing.assert_array_equal(joint.delivery[n:], base.delivery + gap)
+
+
+def test_temporal_separation_eps_offset_regression():
+    """The discovered falsifying example, pinned down deterministically.
+
+    Two packets contend for node 4's dim-3 arc: packet A (0 -> 12) born
+    an offset after t=0, packet B (4 -> 12) born at t=1.  When the
+    offset survives the shift (dyadic 1/64), the joint run reproduces
+    the separate run exactly.  When the offset is absorbed by float
+    rounding (eps added to a large shift), the shifted group presents
+    *different inputs* — a genuine tie — and the engine resolves it by
+    packet id, by design; the original property test failure was this
+    input collapse, not an engine defect.
+    """
+    cube = Hypercube(4)
+    for offset in (1.0 / 64.0, np.finfo(float).eps):
+        times = np.array([offset, 1.0])
+        origins = np.array([0, 4])
+        dests = np.array([12, 12])
+        sample = TrafficSample(times, origins, dests, 25.0)
+        base = simulate_hypercube_greedy(cube, sample)
+        gap = 171.0
+        joint = simulate_hypercube_greedy(
+            cube,
+            TrafficSample(
+                np.concatenate([times, times + gap]),
+                np.concatenate([origins, origins]),
+                np.concatenate([dests, dests]),
+                2 * gap + 25.0,
+            ),
+        )
+        np.testing.assert_array_equal(joint.delivery[:2], base.delivery)
+        if offset == 1.0 / 64.0:
+            # exactly representable after the shift: groups identical
+            np.testing.assert_array_equal(joint.delivery[2:], base.delivery + gap)
+        else:
+            # eps is absorbed: both packets reach the shared arc at the
+            # same (representable) instant and the lower pid goes first,
+            # so the delivery *multiset* shifts but the assignment swaps.
+            assert times[0] + gap == gap  # the collapse itself
+            np.testing.assert_array_equal(
+                np.sort(joint.delivery[2:]), np.sort(base.delivery + gap)
+            )
+            assert joint.delivery[2] < joint.delivery[3]

@@ -1,0 +1,298 @@
+"""Tests for the scenario registry + parallel experiment engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rng import replication_seeds
+from repro.runner import (
+    ScenarioSpec,
+    ResultsStore,
+    get_scenario,
+    list_scenarios,
+    measure,
+    measure_many,
+    register,
+    run_replication,
+    scenario_names,
+    theory_bounds,
+)
+from repro.runner.results import measurement_from_dict, measurement_to_dict
+from repro.sim.run_spec import run_spec
+
+SMOKE = get_scenario("smoke")
+
+
+class TestScenarioSpec:
+    def test_rho_lam_exclusivity(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="x", rho=0.5, lam=1.0)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="x")
+
+    def test_static_schemes_take_no_rate(self):
+        spec = ScenarioSpec(name="x", scheme="static_greedy")
+        assert np.isnan(spec.resolved_lam)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="x", scheme="static_greedy", rho=0.5)
+
+    def test_resolved_lam_both_ways(self):
+        by_rho = ScenarioSpec(name="x", d=4, rho=0.6, p=0.5)
+        by_lam = ScenarioSpec(name="x", d=4, lam=1.2, p=0.5)
+        assert by_rho.resolved_lam == pytest.approx(1.2)
+        assert by_lam.resolved_rho == pytest.approx(0.6)
+        bf = ScenarioSpec(name="x", network="butterfly", d=4, rho=0.7, p=0.3)
+        assert bf.resolved_lam == pytest.approx(0.7 / 0.7)
+
+    def test_replace_swaps_parameterisation(self):
+        spec = ScenarioSpec(name="x", rho=0.5)
+        swapped = spec.replace(lam=1.0)
+        assert swapped.rho is None and swapped.lam == 1.0
+        back = swapped.replace(rho=0.8)
+        assert back.lam is None and back.rho == 0.8
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="x", rho=0.5, network="torus")
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="x", rho=0.5, scheme="magic")
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="x", rho=0.5, replications=0)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="x", rho=0.5, warmup_fraction=0.8,
+                         cooldown_fraction=0.3)
+        with pytest.raises(ConfigurationError):
+            # only the plain greedy scheme exists on the butterfly
+            ScenarioSpec(name="x", network="butterfly", scheme="deflection",
+                         lam=0.5)
+
+    def test_extra_is_frozen_and_sorted(self):
+        spec = ScenarioSpec(name="x", rho=0.5, extra={"tau": 0.5, "law": "bernoulli"})
+        assert spec.extra == (("law", "bernoulli"), ("tau", 0.5))
+        assert spec.option("tau") == 0.5
+        assert spec.option("missing", 7) == 7
+        assert hash(spec)  # stays hashable
+
+    def test_roundtrip_dict(self):
+        spec = ScenarioSpec(name="x", d=5, rho=0.7, extra={"tau": 0.25})
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_content_hash_ignores_labels(self):
+        a = ScenarioSpec(name="a", rho=0.5, description="one")
+        b = ScenarioSpec(name="b", rho=0.5, description="two")
+        c = ScenarioSpec(name="a", rho=0.6)
+        assert a.content_hash() == b.content_hash()
+        assert a.content_hash() != c.content_hash()
+
+
+class TestRegistry:
+    def test_every_scheme_is_reachable(self):
+        """Acceptance: every scheme in repro/schemes (plus the core
+        greedy and slotted paths) has at least one registered scenario."""
+        covered = {s.scheme for s in list_scenarios()}
+        assert {
+            "greedy",
+            "slotted",
+            "random_order",
+            "twophase",
+            "pipelined_batch",
+            "deflection",
+            "static_greedy",
+            "static_valiant",
+        } <= covered
+
+    def test_both_networks_and_disciplines(self):
+        specs = list_scenarios()
+        assert {"hypercube", "butterfly"} == {s.network for s in specs}
+        assert "ps" in {s.discipline for s in specs}
+
+    def test_get_unknown_lists_names(self):
+        with pytest.raises(ConfigurationError, match="smoke"):
+            get_scenario("nope")
+
+    def test_register_rejects_collisions(self):
+        spec = SMOKE.replace(name="smoke")
+        with pytest.raises(ConfigurationError):
+            register(spec)
+        register(spec, overwrite=True)  # idempotent with overwrite
+
+    def test_names_sorted(self):
+        names = scenario_names()
+        assert names == sorted(names)
+        assert "smoke" in names
+
+
+class TestSeedPolicy:
+    def test_sequential(self):
+        assert replication_seeds(7, 3, "sequential") == [7, 8, 9]
+
+    def test_spawn_is_deterministic_and_distinct(self):
+        a = replication_seeds(7, 3, "spawn")
+        b = replication_seeds(7, 3, "spawn")
+        for sa, sb in zip(a, b):
+            ga = np.random.default_rng(sa).random(4)
+            gb = np.random.default_rng(sb).random(4)
+            np.testing.assert_array_equal(ga, gb)
+        streams = {tuple(np.random.default_rng(s).random(4)) for s in a}
+        assert len(streams) == 3
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            replication_seeds(0, 0)
+        with pytest.raises(ValueError):
+            replication_seeds(0, 2, "fancy")
+
+
+class TestEngine:
+    def test_jobs_do_not_change_the_numbers(self):
+        """Acceptance: --jobs 4 == --jobs 1 bit for bit, per replication."""
+        spec = SMOKE.replace(replications=4)
+        serial = measure(spec, jobs=1)
+        parallel = measure(spec, jobs=4)
+        assert serial.replication_delays == parallel.replication_delays
+        assert serial == parallel
+
+    def test_pooled_ci_across_replications(self):
+        m = measure(SMOKE.replace(replications=4), jobs=2)
+        assert m.num_replications == 4
+        reps = np.array(m.replication_delays)
+        assert m.mean_delay == pytest.approx(reps.mean())
+        assert m.ci is not None and m.ci.num_samples == 4
+        assert m.ci.lo <= m.mean_delay <= m.ci.hi
+
+    def test_single_replication_has_no_ci(self):
+        m = measure(SMOKE.replace(replications=1))
+        assert m.ci is None
+        assert m.num_replications == 1
+
+    def test_matches_run_spec_by_hand(self):
+        spec = SMOKE.replace(replications=3)
+        m = measure(spec, jobs=3)
+        by_hand = [
+            run_spec(spec, seed).mean_delay
+            for seed in replication_seeds(spec.base_seed, 3, spec.seed_policy)
+        ]
+        assert list(m.replication_delays) == by_hand
+
+    def test_run_replication_returns_record(self):
+        out = run_replication(SMOKE, rep=1)
+        assert out.record is not None
+        assert out.record.num_packets == out.num_packets
+        assert out.mean_delay == measure(SMOKE).replication_delays[1]
+
+    def test_measure_many_flattens_and_regroups(self):
+        specs = [
+            SMOKE.replace(name=f"m{i}", base_seed=i, replications=2)
+            for i in range(3)
+        ]
+        batched = measure_many(specs, jobs=4)
+        single = [measure(s) for s in specs]
+        assert batched == single
+
+    def test_sequential_policy_matches_legacy_loop(self):
+        """The migrated benchmarks' compatibility contract."""
+        from repro.core.greedy import GreedyHypercubeScheme
+
+        spec = SMOKE.replace(
+            replications=1, seed_policy="sequential", base_seed=42
+        )
+        m = measure(spec)
+        legacy = (
+            GreedyHypercubeScheme(spec.d, spec.resolved_lam, spec.p)
+            .run(spec.horizon, 42)
+            .delay_record()
+            .mean_delay(spec.warmup_fraction)
+        )
+        assert m.mean_delay == legacy
+
+    def test_theory_bounds(self):
+        lo, hi = theory_bounds(SMOKE)
+        assert 0 < lo < hi < np.inf
+        unstable = SMOKE.replace(rho=1.2)
+        assert theory_bounds(unstable) == (-np.inf, np.inf)
+        unbounded = get_scenario("hypercube-deflection")
+        assert theory_bounds(unbounded) == (-np.inf, np.inf)
+
+
+class TestResultsStore:
+    def test_cache_roundtrip(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = SMOKE.replace(replications=2)
+        assert store.load(spec) is None
+        first = measure(spec, store=store)
+        assert store.contains(spec)
+        assert len(store) == 1
+        again = measure(spec, store=store)
+        assert again == first
+
+    def test_cache_hit_skips_simulation(self, tmp_path, monkeypatch):
+        store = ResultsStore(tmp_path)
+        spec = SMOKE.replace(replications=2)
+        measure(spec, store=store)
+
+        def boom(*a, **k):  # pragma: no cover - must not run
+            raise AssertionError("cache miss: engine executed a task")
+
+        monkeypatch.setattr("repro.runner.engine._run_task", boom)
+        cached = measure(spec, store=store)
+        assert cached.replication_delays is not None
+
+    def test_refresh_recomputes(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = SMOKE.replace(replications=2)
+        first = measure(spec, store=store)
+        refreshed = measure(spec, store=store, refresh=True)
+        assert refreshed == first  # deterministic, but recomputed
+
+    def test_corrupt_cell_is_a_miss(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = SMOKE.replace(replications=2)
+        measure(spec, store=store)
+        store.path_for(spec).write_text("{not json")
+        assert store.load(spec) is None
+        assert measure(spec, store=store) is not None
+
+    def test_label_changes_share_a_cell(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        a = SMOKE.replace(name="label-a", replications=2)
+        b = a.replace(name="label-b", description="renamed")
+        measure(a, store=store)
+        assert store.contains(b)
+
+    def test_measurement_serialisation_handles_inf_nan(self):
+        m = measure(get_scenario("static-greedy-bitrev").replace(d=3))
+        again = measurement_from_dict(measurement_to_dict(m))
+        assert again.lower_bound == -np.inf and again.upper_bound == np.inf
+        assert np.isnan(again.rho) and np.isnan(again.lam)
+        assert again.metric("makespan") == m.metric("makespan")
+
+
+class TestCLI:
+    def test_list_scenarios(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "smoke" in out and "butterfly-greedy-mid" in out
+
+    def test_run_and_cache(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        args = [
+            "run", "smoke", "--replications", "2", "--jobs", "2",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "computed with jobs=2" in first
+        assert "per-replication T" in first
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "results cache" in second
+
+    def test_run_unknown_scenario(self):
+        from repro.__main__ import main
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "no-such-scenario"])
