@@ -7,6 +7,8 @@ Subcommands:
 * ``simulate``        — run one simulation and compare against the bounds;
 * ``sweep``           — delay-vs-load series with an ASCII plot (parallel with ``--jobs``);
 * ``list-scenarios``  — the registered scenario catalog;
+* ``schemes``         — the scheme plugins and their declared capabilities;
+* ``describe``        — one scenario in full: spec fields + plugin capabilities;
 * ``run``             — execute a registered scenario: parallel replications,
   pooled confidence interval, content-hash results cache.
 
@@ -16,6 +18,8 @@ Examples::
     python -m repro simulate --network butterfly --d 5 --rho 0.7 --p 0.3
     python -m repro sweep --d 5 --points 6 --jobs 4
     python -m repro list-scenarios
+    python -m repro schemes
+    python -m repro describe butterfly-greedy-event
     python -m repro run hypercube-greedy-mid --replications 8 --jobs 4
 """
 
@@ -166,6 +170,78 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    from repro.plugins import iter_plugins
+
+    rows = []
+    for plugin in iter_plugins():
+        caps = plugin.capabilities
+        rows.append(
+            (
+                plugin.name,
+                " ".join(caps.networks),
+                " ".join(caps.engines) or "-",
+                " ".join(caps.disciplines),
+                " ".join(caps.option_names()) or "-",
+                " ".join(caps.metrics) or "-",
+                "static" if caps.static else "dynamic",
+                plugin.summary,
+            )
+        )
+    print(
+        format_table(
+            ["scheme", "networks", "engines", "disciplines", "options",
+             "metrics", "kind", "summary"],
+            rows,
+            title="registered scheme plugins "
+            "(extend via the repro.scheme_plugins entry-point group)",
+        )
+    )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    spec = get_scenario(args.scenario)
+    plugin = spec.plugin
+    caps = plugin.capabilities
+    point = (
+        "(static task)"
+        if spec.is_static
+        else f"rho={spec.resolved_rho:.4g}, lam={spec.resolved_lam:.4g}"
+    )
+    rows = [
+        ("description", spec.description or "-"),
+        ("network / scheme", f"{spec.network} / {spec.scheme} ({spec.discipline})"),
+        ("plugin", f"{type(plugin).__name__}: {plugin.summary}"),
+        ("operating point", f"d={spec.d}, p={spec.p}, {point}"),
+        ("engine", spec.engine),
+        ("horizon / trims",
+         f"{spec.horizon} (warmup {spec.warmup_fraction}, "
+         f"cooldown {spec.cooldown_fraction})"),
+        ("replications / seed",
+         f"{spec.replications} ({spec.seed_policy}, base {spec.base_seed})"),
+        ("content hash", spec.content_hash()),
+        ("scheme networks", " ".join(caps.networks)),
+        ("scheme engines", " ".join(caps.engines) or "(auto only)"),
+        ("scheme disciplines", " ".join(caps.disciplines)),
+        ("scheme metrics", " ".join(caps.metrics) or "-"),
+    ]
+    for opt in caps.options:
+        value = spec.option(opt.name, opt.default)
+        choices = (
+            f" one of {', '.join(map(str, opt.choices))};" if opt.choices else ""
+        )
+        rows.append(
+            (
+                f"option: {opt.name}",
+                f"{value!r} ({opt.kind};{choices} {opt.description})",
+            )
+        )
+    print(format_table(["field", "value"], rows,
+                       title=f"scenario {spec.name!r}"))
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = get_scenario(args.scenario)
     overrides = {}
@@ -261,6 +337,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser("list-scenarios", help="the registered scenario catalog")
     sp.set_defaults(func=_cmd_list_scenarios)
+
+    sp = sub.add_parser(
+        "schemes", help="the scheme plugins and their declared capabilities"
+    )
+    sp.set_defaults(func=_cmd_schemes)
+
+    sp = sub.add_parser(
+        "describe",
+        help="one scenario in full: spec fields + plugin capabilities",
+    )
+    sp.add_argument("scenario", help="a name from list-scenarios")
+    sp.set_defaults(func=_cmd_describe)
 
     sp = sub.add_parser(
         "run",

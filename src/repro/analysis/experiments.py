@@ -18,7 +18,7 @@ Prefer::
 from __future__ import annotations
 
 import warnings
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.rng import SeedLike
 from repro.runner.engine import theory_bounds

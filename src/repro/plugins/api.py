@@ -1,0 +1,224 @@
+"""The scheme-plugin protocol: capabilities, option schemas, runners.
+
+A plugin is the single place a scheme touches the scenario subsystem.
+It declares *capabilities* (which networks/engines/disciplines it
+admits, its typed ``extra`` options, its side metrics) consumed by
+:class:`~repro.runner.spec.ScenarioSpec` validation and the CLI, and
+implements :meth:`SchemePlugin.prepare`, which turns a validated spec
+into a ``Runner``: a closure ``runner(gen) -> ReplicationOutput``
+executing exactly one replication from one RNG stream.
+
+The run contract is strict: a runner must consume randomness **only**
+from the generator it is handed (never module-level state), so that a
+replication's numbers depend only on its seed — the property the
+parallel engine and the per-replication cache are built on.  For the
+built-in schemes the exact RNG consumption order is pinned by the
+golden regression suite (``tests/test_golden_dispatch.py``).
+
+This module is intentionally dependency-light (no numpy, no simulator
+imports) so scheme modules can import it without cycles; the helpers
+that need simulator types import them lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.runner.spec import ScenarioSpec
+    from repro.sim.measurement import DelayRecord
+    from repro.sim.run_spec import ReplicationOutput
+
+__all__ = [
+    "OptionSpec",
+    "Capabilities",
+    "Runner",
+    "SchemePlugin",
+    "steady_output",
+    "resolve_hypercube_law",
+]
+
+#: the standardized run contract: one replication from one RNG stream.
+Runner = Callable[["np.random.Generator"], "ReplicationOutput"]
+
+#: option kinds understood by :meth:`OptionSpec.validate`
+_KINDS = ("str", "int", "float", "bool", "int_tuple")
+
+
+@dataclass(frozen=True)
+class OptionSpec:
+    """Typed schema entry for one scheme-specific ``extra`` knob."""
+
+    name: str
+    kind: str = "str"  # one of _KINDS
+    default: Any = None
+    choices: Optional[Tuple[Any, ...]] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ConfigurationError(
+                f"option {self.name!r}: unknown kind {self.kind!r} "
+                f"(one of {', '.join(_KINDS)})"
+            )
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`ConfigurationError` unless *value* fits."""
+        ok = True
+        if self.kind == "str":
+            ok = isinstance(value, str)
+        elif self.kind == "bool":
+            ok = isinstance(value, bool)
+        elif self.kind == "int":
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        elif self.kind == "float":
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        elif self.kind == "int_tuple":
+            ok = isinstance(value, tuple) and all(
+                isinstance(x, int) and not isinstance(x, bool) for x in value
+            )
+        if not ok:
+            raise ConfigurationError(
+                f"option {self.name!r} expects a {self.kind}, got {value!r}"
+            )
+        if self.choices is not None and value not in self.choices:
+            raise ConfigurationError(
+                f"option {self.name!r} must be one of "
+                f"{', '.join(map(repr, self.choices))}; got {value!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What a scheme declares about itself.
+
+    ``engines`` lists the *concrete* engines a spec may force via
+    ``engine="..."``; ``engine="auto"`` (the scheme's native engine) is
+    always admissible.  Schemes that own their whole simulation loop
+    (deflection, the pipelined batch baseline, the static tasks)
+    declare no forceable engine at all.
+    """
+
+    networks: Tuple[str, ...]
+    engines: Tuple[str, ...] = ()
+    disciplines: Tuple[str, ...] = ("fifo",)
+    options: Tuple[OptionSpec, ...] = ()
+    metrics: Tuple[str, ...] = ()
+    #: one-shot permutation task: no arrival process, takes neither rho nor lam
+    static: bool = False
+
+    def option_spec(self, name: str) -> Optional[OptionSpec]:
+        for opt in self.options:
+            if opt.name == name:
+                return opt
+        return None
+
+    def option_names(self) -> Tuple[str, ...]:
+        return tuple(opt.name for opt in self.options)
+
+
+class SchemePlugin:
+    """Base class / protocol for scheme plugins.
+
+    Subclasses set :attr:`name`, :attr:`summary` and
+    :attr:`capabilities`, implement :meth:`prepare`, and may extend
+    :meth:`validate` with scheme-specific cross-field rules (always
+    calling ``super().validate(spec)`` first).
+    """
+
+    #: registry key; also the ``ScenarioSpec.scheme`` value
+    name: str = ""
+    #: one-line human description shown by ``repro schemes``
+    summary: str = ""
+    capabilities: Capabilities
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self, spec: "ScenarioSpec") -> None:
+        """Capability-driven spec validation.
+
+        Rejections explain the combination *and* enumerate what is
+        available, so a failing spec is self-diagnosing.
+        """
+        caps = self.capabilities
+        if spec.network not in caps.networks:
+            from repro.plugins.registry import schemes_for_network
+
+            peers = ", ".join(schemes_for_network(spec.network)) or "(none)"
+            raise ConfigurationError(
+                f"scheme {self.name!r} does not run on network "
+                f"{spec.network!r}; it supports: {', '.join(caps.networks)} "
+                f"(schemes available on {spec.network!r}: {peers})"
+            )
+        if spec.engine != "auto" and spec.engine not in caps.engines:
+            admissible = ", ".join(caps.engines) or "(none)"
+            raise ConfigurationError(
+                f"scheme {self.name!r} cannot be forced onto engine "
+                f"{spec.engine!r}; admissible engines: {admissible} "
+                "(engine='auto' always works)"
+            )
+        if spec.discipline not in caps.disciplines:
+            raise ConfigurationError(
+                f"scheme {self.name!r} does not support discipline "
+                f"{spec.discipline!r}; it supports: "
+                f"{', '.join(caps.disciplines)}"
+            )
+        for key, value in spec.extra:
+            opt = caps.option_spec(key)
+            if opt is None:
+                declared = ", ".join(caps.option_names()) or "(none)"
+                raise ConfigurationError(
+                    f"unknown option {key!r} for scheme {self.name!r}; "
+                    f"declared options: {declared}"
+                )
+            opt.validate(value)
+
+    # -- execution -----------------------------------------------------------
+
+    def prepare(self, spec: "ScenarioSpec") -> Runner:
+        """Build the single-replication runner for a validated spec."""
+        raise NotImplementedError  # pragma: no cover - protocol
+
+    # -- cosmetics -----------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SchemePlugin {self.name!r}>"
+
+
+# ---------------------------------------------------------------------------
+# shared adapter helpers
+# ---------------------------------------------------------------------------
+
+
+def steady_output(
+    spec: "ScenarioSpec",
+    record: "DelayRecord",
+    metrics: Tuple[Tuple[str, float], ...] = (),
+) -> "ReplicationOutput":
+    """The common replication epilogue: trim the record by the spec's
+    warm-up/cool-down windows and wrap the steady-state estimate."""
+    from repro.sim.run_spec import ReplicationOutput
+
+    mean = record.mean_delay(spec.warmup_fraction, spec.cooldown_fraction)
+    return ReplicationOutput(mean, record.num_packets, metrics, record)
+
+
+def resolve_hypercube_law(spec: "ScenarioSpec"):
+    """The destination law object selected by the ``law`` option."""
+    from repro.traffic.destinations import (
+        BernoulliFlipLaw,
+        PermutationTraffic,
+        bit_reversal_permutation,
+    )
+
+    law = spec.option("law", "bernoulli")
+    if law == "bernoulli":
+        return BernoulliFlipLaw(spec.d, spec.p)
+    if law == "bitrev":
+        return PermutationTraffic(spec.d, bit_reversal_permutation(spec.d))
+    raise ConfigurationError(f"unknown destination law {law!r}")

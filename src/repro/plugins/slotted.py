@@ -1,0 +1,54 @@
+"""Plugin for the §3.4 slotted-time greedy variant.
+
+Packets wait for the next slot boundary before each hop; the vectorized
+feed-forward engine handles the slotted workload directly (the dyadic
+time grid keeps the shift arithmetic exact).  The scheme owns a single
+option — the slot length ``tau`` — and admits FIFO only, matching the
+synchronous model of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.plugins.api import Capabilities, OptionSpec, Runner, SchemePlugin, steady_output
+from repro.plugins.registry import register_scheme
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.spec import ScenarioSpec
+
+__all__ = ["SlottedPlugin"]
+
+
+@register_scheme
+class SlottedPlugin(SchemePlugin):
+    name = "slotted"
+    summary = "slotted-time greedy hypercube routing (§3.4)"
+    capabilities = Capabilities(
+        networks=("hypercube",),
+        engines=("vectorized",),
+        options=(
+            OptionSpec(
+                "tau",
+                kind="float",
+                default=0.5,
+                description="slot length (the +tau term of the §3.4 bound)",
+            ),
+        ),
+    )
+
+    def prepare(self, spec: "ScenarioSpec") -> Runner:
+        from repro.sim.slotted import SlottedGreedyHypercube
+
+        scheme = SlottedGreedyHypercube(
+            d=spec.d,
+            lam=spec.resolved_lam,
+            p=spec.p,
+            tau=float(spec.option("tau", 0.5)),
+        )
+
+        def run(gen):
+            result = scheme.run(spec.horizon, gen)
+            return steady_output(spec, result.delay_record())
+
+        return run

@@ -5,14 +5,22 @@ operating point, simulate a horizon, trim warm-up/cool-down, pool
 independent replications into a confidence interval — as a declarative
 subsystem:
 
-* :class:`ScenarioSpec` — one frozen experiment cell;
+* :class:`ScenarioSpec` — one frozen experiment cell, validated
+  against the capabilities its scheme's plugin declares
+  (:mod:`repro.plugins`);
 * :func:`register` / :func:`get_scenario` / :func:`list_scenarios` —
   the name-based catalog covering every scheme in the library;
 * :func:`measure` / :func:`measure_many` — multiprocessing-parallel
   replication fan-out with centralized seed spawning;
-* :class:`ResultsStore` — content-hash-addressed JSON cache so
-  repeated runs skip already-computed cells;
+* :class:`ResultsStore` — content-hash-addressed JSON cache (pooled
+  measurements plus per-replication cells) so repeated runs skip
+  already-computed work;
 * :class:`DelayMeasurement` — the pooled result record.
+
+The scheme vocabulary is open: :func:`repro.plugins.available_schemes`
+enumerates whatever plugins are registered (built-ins plus
+``repro.scheme_plugins`` entry points), replacing the old hard-coded
+``SCHEMES`` tuple.
 
 Quickstart::
 
@@ -22,6 +30,12 @@ Quickstart::
     print(m.mean_delay, m.ci.halfwidth, m.within_bounds)
 """
 
+from repro.plugins.registry import (
+    available_networks,
+    available_schemes,
+    get_plugin,
+    iter_plugins,
+)
 from repro.runner.engine import (
     measure,
     measure_many,
@@ -35,14 +49,17 @@ from repro.runner.registry import (
     scenario_names,
 )
 from repro.runner.results import DelayMeasurement
-from repro.runner.spec import SCHEMES, ScenarioSpec
+from repro.runner.spec import ScenarioSpec
 from repro.runner.store import ResultsStore
 
 __all__ = [
     "ScenarioSpec",
-    "SCHEMES",
     "DelayMeasurement",
     "ResultsStore",
+    "available_networks",
+    "available_schemes",
+    "get_plugin",
+    "iter_plugins",
     "register",
     "get_scenario",
     "list_scenarios",

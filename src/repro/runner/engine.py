@@ -25,7 +25,7 @@ from repro.core import bounds as _bounds
 from repro.errors import UnstableSystemError
 from repro.rng import replication_seeds
 from repro.runner.results import DelayMeasurement
-from repro.runner.spec import STATIC_SCHEMES, ScenarioSpec
+from repro.runner.spec import ScenarioSpec
 from repro.runner.store import ResultsStore
 from repro.sim.run_spec import ReplicationOutput, run_spec
 from repro.stats import mean_confidence_interval
@@ -115,7 +115,7 @@ def _pool_measurement(
         sorted((k, v / len(outputs)) for k, v in metric_sums.items())
     )
     lower, upper = theory_bounds(spec)
-    static = spec.scheme in STATIC_SCHEMES
+    static = spec.is_static
     return DelayMeasurement(
         network=spec.network,
         d=spec.d,
@@ -163,28 +163,49 @@ def measure_many(
     Cached specs contribute no tasks; the rest fan out together, so a
     20-cell sweep with 4 replications each keeps ``jobs`` processes
     busy on 80 independent tasks.
+
+    Caching is two-level.  A spec whose pooled measurement is already
+    stored is returned outright; otherwise the store is probed **per
+    replication** (cells keyed by ``(replication_hash, k)``, which is
+    independent of the replication count), so raising ``replications``
+    on a previously measured spec simulates only the new replications
+    and pools them with the cached ones.
     """
     results: List[Optional[DelayMeasurement]] = [None] * len(specs)
     tasks: List[Tuple[ScenarioSpec, object]] = []
-    slots: List[Tuple[int, int]] = []  # task index -> (spec index, #reps)
+    #: per pending spec: (spec index, missing rep indices, cached outputs by rep)
+    slots: List[Tuple[int, List[int], Dict[int, ReplicationOutput]]] = []
     for i, spec in enumerate(specs):
+        cached_reps: Dict[int, ReplicationOutput] = {}
         if store is not None and not refresh:
             cached = store.load(spec)
             if cached is not None:
                 results[i] = cached
                 continue
+            cached_reps = {
+                k: out
+                for k in range(spec.replications)
+                if (out := store.load_replication(spec, k)) is not None
+            }
         seeds = replication_seeds(
             spec.base_seed, spec.replications, spec.seed_policy
         )
-        slots.append((i, len(seeds)))
-        tasks.extend((spec, seed) for seed in seeds)
+        missing = [k for k in range(spec.replications) if k not in cached_reps]
+        slots.append((i, missing, cached_reps))
+        tasks.extend((spec, seeds[k]) for k in missing)
     outputs = _execute(tasks, jobs)
     cursor = 0
-    for i, count in slots:
-        chunk = outputs[cursor : cursor + count]
-        cursor += count
-        m = _pool_measurement(specs[i], chunk)
+    for i, missing, cached_reps in slots:
+        spec = specs[i]
+        chunk = outputs[cursor : cursor + len(missing)]
+        cursor += len(missing)
+        by_rep = dict(cached_reps)
+        by_rep.update(zip(missing, chunk))
+        ordered = [by_rep[k] for k in range(spec.replications)]
+        m = _pool_measurement(spec, ordered)
         if store is not None:
-            store.save(specs[i], m)
+            for k, out in zip(missing, chunk):
+                store.save_replication(spec, k, out)
+            store.save(spec, m)
         results[i] = m
     return results  # type: ignore[return-value]

@@ -180,6 +180,23 @@ _BUILTINS = [
         description="asymmetric p: straight arcs are the bottleneck (Prop 15)",
     ),
     ScenarioSpec(
+        name="butterfly-greedy-event",
+        network="butterfly",
+        engine="event",
+        d=3,
+        rho=0.7,
+        description="greedy butterfly on the event engine (cross-validates §4)",
+    ),
+    ScenarioSpec(
+        name="butterfly-greedy-event-ps",
+        network="butterfly",
+        engine="event",
+        discipline="ps",
+        d=3,
+        rho=0.6,
+        description="butterfly with PS servers on the event engine (§4.3 R-tilde)",
+    ),
+    ScenarioSpec(
         name="static-greedy-bitrev",
         scheme="static_greedy",
         d=6,

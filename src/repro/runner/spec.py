@@ -11,7 +11,16 @@ numbers share one cache cell regardless of how they are named.
 
 Scheme-specific knobs (slot length ``tau``, a fixed ``dim_order``, the
 destination ``law``, the static ``perm``) travel in the ``extra``
-mapping, stored as a sorted tuple of pairs to stay hashable.
+mapping, stored as a sorted tuple of pairs (tuples all the way down)
+to stay hashable.
+
+Validation is **capability-driven**: the scheme resolves to a
+:class:`~repro.plugins.api.SchemePlugin` through the plugin registry,
+and the plugin's declared capabilities decide which networks, engines,
+disciplines and options the spec may combine — so an invalid spec is
+rejected with a message enumerating what *is* available.  There is no
+hard-coded scheme or network list here; registering a new plugin
+extends the accepted vocabulary automatically.
 """
 
 from __future__ import annotations
@@ -27,35 +36,41 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "ScenarioSpec",
-    "NETWORKS",
-    "SCHEMES",
     "DISCIPLINES",
     "SEED_POLICIES",
     "ENGINES",
-    "STATIC_SCHEMES",
 ]
 
-NETWORKS = ("hypercube", "butterfly")
 DISCIPLINES = ("fifo", "ps")
 #: ``spawn`` derives replication seeds via ``SeedSequence(base_seed).spawn``
 #: (provably independent streams); ``sequential`` uses ``base_seed + k``,
 #: matching the historical hand-rolled experiment loops bit for bit.
 SEED_POLICIES = ("spawn", "sequential")
 ENGINES = ("auto", "vectorized", "event")
-SCHEMES = (
-    "greedy",
-    "slotted",
-    "random_order",
-    "twophase",
-    "pipelined_batch",
-    "deflection",
-    "static_greedy",
-    "static_valiant",
-)
-#: one-shot permutation tasks: no arrival process, horizon ignored
-STATIC_SCHEMES = ("static_greedy", "static_valiant")
 
 ExtraValue = Union[int, float, str, bool, Tuple[Any, ...]]
+
+
+def _freeze_value(key: str, value: Any) -> ExtraValue:
+    """Deep-freeze one option value: lists/tuples become tuples
+    recursively, so every spec stays hashable and ``from_dict`` accepts
+    what ``to_dict`` (or a JSON round trip) produced."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(key, x) for x in value)
+    if not isinstance(value, (int, float, str, bool)):
+        raise ConfigurationError(
+            f"extra[{key!r}] must be a scalar or (nested) sequence of "
+            f"scalars, got {type(value)}"
+        )
+    return value
+
+
+def _thaw_value(value: Any) -> Any:
+    """Inverse of :func:`_freeze_value` for serialisation: tuples become
+    lists recursively (the JSON-native shape)."""
+    if isinstance(value, tuple):
+        return [_thaw_value(x) for x in value]
+    return value
 
 
 def _freeze_extra(
@@ -64,15 +79,7 @@ def _freeze_extra(
     if extra is None:
         return ()
     items = extra.items() if isinstance(extra, Mapping) else extra
-    frozen = []
-    for key, value in items:
-        if isinstance(value, list):
-            value = tuple(value)
-        if not isinstance(value, (int, float, str, bool, tuple)):
-            raise ConfigurationError(
-                f"extra[{key!r}] must be a scalar or tuple, got {type(value)}"
-            )
-        frozen.append((str(key), value))
+    frozen = [(str(key), _freeze_value(key, value)) for key, value in items]
     frozen.sort()
     names = [k for k, _ in frozen]
     if len(set(names)) != len(names):
@@ -85,8 +92,9 @@ class ScenarioSpec:
     """One fully specified experiment cell.
 
     Exactly one of ``rho`` (load factor) and ``lam`` (raw per-node
-    rate) must be given for dynamic schemes; static schemes
-    (:data:`STATIC_SCHEMES`) take neither.
+    rate) must be given for dynamic schemes; static schemes (one-shot
+    permutation tasks, declared via their plugin's ``static``
+    capability) take neither.
     """
 
     name: str
@@ -108,27 +116,35 @@ class ScenarioSpec:
     description: str = ""
 
     def __post_init__(self) -> None:
+        from repro.plugins.registry import available_networks, get_plugin
+
         object.__setattr__(self, "extra", _freeze_extra(self.extra))
-        if self.network not in NETWORKS:
-            raise ConfigurationError(f"unknown network {self.network!r}")
-        if self.scheme not in SCHEMES:
-            raise ConfigurationError(f"unknown scheme {self.scheme!r}")
-        if self.discipline not in DISCIPLINES:
-            raise ConfigurationError(f"unknown discipline {self.discipline!r}")
-        if self.seed_policy not in SEED_POLICIES:
-            raise ConfigurationError(f"unknown seed policy {self.seed_policy!r}")
-        if self.engine not in ENGINES:
-            raise ConfigurationError(f"unknown engine {self.engine!r}")
-        if self.network == "butterfly" and self.scheme != "greedy":
+        if self.network not in available_networks():
             raise ConfigurationError(
-                f"scheme {self.scheme!r} is defined on the hypercube only"
+                f"unknown network {self.network!r}; available: "
+                f"{', '.join(available_networks())}"
             )
+        plugin = get_plugin(self.scheme)  # enumerates schemes on a miss
+        if self.discipline not in DISCIPLINES:
+            raise ConfigurationError(
+                f"unknown discipline {self.discipline!r}; "
+                f"one of {', '.join(DISCIPLINES)}"
+            )
+        if self.seed_policy not in SEED_POLICIES:
+            raise ConfigurationError(
+                f"unknown seed policy {self.seed_policy!r}; "
+                f"one of {', '.join(SEED_POLICIES)}"
+            )
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; one of {', '.join(ENGINES)}"
+            )
+        plugin.validate(self)
         if self.d < 1:
             raise ConfigurationError(f"d must be >= 1, got {self.d}")
         if not 0.0 <= self.p <= 1.0:
             raise ConfigurationError(f"p must lie in [0, 1], got {self.p}")
-        static = self.scheme in STATIC_SCHEMES
-        if static:
+        if plugin.capabilities.static:
             if self.rho is not None or self.lam is not None:
                 raise ConfigurationError(
                     f"static scheme {self.scheme!r} takes neither rho nor lam"
@@ -153,9 +169,21 @@ class ScenarioSpec:
     # -- derived quantities ---------------------------------------------------
 
     @property
+    def plugin(self):
+        """The :class:`~repro.plugins.api.SchemePlugin` running this spec."""
+        from repro.plugins.registry import get_plugin
+
+        return get_plugin(self.scheme)
+
+    @property
+    def is_static(self) -> bool:
+        """One-shot permutation task (no arrival process)?"""
+        return self.plugin.capabilities.static
+
+    @property
     def resolved_lam(self) -> float:
         """Per-node arrival rate, whichever way the spec was given."""
-        if self.scheme in STATIC_SCHEMES:
+        if self.is_static:
             return float("nan")
         if self.lam is not None:
             return float(self.lam)
@@ -166,7 +194,7 @@ class ScenarioSpec:
     @property
     def resolved_rho(self) -> float:
         """Load factor, whichever way the spec was given."""
-        if self.scheme in STATIC_SCHEMES:
+        if self.is_static:
             return float("nan")
         if self.rho is not None:
             return float(self.rho)
@@ -199,8 +227,7 @@ class ScenarioSpec:
 
     def to_dict(self) -> Dict[str, Any]:
         out = dataclasses.asdict(self)
-        out["extra"] = {k: list(v) if isinstance(v, tuple) else v
-                        for k, v in self.extra}
+        out["extra"] = {k: _thaw_value(v) for k, v in self.extra}
         return out
 
     @classmethod
@@ -211,14 +238,33 @@ class ScenarioSpec:
             raise ConfigurationError(f"unknown spec fields: {sorted(unknown)}")
         return cls(**dict(data))
 
+    def _hash_payload(self) -> Dict[str, Any]:
+        payload = self.to_dict()
+        payload.pop("name")
+        payload.pop("description")
+        return payload
+
     def content_hash(self) -> str:
         """Stable digest of everything that affects the numbers.
 
         ``name`` and ``description`` are labels, not physics: two specs
         differing only there share a cache cell.
         """
-        payload = self.to_dict()
-        payload.pop("name")
-        payload.pop("description")
+        blob = json.dumps(
+            self._hash_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()[:20]
+
+    def replication_hash(self) -> str:
+        """Digest of everything that affects **one replication**.
+
+        Like :meth:`content_hash` but additionally independent of
+        ``replications``: replication *k*'s seed depends only on
+        ``(base_seed, seed_policy, k)`` under either policy, so raising
+        the replication count of a spec extends — never invalidates —
+        its per-replication cache cells.
+        """
+        payload = self._hash_payload()
+        payload.pop("replications")
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode()).hexdigest()[:20]

@@ -7,6 +7,14 @@ every field that affects the numbers — repeated benchmark runs skip
 already-computed cells, and renaming a scenario does not invalidate
 its results.
 
+Next to the pooled cells lives a **per-replication** cache under
+``replications/``: cells keyed by ``(replication_hash, k)``, where
+:meth:`ScenarioSpec.replication_hash` is additionally independent of
+the replication count.  Replication *k*'s seed depends only on
+``(base_seed, seed_policy, k)`` under either seed policy, so raising
+``replications`` on an existing spec reuses every already-computed
+replication and simulates only the new ones.
+
 The default root is ``$REPRO_CACHE_DIR`` or ``.repro-cache`` under the
 current directory; writes are atomic (temp file + rename) so parallel
 sweeps never leave a torn cell behind.
@@ -18,14 +26,17 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.runner.results import (
     DelayMeasurement,
+    _decode_float,
+    _encode_float,
     measurement_from_dict,
     measurement_to_dict,
 )
 from repro.runner.spec import ScenarioSpec
+from repro.sim.run_spec import ReplicationOutput
 
 __all__ = ["ResultsStore", "default_cache_dir"]
 
@@ -64,13 +75,15 @@ class ResultsStore:
             return None
 
     def save(self, spec: ScenarioSpec, measurement: DelayMeasurement) -> Path:
-        path = self.path_for(spec)
-        self.root.mkdir(parents=True, exist_ok=True)
         payload = {
             "spec": spec.to_dict(),
             "result": measurement_to_dict(measurement),
         }
-        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        return self._write_atomic(self.path_for(spec), payload)
+
+    def _write_atomic(self, path: Path, payload: Dict[str, Any]) -> Path:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(payload, fh, indent=1, sort_keys=True)
@@ -82,6 +95,51 @@ class ResultsStore:
                 pass
             raise
         return path
+
+    # -- per-replication cells ----------------------------------------------
+
+    def replication_path_for(self, spec: ScenarioSpec, rep: int) -> Path:
+        return (
+            self.root
+            / "replications"
+            / f"{spec.replication_hash()}.r{rep:04d}.json"
+        )
+
+    def load_replication(
+        self, spec: ScenarioSpec, rep: int
+    ) -> Optional[ReplicationOutput]:
+        """Replication *rep*'s cached output, or ``None`` on a miss.
+
+        The per-packet record is not persisted (it can be regenerated
+        from the replication's seed), so cached outputs carry
+        ``record=None`` — the same shape the pooled engine consumes.
+        """
+        path = self.replication_path_for(spec, rep)
+        try:
+            payload = json.loads(path.read_text())
+            return ReplicationOutput(
+                mean_delay=_decode_float(payload["mean_delay"]),
+                num_packets=int(payload["num_packets"]),
+                metrics=tuple(
+                    (str(k), _decode_float(v)) for k, v in payload["metrics"]
+                ),
+            )
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None
+
+    def save_replication(
+        self, spec: ScenarioSpec, rep: int, out: ReplicationOutput
+    ) -> Path:
+        payload = {
+            "spec": spec.to_dict(),
+            "replication": rep,
+            "mean_delay": _encode_float(out.mean_delay),
+            "num_packets": out.num_packets,
+            "metrics": [[k, _encode_float(v)] for k, v in out.metrics],
+        }
+        return self._write_atomic(self.replication_path_for(spec, rep), payload)
 
     def __len__(self) -> int:
         if not self.root.is_dir():

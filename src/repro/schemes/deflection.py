@@ -189,3 +189,54 @@ class DeflectionRouter:
             np.asarray(short, dtype=np.int64),
             num_slots,
         )
+
+
+# ---------------------------------------------------------------------------
+# scenario-runner plugin
+# ---------------------------------------------------------------------------
+
+from typing import TYPE_CHECKING
+
+from repro.plugins.api import Capabilities, Runner, SchemePlugin
+from repro.plugins.registry import register_scheme
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.spec import ScenarioSpec
+
+
+@register_scheme
+class DeflectionPlugin(SchemePlugin):
+    """Hot-potato routing in unit slots.  Owns its slotted simulation
+    loop (no forceable engine, no queueing discipline to choose); the
+    spec's horizon is rounded to a slot count and the mean number of
+    deflections rides along as a side metric."""
+
+    name = "deflection"
+    summary = "age-priority hot-potato baseline in the spirit of [GrH89]"
+    capabilities = Capabilities(
+        networks=("hypercube",),
+        metrics=("mean_deflections",),
+    )
+
+    def prepare(self, spec: "ScenarioSpec") -> Runner:
+        from repro.sim.measurement import DelayRecord
+        from repro.sim.run_spec import ReplicationOutput
+
+        slots = int(round(spec.horizon))
+        router = DeflectionRouter(d=spec.d, lam=spec.resolved_lam, p=spec.p)
+
+        def run(gen):
+            result = router.run(slots, gen)
+            record = DelayRecord(
+                result.birth_slot.astype(float),
+                result.delivery_slot.astype(float),
+                float(slots),
+            )
+            return ReplicationOutput(
+                result.mean_delay(spec.warmup_fraction),
+                int(result.birth_slot.shape[0]),
+                (("mean_deflections", result.mean_deflections()),),
+                record,
+            )
+
+        return run

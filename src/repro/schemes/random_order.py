@@ -76,3 +76,49 @@ def simulate_random_order(
         paths,
         record_arc_log=record_arc_log,
     )
+
+
+# ---------------------------------------------------------------------------
+# scenario-runner plugin
+# ---------------------------------------------------------------------------
+
+from typing import TYPE_CHECKING
+
+from repro.plugins.api import Capabilities, Runner, SchemePlugin, steady_output
+from repro.plugins.registry import register_scheme
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.spec import ScenarioSpec
+
+
+@register_scheme
+class RandomOrderPlugin(SchemePlugin):
+    """Per-packet random dimension order: inherently event-driven (the
+    server graph is cyclic), FIFO only, Bernoulli traffic.
+
+    RNG contract (golden-pinned): the replication stream first draws
+    the workload sample, then one shuffle per packet in packet order.
+    """
+
+    name = "random_order"
+    summary = "greedy with per-packet random dimension order (E13 ablation)"
+    capabilities = Capabilities(networks=("hypercube",), engines=("event",))
+
+    def prepare(self, spec: "ScenarioSpec") -> Runner:
+        from repro.sim.measurement import DelayRecord
+        from repro.traffic.destinations import BernoulliFlipLaw
+        from repro.traffic.workload import HypercubeWorkload
+
+        cube = Hypercube(spec.d)
+
+        def run(gen):
+            workload = HypercubeWorkload(
+                cube, spec.resolved_lam, BernoulliFlipLaw(spec.d, spec.p)
+            )
+            sample = workload.generate(spec.horizon, gen)
+            delivery = simulate_random_order(cube, sample, gen).delivery
+            return steady_output(
+                spec, DelayRecord(sample.times, delivery, sample.horizon)
+            )
+
+        return run

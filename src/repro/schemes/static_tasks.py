@@ -89,3 +89,90 @@ def route_permutation_valiant(
         )
     res = simulate_paths_event_driven(cube.num_arcs, np.zeros(n), paths)
     return StaticRunResult(res.delivery, res.hops)
+
+
+# ---------------------------------------------------------------------------
+# scenario-runner plugins
+# ---------------------------------------------------------------------------
+
+from typing import TYPE_CHECKING
+
+from repro.plugins.api import Capabilities, OptionSpec, Runner, SchemePlugin
+from repro.plugins.registry import register_scheme
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.spec import ScenarioSpec
+
+_PERM_OPTION = OptionSpec(
+    "perm",
+    kind="str",
+    default="random",
+    choices=("random", "bitrev"),
+    description="which permutation to route (fresh uniform draw, or bit reversal)",
+)
+
+
+class _StaticTaskPlugin(SchemePlugin):
+    """Shared one-shot permutation machinery: no arrival process (the
+    spec takes neither rho nor lam), every packet released at t = 0,
+    and the makespan rides along as a side metric.
+
+    RNG contract (golden-pinned): with ``perm="random"`` the stream
+    first draws the permutation; the Valiant variant then draws its
+    random intermediates.
+    """
+
+    capabilities = Capabilities(
+        networks=("hypercube",),
+        options=(_PERM_OPTION,),
+        metrics=("makespan",),
+        static=True,
+    )
+
+    def _route(self, cube: Hypercube, perm: np.ndarray, gen) -> StaticRunResult:
+        raise NotImplementedError  # pragma: no cover - protocol
+
+    def prepare(self, spec: "ScenarioSpec") -> Runner:
+        from repro.sim.measurement import DelayRecord
+        from repro.sim.run_spec import ReplicationOutput
+        from repro.traffic.destinations import bit_reversal_permutation
+
+        cube = Hypercube(spec.d)
+        which = spec.option("perm", "random")
+
+        def run(gen):
+            if which == "bitrev":
+                perm = bit_reversal_permutation(spec.d)
+            else:
+                perm = gen.permutation(cube.num_nodes)
+            result = self._route(cube, perm, gen)
+            n = cube.num_nodes
+            record = DelayRecord(
+                np.zeros(n), result.delivery, max(result.completion_time, 1.0)
+            )
+            return ReplicationOutput(
+                result.mean_delay,
+                n,
+                (("makespan", result.completion_time),),
+                record,
+            )
+
+        return run
+
+
+@register_scheme
+class StaticGreedyPlugin(_StaticTaskPlugin):
+    name = "static_greedy"
+    summary = "one-shot permutation via direct greedy routing (§1.2)"
+
+    def _route(self, cube, perm, gen):
+        return route_permutation_greedy(cube, perm)
+
+
+@register_scheme
+class StaticValiantPlugin(_StaticTaskPlugin):
+    name = "static_valiant"
+    summary = "one-shot permutation via Valiant–Brebner two-phase routing"
+
+    def _route(self, cube, perm, gen):
+        return route_permutation_valiant(cube, perm, gen)

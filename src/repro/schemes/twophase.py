@@ -167,3 +167,62 @@ def direct_greedy_arc_loads(cube: Hypercube, law, lam: float) -> np.ndarray:
 
 
 __all__.append("direct_greedy_arc_loads")
+
+
+# ---------------------------------------------------------------------------
+# scenario-runner plugin
+# ---------------------------------------------------------------------------
+
+from typing import TYPE_CHECKING
+
+from repro.plugins.api import (
+    Capabilities,
+    OptionSpec,
+    Runner,
+    SchemePlugin,
+    resolve_hypercube_law,
+    steady_output,
+)
+from repro.plugins.registry import register_scheme
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.spec import ScenarioSpec
+
+
+@register_scheme
+class TwoPhasePlugin(SchemePlugin):
+    """Valiant two-phase mixing: route via a uniform random intermediate,
+    both phases greedy.  Event-driven (phase 2 revisits low dimensions),
+    FIFO, with the realised mean hop count as a side metric."""
+
+    name = "twophase"
+    summary = "Valiant two-phase mixing against adversarial traffic (§5)"
+    capabilities = Capabilities(
+        networks=("hypercube",),
+        engines=("event",),
+        options=(
+            OptionSpec(
+                "law",
+                kind="str",
+                default="bernoulli",
+                choices=("bernoulli", "bitrev"),
+                description="destination law the mixing neutralises",
+            ),
+        ),
+        metrics=("mean_hops",),
+    )
+
+    def prepare(self, spec: "ScenarioSpec") -> Runner:
+        scheme = TwoPhaseScheme(
+            d=spec.d, lam=spec.resolved_lam, law=resolve_hypercube_law(spec)
+        )
+
+        def run(gen):
+            result = scheme.run(spec.horizon, gen)
+            return steady_output(
+                spec,
+                result.delay_record(),
+                metrics=(("mean_hops", result.mean_hops()),),
+            )
+
+        return run

@@ -163,3 +163,63 @@ class PipelinedBatchScheme:
         if measured_round <= 0:
             raise ConfigurationError("round duration must be > 0")
         return self.p / measured_round
+
+
+# ---------------------------------------------------------------------------
+# scenario-runner plugin
+# ---------------------------------------------------------------------------
+
+from typing import TYPE_CHECKING
+
+from repro.plugins.api import Capabilities, Runner, SchemePlugin
+from repro.plugins.registry import register_scheme
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner.spec import ScenarioSpec
+
+
+@register_scheme
+class PipelinedBatchPlugin(SchemePlugin):
+    """The §2.3 non-greedy baseline.  Owns its whole round-structured
+    simulation loop (no forceable engine); packets still queued when the
+    horizon ends are undelivered, so the mean is taken over the
+    delivered packets inside the trim window and the delivered fraction,
+    final backlog and round duration ride along as metrics."""
+
+    name = "pipelined_batch"
+    summary = "pipelined batch rounds, stable only for rho = O(1/d) (§2.3)"
+    capabilities = Capabilities(
+        networks=("hypercube",),
+        metrics=("delivered_fraction", "final_backlog", "mean_round_duration"),
+    )
+
+    def prepare(self, spec: "ScenarioSpec") -> Runner:
+        from repro.sim.measurement import DelayRecord
+        from repro.sim.run_spec import ReplicationOutput
+
+        scheme = PipelinedBatchScheme(d=spec.d, lam=spec.resolved_lam, p=spec.p)
+
+        def run(gen):
+            result = scheme.run(spec.horizon, gen)
+            sample = result.sample
+            delivered = result.delivered_mask()
+            lo = spec.horizon * spec.warmup_fraction
+            hi = spec.horizon * (1.0 - spec.cooldown_fraction)
+            window = delivered & (sample.times >= lo) & (sample.times <= hi)
+            mean = (
+                float((result.delivery[window] - sample.times[window]).mean())
+                if window.any()
+                else float("nan")
+            )
+            metrics = (
+                ("delivered_fraction",
+                 float(delivered.mean()) if len(delivered) else 1.0),
+                ("final_backlog", float(result.final_backlog)),
+                ("mean_round_duration", result.mean_round_duration()),
+            )
+            record = DelayRecord(
+                sample.times[delivered], result.delivery[delivered], sample.horizon
+            )
+            return ReplicationOutput(mean, sample.num_packets, metrics, record)
+
+        return run

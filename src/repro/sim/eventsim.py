@@ -27,6 +27,7 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.sim.engine import EventCalendar
 from repro.sim.feedforward import ArcLog
 from repro.sim.servers import PSServer
+from repro.topology.butterfly import Butterfly
 from repro.topology.hypercube import Hypercube
 from repro.traffic.workload import TrafficSample
 
@@ -34,6 +35,7 @@ __all__ = [
     "EventSimResult",
     "simulate_paths_event_driven",
     "hypercube_packet_paths",
+    "butterfly_packet_paths",
 ]
 
 # event kinds
@@ -236,3 +238,23 @@ def hypercube_packet_paths(
             cur ^= 1 << j
         paths.append(arcs)
     return paths
+
+
+def butterfly_packet_paths(
+    bf: Butterfly, sample: TrafficSample
+) -> List[List[int]]:
+    """Arc paths for each packet of a butterfly traffic sample.
+
+    Origins/destinations are row addresses; each packet follows the
+    *unique* §4.1 path from ``[origin; 0]`` to ``[destination; d]`` —
+    exactly one arc per level, vertical wherever the row addresses
+    differ.  This is what lets the event calendar cross-validate
+    :func:`repro.sim.feedforward.simulate_butterfly_greedy`: both
+    engines share the tie-breaking rule (completions before joins,
+    joins in packet-id order), so FIFO sample paths agree to
+    floating-point round-off.
+    """
+    return [
+        bf.path_arcs(int(sample.origins[i]), int(sample.destinations[i]))
+        for i in range(sample.num_packets)
+    ]

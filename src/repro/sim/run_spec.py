@@ -3,24 +3,25 @@
 This is the sim-layer entry point of the scenario runner
 (:mod:`repro.runner`): given a :class:`~repro.runner.spec.ScenarioSpec`
 and one seed, execute exactly one replication and return its
-steady-state estimate.  The dispatch picks the engine the scheme
-admits:
+steady-state estimate.
 
-* **vectorized** — the levelled feed-forward engine
-  (:mod:`repro.sim.feedforward`) for greedy dimension-order routing on
-  both topologies and the slotted variant;
-* **event** — the event-calendar engine (:mod:`repro.sim.eventsim`)
-  for non-levelled schemes (per-packet random order, two-phase mixing,
-  static permutation tasks) or when a spec forces ``engine="event"``
-  for cross-validation.
+Execution is a thin lookup: the spec's scheme resolves to a
+:class:`~repro.plugins.api.SchemePlugin` through the plugin registry
+(:mod:`repro.plugins.registry`), whose ``prepare(spec)`` hook builds
+the ``Runner(gen) -> ReplicationOutput`` closure that does the work.
+Which engine runs — the vectorized feed-forward engine
+(:mod:`repro.sim.feedforward`) or the event calendar
+(:mod:`repro.sim.eventsim`) — is the plugin's decision, driven by its
+declared capabilities and the spec's ``engine`` field.
 
 The RNG consumption per scheme deliberately reproduces the historical
 hand-rolled experiment loops, so a spec with ``seed_policy=
 "sequential"`` and ``replications=1`` is bit-for-bit identical to the
-pre-runner code paths (regression-tested).
+pre-runner code paths (pinned by ``tests/test_golden_dispatch.py``).
 
-Scheme modules are imported lazily: they import :mod:`repro.sim`
-themselves, so importing them at module scope would be circular.
+The plugin registry is imported lazily: plugin modules import
+:mod:`repro.sim` themselves, so importing them at module scope would
+be circular.
 """
 
 from __future__ import annotations
@@ -28,9 +29,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-import numpy as np
-
-from repro.errors import ConfigurationError
 from repro.rng import SeedLike, as_generator
 from repro.sim.measurement import DelayRecord
 
@@ -49,206 +47,6 @@ class ReplicationOutput:
     record: Optional[DelayRecord] = None
 
 
-def _steady_mean(spec, record: DelayRecord) -> float:
-    return record.mean_delay(spec.warmup_fraction, spec.cooldown_fraction)
-
-
-def _hypercube_law(spec):
-    from repro.traffic.destinations import (
-        BernoulliFlipLaw,
-        PermutationTraffic,
-        bit_reversal_permutation,
-    )
-
-    law = spec.option("law", "bernoulli")
-    if law == "bernoulli":
-        return BernoulliFlipLaw(spec.d, spec.p)
-    if law == "bitrev":
-        return PermutationTraffic(spec.d, bit_reversal_permutation(spec.d))
-    raise ConfigurationError(f"unknown destination law {law!r}")
-
-
-def _run_greedy_hypercube(spec, gen) -> ReplicationOutput:
-    from repro.sim.eventsim import hypercube_packet_paths, simulate_paths_event_driven
-    from repro.sim.feedforward import simulate_hypercube_greedy
-    from repro.topology.hypercube import Hypercube
-    from repro.traffic.workload import HypercubeWorkload
-
-    cube = Hypercube(spec.d)
-    workload = HypercubeWorkload(cube, spec.resolved_lam, _hypercube_law(spec))
-    sample = workload.generate(spec.horizon, gen)
-    dim_order = spec.option("dim_order")
-    if spec.engine == "event":
-        if dim_order is not None:
-            raise ConfigurationError("dim_order is a vectorized-engine option")
-        paths = hypercube_packet_paths(cube, sample)
-        delivery = simulate_paths_event_driven(
-            cube.num_arcs, sample.times, paths, discipline=spec.discipline
-        ).delivery
-    else:
-        delivery = simulate_hypercube_greedy(
-            cube,
-            sample,
-            discipline=spec.discipline,
-            dim_order=None if dim_order is None else list(dim_order),
-        ).delivery
-    return _from_record(spec, DelayRecord(sample.times, delivery, sample.horizon))
-
-
-def _run_greedy_butterfly(spec, gen) -> ReplicationOutput:
-    from repro.sim.feedforward import simulate_butterfly_greedy
-    from repro.topology.butterfly import Butterfly
-    from repro.traffic.destinations import BernoulliFlipLaw
-    from repro.traffic.workload import ButterflyWorkload
-
-    if spec.engine == "event":
-        raise ConfigurationError("the event engine routes hypercube paths only")
-    if spec.option("law", "bernoulli") != "bernoulli":
-        raise ConfigurationError("butterfly scenarios use the Bernoulli law")
-    bf = Butterfly(spec.d)
-    workload = ButterflyWorkload(bf, spec.resolved_lam, BernoulliFlipLaw(spec.d, spec.p))
-    sample = workload.generate(spec.horizon, gen)
-    delivery = simulate_butterfly_greedy(
-        bf, sample, discipline=spec.discipline
-    ).delivery
-    return _from_record(spec, DelayRecord(sample.times, delivery, sample.horizon))
-
-
-def _run_slotted(spec, gen) -> ReplicationOutput:
-    from repro.sim.slotted import SlottedGreedyHypercube
-
-    scheme = SlottedGreedyHypercube(
-        d=spec.d,
-        lam=spec.resolved_lam,
-        p=spec.p,
-        tau=float(spec.option("tau", 0.5)),
-    )
-    result = scheme.run(spec.horizon, gen)
-    return _from_record(spec, result.delay_record())
-
-
-def _run_random_order(spec, gen) -> ReplicationOutput:
-    from repro.schemes.random_order import simulate_random_order
-    from repro.topology.hypercube import Hypercube
-    from repro.traffic.destinations import BernoulliFlipLaw
-    from repro.traffic.workload import HypercubeWorkload
-
-    cube = Hypercube(spec.d)
-    workload = HypercubeWorkload(cube, spec.resolved_lam, BernoulliFlipLaw(spec.d, spec.p))
-    sample = workload.generate(spec.horizon, gen)
-    delivery = simulate_random_order(cube, sample, gen).delivery
-    return _from_record(spec, DelayRecord(sample.times, delivery, sample.horizon))
-
-
-def _run_twophase(spec, gen) -> ReplicationOutput:
-    from repro.schemes.twophase import TwoPhaseScheme
-
-    scheme = TwoPhaseScheme(
-        d=spec.d, lam=spec.resolved_lam, law=_hypercube_law(spec)
-    )
-    result = scheme.run(spec.horizon, gen)
-    record = result.delay_record()
-    return _from_record(
-        spec, record, metrics=(("mean_hops", result.mean_hops()),)
-    )
-
-
-def _run_pipelined_batch(spec, gen) -> ReplicationOutput:
-    from repro.schemes.valiant import PipelinedBatchScheme
-
-    scheme = PipelinedBatchScheme(d=spec.d, lam=spec.resolved_lam, p=spec.p)
-    result = scheme.run(spec.horizon, gen)
-    sample = result.sample
-    delivered = result.delivered_mask()
-    lo = spec.horizon * spec.warmup_fraction
-    hi = spec.horizon * (1.0 - spec.cooldown_fraction)
-    window = delivered & (sample.times >= lo) & (sample.times <= hi)
-    mean = (
-        float((result.delivery[window] - sample.times[window]).mean())
-        if window.any()
-        else float("nan")
-    )
-    metrics = (
-        ("delivered_fraction", float(delivered.mean()) if len(delivered) else 1.0),
-        ("final_backlog", float(result.final_backlog)),
-        ("mean_round_duration", result.mean_round_duration()),
-    )
-    record = DelayRecord(
-        sample.times[delivered], result.delivery[delivered], sample.horizon
-    )
-    return ReplicationOutput(mean, sample.num_packets, metrics, record)
-
-
-def _run_deflection(spec, gen) -> ReplicationOutput:
-    from repro.schemes.deflection import DeflectionRouter
-
-    slots = int(round(spec.horizon))
-    router = DeflectionRouter(d=spec.d, lam=spec.resolved_lam, p=spec.p)
-    result = router.run(slots, gen)
-    record = DelayRecord(
-        result.birth_slot.astype(float),
-        result.delivery_slot.astype(float),
-        float(slots),
-    )
-    return ReplicationOutput(
-        result.mean_delay(spec.warmup_fraction),
-        int(result.birth_slot.shape[0]),
-        (("mean_deflections", result.mean_deflections()),),
-        record,
-    )
-
-
-def _run_static(spec, gen) -> ReplicationOutput:
-    from repro.schemes.static_tasks import (
-        route_permutation_greedy,
-        route_permutation_valiant,
-    )
-    from repro.topology.hypercube import Hypercube
-    from repro.traffic.destinations import bit_reversal_permutation
-
-    cube = Hypercube(spec.d)
-    which = spec.option("perm", "random")
-    if which == "bitrev":
-        perm = bit_reversal_permutation(spec.d)
-    elif which == "random":
-        perm = gen.permutation(cube.num_nodes)
-    else:
-        raise ConfigurationError(f"unknown perm {which!r} (random | bitrev)")
-    if spec.scheme == "static_greedy":
-        result = route_permutation_greedy(cube, perm)
-    else:
-        result = route_permutation_valiant(cube, perm, gen)
-    n = cube.num_nodes
-    record = DelayRecord(np.zeros(n), result.delivery, max(result.completion_time, 1.0))
-    return ReplicationOutput(
-        result.mean_delay,
-        n,
-        (("makespan", result.completion_time),),
-        record,
-    )
-
-
-def _from_record(
-    spec, record: DelayRecord, metrics: Tuple[Tuple[str, float], ...] = ()
-) -> ReplicationOutput:
-    return ReplicationOutput(
-        _steady_mean(spec, record), record.num_packets, metrics, record
-    )
-
-
-_DISPATCH = {
-    ("greedy", "hypercube"): _run_greedy_hypercube,
-    ("greedy", "butterfly"): _run_greedy_butterfly,
-    ("slotted", "hypercube"): _run_slotted,
-    ("random_order", "hypercube"): _run_random_order,
-    ("twophase", "hypercube"): _run_twophase,
-    ("pipelined_batch", "hypercube"): _run_pipelined_batch,
-    ("deflection", "hypercube"): _run_deflection,
-    ("static_greedy", "hypercube"): _run_static,
-    ("static_valiant", "hypercube"): _run_static,
-}
-
-
 def run_spec(spec, rng: SeedLike = None, *, keep_record: bool = False) -> ReplicationOutput:
     """Execute **one** replication of *spec* with the given seed.
 
@@ -257,12 +55,10 @@ def run_spec(spec, rng: SeedLike = None, *, keep_record: bool = False) -> Replic
     sequential run because each replication consumes only its own
     stream.
     """
-    runner = _DISPATCH.get((spec.scheme, spec.network))
-    if runner is None:  # pragma: no cover - spec validation precludes this
-        raise ConfigurationError(
-            f"no runner for scheme={spec.scheme!r} on network={spec.network!r}"
-        )
-    out = runner(spec, as_generator(rng))
+    from repro.plugins.registry import get_plugin
+
+    runner = get_plugin(spec.scheme).prepare(spec)
+    out = runner(as_generator(rng))
     if not keep_record:
         out = ReplicationOutput(out.mean_delay, out.num_packets, out.metrics, None)
     return out

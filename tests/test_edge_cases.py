@@ -18,8 +18,6 @@ from repro.sim.feedforward import (
     simulate_hypercube_greedy,
     simulate_markovian,
 )
-from repro.topology.butterfly import Butterfly
-from repro.topology.hypercube import Hypercube
 from repro.traffic.workload import TrafficSample
 
 

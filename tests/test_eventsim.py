@@ -8,9 +8,7 @@ from repro.sim.eventsim import (
     hypercube_packet_paths,
     simulate_paths_event_driven,
 )
-from repro.topology.hypercube import Hypercube
-from repro.traffic.destinations import BernoulliFlipLaw
-from repro.traffic.workload import HypercubeWorkload, TrafficSample
+from repro.traffic.workload import TrafficSample
 
 
 class TestEventDrivenFifo:

@@ -6,14 +6,11 @@ import pytest
 from repro.core.qnetwork import ExplicitLevelledSpec, HypercubeQSpec
 from repro.errors import ConfigurationError
 from repro.sim.feedforward import (
-    EXIT,
     serve_level,
     simulate_butterfly_greedy,
     simulate_hypercube_greedy,
     simulate_markovian,
 )
-from repro.topology.butterfly import Butterfly
-from repro.topology.hypercube import Hypercube
 from repro.traffic.destinations import BernoulliFlipLaw
 from repro.traffic.workload import (
     ButterflyWorkload,

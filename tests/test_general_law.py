@@ -13,7 +13,6 @@ from repro.core.general import (
     general_universal_lower_bound,
     general_zero_contention_delay,
 )
-from repro.core.load import lam_for_load
 from repro.errors import ConfigurationError, UnstableSystemError
 from repro.sim.feedforward import simulate_hypercube_greedy
 from repro.sim.measurement import arc_arrival_counts

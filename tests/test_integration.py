@@ -21,7 +21,6 @@ from repro.core.greedy import GreedyButterflyScheme, GreedyHypercubeScheme
 from repro.core.load import lam_for_load
 from repro.queueing.productform import ProductFormNetwork
 from repro.sim.measurement import PopulationTracker, arc_arrival_counts
-from repro.topology.hypercube import Hypercube
 
 
 class TestProp5ArcRates:

@@ -11,10 +11,7 @@ from repro.core.qnetwork import (
     hypercube_external_from_sample,
 )
 from repro.errors import ConfigurationError
-from repro.rng import as_generator
 from repro.sim.feedforward import EXIT
-from repro.topology.butterfly import Butterfly
-from repro.topology.hypercube import Hypercube
 from repro.traffic.destinations import BernoulliFlipLaw
 from repro.traffic.workload import ButterflyWorkload, HypercubeWorkload
 

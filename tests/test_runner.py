@@ -67,16 +67,50 @@ class TestScenarioSpec:
                          lam=0.5)
 
     def test_extra_is_frozen_and_sorted(self):
-        spec = ScenarioSpec(name="x", rho=0.5, extra={"tau": 0.5, "law": "bernoulli"})
-        assert spec.extra == (("law", "bernoulli"), ("tau", 0.5))
-        assert spec.option("tau") == 0.5
+        spec = ScenarioSpec(
+            name="x", rho=0.5,
+            extra={"law": "bernoulli", "dim_order": [1, 0, 2, 3]},
+        )
+        assert spec.extra == (("dim_order", (1, 0, 2, 3)), ("law", "bernoulli"))
+        assert spec.option("law") == "bernoulli"
         assert spec.option("missing", 7) == 7
         assert hash(spec)  # stays hashable
 
+    def test_unknown_option_enumerates_schema(self):
+        # tau belongs to the slotted scheme, not greedy; the error must
+        # say which options greedy does declare
+        with pytest.raises(ConfigurationError, match="dim_order"):
+            ScenarioSpec(name="x", rho=0.5, extra={"tau": 0.5})
+
+    def test_option_values_are_typed(self):
+        with pytest.raises(ConfigurationError, match="bernoulli"):
+            ScenarioSpec(name="x", rho=0.5, extra={"law": "weird"})
+        with pytest.raises(ConfigurationError, match="float"):
+            ScenarioSpec(name="x", scheme="slotted", rho=0.5,
+                         extra={"tau": "long"})
+
     def test_roundtrip_dict(self):
-        spec = ScenarioSpec(name="x", d=5, rho=0.7, extra={"tau": 0.25})
+        spec = ScenarioSpec(name="x", scheme="slotted", d=5, rho=0.7,
+                            extra={"tau": 0.25})
         again = ScenarioSpec.from_dict(spec.to_dict())
         assert again == spec
+
+    def test_roundtrip_dict_with_nested_tuple_options(self):
+        """to_dict emits extra values as (nested) lists; feeding them
+        back through from_dict must reproduce the spec exactly —
+        including through an actual JSON round trip."""
+        import json
+
+        spec = ScenarioSpec(
+            name="x", d=4, rho=0.7, extra={"dim_order": (3, 1, 0, 2)}
+        )
+        payload = spec.to_dict()
+        assert payload["extra"]["dim_order"] == [3, 1, 0, 2]
+        again = ScenarioSpec.from_dict(payload)
+        assert again == spec and hash(again) == hash(spec)
+        via_json = ScenarioSpec.from_dict(json.loads(json.dumps(payload)))
+        assert via_json == spec
+        assert via_json.content_hash() == spec.content_hash()
 
     def test_content_hash_ignores_labels(self):
         a = ScenarioSpec(name="a", rho=0.5, description="one")
@@ -259,6 +293,74 @@ class TestResultsStore:
         b = a.replace(name="label-b", description="renamed")
         measure(a, store=store)
         assert store.contains(b)
+
+    def test_growing_replications_reuses_cached_ones(self, tmp_path, monkeypatch):
+        """Raising `replications` on a measured spec must simulate only
+        the new replications: cells are keyed by (replication_hash, k)."""
+        import repro.runner.engine as engine_mod
+
+        store = ResultsStore(tmp_path)
+        small = SMOKE.replace(replications=2)
+        first = measure(small, store=store)
+
+        executed = []
+        real = engine_mod._run_task
+
+        def counting(task):
+            executed.append(task)
+            return real(task)
+
+        monkeypatch.setattr(engine_mod, "_run_task", counting)
+        grown = measure(small.replace(replications=5), store=store)
+        assert len(executed) == 3  # replications 2, 3, 4 only
+        # the first two pooled estimates are the cached ones, bit for bit
+        assert grown.replication_delays[:2] == first.replication_delays
+        # and the pooled result equals a from-scratch computation
+        fresh = measure(small.replace(replications=5))
+        assert grown == fresh
+
+    def test_replication_cells_survive_renames_and_count_changes(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        a = SMOKE.replace(name="rep-a", replications=2)
+        measure(a, store=store)
+        b = a.replace(name="rep-b", description="renamed", replications=6)
+        assert a.replication_hash() == b.replication_hash()
+        for k in range(2):
+            assert store.load_replication(b, k) is not None
+        assert store.load_replication(b, 2) is None
+
+    def test_corrupt_replication_cell_is_a_miss(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = SMOKE.replace(replications=2)
+        measure(spec, store=store)
+        store.replication_path_for(spec, 0).write_text("{torn")
+        assert store.load_replication(spec, 0) is None
+        # and the engine recomputes through the corruption
+        grown = measure(spec.replace(replications=3), store=store)
+        assert grown == measure(spec.replace(replications=3))
+
+    def test_refresh_overwrites_replication_cells(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = SMOKE.replace(replications=2)
+        measure(spec, store=store)
+        mtime = store.replication_path_for(spec, 0).stat().st_mtime_ns
+        measure(spec, store=store, refresh=True)
+        assert store.replication_path_for(spec, 0).stat().st_mtime_ns > mtime
+
+    def test_replication_cache_preserves_metrics(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = get_scenario("hypercube-twophase").replace(
+            d=3, horizon=60.0, replications=2
+        )
+        direct = measure(spec)
+        measure(spec, store=store)
+        cached = store.load_replication(spec, 0)
+        assert cached.metrics and cached.metrics[0][0] == "mean_hops"
+        grown = measure(spec.replace(replications=3), store=store)
+        assert grown.metric("mean_hops") == pytest.approx(
+            measure(spec.replace(replications=3)).metric("mean_hops")
+        )
+        assert direct.replication_delays == grown.replication_delays[:2]
 
     def test_measurement_serialisation_handles_inf_nan(self):
         m = measure(get_scenario("static-greedy-bitrev").replace(d=3))

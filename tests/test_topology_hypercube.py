@@ -1,6 +1,5 @@
 """Unit tests for the d-cube topology (paper §1.1, Fig. 1a)."""
 
-import numpy as np
 import pytest
 
 from repro.errors import TopologyError

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.analysis.hopstats import LevelHopStats, per_level_hop_stats
+from repro.analysis.hopstats import per_level_hop_stats
 from repro.core.greedy import GreedyHypercubeScheme
 from repro.core.qnetwork import ButterflyRSpec, HypercubeQSpec
 from repro.errors import MeasurementError
