@@ -3,11 +3,14 @@ console script after ``pip install``).
 
 Subcommands:
 
-* ``bounds``          — print the paper's closed-form theory for given parameters;
+* ``bounds``          — print the closed-form theory via the network plugin's
+  theory hooks (so the CLI and the engine brackets can never disagree);
 * ``simulate``        — run one simulation and compare against the bounds;
 * ``sweep``           — delay-vs-load series with an ASCII plot (parallel with ``--jobs``);
 * ``list-scenarios``  — the registered scenario catalog;
 * ``schemes``         — the scheme plugins and their declared capabilities;
+* ``networks``        — the network plugins: aliases, options, and the
+  scheme x network capability matrix;
 * ``describe``        — one scenario in full: spec fields + plugin capabilities;
 * ``run``             — execute a registered scenario: parallel replications,
   pooled confidence interval, content-hash results cache.
@@ -15,10 +18,12 @@ Subcommands:
 Examples::
 
     python -m repro bounds --d 6 --rho 0.8
+    python -m repro bounds --network ring --d 5 --rho 0.7
     python -m repro simulate --network butterfly --d 5 --rho 0.7 --p 0.3
     python -m repro sweep --d 5 --points 6 --jobs 4
     python -m repro list-scenarios
     python -m repro schemes
+    python -m repro networks
     python -m repro describe butterfly-greedy-event
     python -m repro run hypercube-greedy-mid --replications 8 --jobs 4
 """
@@ -30,8 +35,6 @@ import sys
 
 from repro.analysis.plotting import ascii_plot
 from repro.analysis.tables import format_table
-from repro.core import bounds as B
-from repro.core.load import butterfly_lam_for_load, lam_for_load
 from repro.runner import (
     ResultsStore,
     ScenarioSpec,
@@ -43,40 +46,21 @@ from repro.runner import (
 
 
 def _cmd_bounds(args: argparse.Namespace) -> int:
-    d, rho, p = args.d, args.rho, args.p
-    if args.network == "hypercube":
-        lam = lam_for_load(rho, p)
-        rows = [
-            ("per-node rate lam", lam),
-            ("load factor rho", rho),
-            ("stable (Prop 6)", rho < 1),
-            ("zero-contention dp", B.zero_contention_delay(d, p)),
-        ]
-        if rho < 1:
-            rows += [
-                ("Prop 2 universal lower", B.universal_delay_lower_bound(d, lam, p)),
-                ("Prop 3 oblivious lower", B.oblivious_delay_lower_bound(d, lam, p)),
-                ("Prop 13 greedy lower", B.greedy_delay_lower_bound(d, lam, p)),
-                ("Prop 12 greedy upper", B.greedy_delay_upper_bound(d, lam, p)),
-                ("queue/node bound", B.mean_queue_per_node_bound(d, lam, p)),
-            ]
-    else:
-        lam = butterfly_lam_for_load(rho, p)
-        rows = [
-            ("per-input rate lam", lam),
-            ("load factor rho", rho),
-            ("stable (Prop 16)", rho < 1),
-        ]
-        if rho < 1:
-            rows += [
-                ("Prop 14 lower", B.butterfly_delay_lower_bound(d, lam, p)),
-                ("Prop 17 upper", B.butterfly_delay_upper_bound(d, lam, p)),
-            ]
+    # a throwaway greedy spec at the requested operating point; the
+    # network plugin's bound_report derives its bracket rows from the
+    # same greedy_theory_bounds hook the parallel engine uses
+    spec = ScenarioSpec(
+        name=f"bounds-{args.network}",
+        network=args.network,
+        d=args.d,
+        rho=args.rho,
+        p=args.p,
+    )
     print(
         format_table(
             ["quantity", "value"],
-            rows,
-            title=f"{args.network}, d={d}, rho={rho}, p={p}",
+            spec.network_plugin.bound_report(spec),
+            title=f"{spec.network}, d={args.d}, rho={args.rho}, p={args.p}",
         )
     )
     return 0
@@ -179,7 +163,7 @@ def _cmd_schemes(args: argparse.Namespace) -> int:
         rows.append(
             (
                 plugin.name,
-                " ".join(caps.networks),
+                "* (any)" if "*" in caps.networks else " ".join(caps.networks),
                 " ".join(caps.engines) or "-",
                 " ".join(caps.disciplines),
                 " ".join(caps.option_names()) or "-",
@@ -200,9 +184,36 @@ def _cmd_schemes(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_networks(args: argparse.Namespace) -> int:
+    from repro.networks import iter_networks
+    from repro.plugins import schemes_for_network
+
+    rows = []
+    for plugin in iter_networks():
+        rows.append(
+            (
+                plugin.name,
+                " ".join(plugin.aliases) or "-",
+                " ".join(schemes_for_network(plugin.name)) or "-",
+                " ".join(plugin.option_names()) or "-",
+                plugin.summary,
+            )
+        )
+    print(
+        format_table(
+            ["network", "aliases", "schemes", "options", "summary"],
+            rows,
+            title="registered network plugins "
+            "(extend via the repro.network_plugins entry-point group)",
+        )
+    )
+    return 0
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
     spec = get_scenario(args.scenario)
     plugin = spec.plugin
+    net = spec.network_plugin
     caps = plugin.capabilities
     point = (
         "(static task)"
@@ -213,6 +224,7 @@ def _cmd_describe(args: argparse.Namespace) -> int:
         ("description", spec.description or "-"),
         ("network / scheme", f"{spec.network} / {spec.scheme} ({spec.discipline})"),
         ("plugin", f"{type(plugin).__name__}: {plugin.summary}"),
+        ("network plugin", f"{type(net).__name__}: {net.summary}"),
         ("operating point", f"d={spec.d}, p={spec.p}, {point}"),
         ("engine", spec.engine),
         ("horizon / trims",
@@ -226,17 +238,22 @@ def _cmd_describe(args: argparse.Namespace) -> int:
         ("scheme disciplines", " ".join(caps.disciplines)),
         ("scheme metrics", " ".join(caps.metrics) or "-"),
     ]
-    for opt in caps.options:
-        value = spec.option(opt.name, opt.default)
-        choices = (
-            f" one of {', '.join(map(str, opt.choices))};" if opt.choices else ""
-        )
-        rows.append(
-            (
-                f"option: {opt.name}",
-                f"{value!r} ({opt.kind};{choices} {opt.description})",
+    def _option_rows(label, options):
+        for opt in options:
+            value = spec.option(opt.name, opt.default)
+            choices = (
+                f" one of {', '.join(map(str, opt.choices))};" if opt.choices else ""
             )
-        )
+            rows.append(
+                (
+                    f"{label}: {opt.name}",
+                    f"{value!r} ({opt.kind};{choices} {opt.description})",
+                )
+            )
+
+    _option_rows("option", caps.options)
+    if caps.network_options:
+        _option_rows("network option", net.options)
     print(format_table(["field", "value"], rows,
                        title=f"scenario {spec.name!r}"))
     return 0
@@ -308,13 +325,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    from repro.networks import all_network_names
+
     def _common(sp: argparse.ArgumentParser) -> None:
-        sp.add_argument("--network", choices=["hypercube", "butterfly"],
-                        default="hypercube")
+        sp.add_argument("--network", choices=list(all_network_names()),
+                        default="hypercube",
+                        help="a registered network plugin (or alias)")
         sp.add_argument("--d", type=int, default=6, help="dimension")
         sp.add_argument("--rho", type=float, default=0.8, help="load factor")
         sp.add_argument("--p", type=float, default=0.5,
-                        help="bit-flip probability (eq. 1)")
+                        help="bit-flip probability (eq. 1; hypercube/butterfly)")
 
     sp = sub.add_parser("bounds", help="print the closed-form theory")
     _common(sp)
@@ -342,6 +362,12 @@ def build_parser() -> argparse.ArgumentParser:
         "schemes", help="the scheme plugins and their declared capabilities"
     )
     sp.set_defaults(func=_cmd_schemes)
+
+    sp = sub.add_parser(
+        "networks",
+        help="the network plugins: aliases, options, scheme matrix",
+    )
+    sp.set_defaults(func=_cmd_networks)
 
     sp = sub.add_parser(
         "describe",

@@ -1,0 +1,223 @@
+"""The network-plugin protocol: topologies as first-class plugins.
+
+PR 2 opened the *scheme* axis with capability-declaring plugins; this
+module opens the *network* axis the same way.  A
+:class:`NetworkPlugin` is the single place a topology touches the
+scenario subsystem.  It declares its identity (``name`` + ``aliases``)
+and its network-scoped ``extra`` options, and implements the hooks the
+rest of the stack used to hard-code per network:
+
+* :meth:`~NetworkPlugin.build_topology` — the
+  :class:`~repro.topology.base.Topology` for a spec's parameters;
+* :meth:`~NetworkPlugin.lam_for_load` / :meth:`~NetworkPlugin.load_factor`
+  — the load-factor ↔ arrival-rate law (``ScenarioSpec.resolved_lam``
+  / ``resolved_rho`` delegate here);
+* :meth:`~NetworkPlugin.build_workload` — the network's dynamic greedy
+  arrival process;
+* :meth:`~NetworkPlugin.greedy_paths` — per-packet arc paths, the
+  event-engine cross-validation hook;
+* :meth:`~NetworkPlugin.simulate_greedy` — the network's native
+  vectorised greedy engine (level-by-level feed-forward where the
+  network is levelled, the fixed-point engine otherwise);
+* :meth:`~NetworkPlugin.greedy_theory_bounds` /
+  :meth:`~NetworkPlugin.bound_report` — the closed-form theory, shared
+  by the parallel engine's brackets and the ``repro bounds`` CLI so
+  the two can never disagree;
+* :meth:`~NetworkPlugin.mean_greedy_hops` /
+  :meth:`~NetworkPlugin.greedy_hop_pmf` — the greedy hop-count
+  distribution.
+
+Like the scheme API, this module is dependency-light (no numpy import
+at runtime, no simulator imports) so plugin modules can import it
+without cycles; concrete plugins import their machinery lazily.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+from repro.plugins.api import OptionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.runner.spec import ScenarioSpec
+    from repro.topology.base import Topology
+    from repro.traffic.workload import TrafficSample
+
+__all__ = ["NetworkPlugin"]
+
+
+class NetworkPlugin:
+    """Base class / protocol for network plugins.
+
+    Subclasses set :attr:`name` (and optionally :attr:`aliases`,
+    :attr:`summary`, :attr:`options`), implement the topology /
+    load-law / greedy hooks, and may extend :meth:`validate` with
+    network-specific cross-field rules.
+    """
+
+    #: registry key; also the canonical ``ScenarioSpec.network`` value
+    name: str = ""
+    #: alternative spellings accepted by specs and the CLI; a spec
+    #: built with an alias is normalised to :attr:`name` *before*
+    #: content-hashing, so aliases share cache cells
+    aliases: Tuple[str, ...] = ()
+    #: one-line human description shown by ``repro networks``
+    summary: str = ""
+    #: network-scoped ``extra`` knobs; validated alongside the scheme's
+    #: declared options (the scheme wins on a name collision)
+    options: Tuple[OptionSpec, ...] = ()
+
+    # -- option schema -------------------------------------------------------
+
+    def option_spec(self, name: str) -> Optional[OptionSpec]:
+        for opt in self.options:
+            if opt.name == name:
+                return opt
+        return None
+
+    def option_names(self) -> Tuple[str, ...]:
+        return tuple(opt.name for opt in self.options)
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self, spec: "ScenarioSpec") -> None:
+        """Network-specific cross-field rules (default: none)."""
+
+    # -- topology ------------------------------------------------------------
+
+    def build_topology(self, spec: "ScenarioSpec") -> "Topology":
+        """The :class:`~repro.topology.base.Topology` for *spec*'s
+        parameters (``d`` plus any network options)."""
+        raise NotImplementedError  # pragma: no cover - protocol
+
+    # -- the load law --------------------------------------------------------
+
+    def lam_for_load(self, spec: "ScenarioSpec") -> float:
+        """Per-node arrival rate achieving load factor ``spec.rho``."""
+        raise NotImplementedError  # pragma: no cover - protocol
+
+    def load_factor(self, spec: "ScenarioSpec") -> float:
+        """Load factor (bottleneck arc utilisation) at rate ``spec.lam``."""
+        raise NotImplementedError  # pragma: no cover - protocol
+
+    # -- greedy routing ------------------------------------------------------
+
+    def build_workload(self, spec: "ScenarioSpec") -> Any:
+        """The dynamic greedy arrival process: an object whose
+        ``generate(horizon, gen)`` returns a
+        :class:`~repro.traffic.workload.TrafficSample`."""
+        raise NotImplementedError  # pragma: no cover - protocol
+
+    def greedy_paths(
+        self,
+        topology: "Topology",
+        spec: "ScenarioSpec",
+        sample: "TrafficSample",
+    ) -> List[List[int]]:
+        """Per-packet greedy arc paths (the event-engine hook)."""
+        raise NotImplementedError  # pragma: no cover - protocol
+
+    def simulate_greedy(
+        self,
+        topology: "Topology",
+        spec: "ScenarioSpec",
+        sample: "TrafficSample",
+    ) -> "np.ndarray":
+        """Delivery epochs of *sample* under greedy routing on the
+        network's native vectorised engine.
+
+        Default: the fixed-point solver over :meth:`greedy_paths` —
+        correct for *any* topology (that is all the ring and torus
+        plugins use).  Levelled networks override this with their
+        one-pass feed-forward engine.
+        """
+        from repro.sim.fixedpoint import simulate_paths_fixed_point
+
+        return simulate_paths_fixed_point(
+            topology.num_arcs,
+            sample.times,
+            self.greedy_paths(topology, spec, sample),
+            discipline=spec.discipline,
+        ).delivery
+
+    # -- theory --------------------------------------------------------------
+
+    def greedy_theory_bounds(self, spec: "ScenarioSpec") -> Tuple[float, float]:
+        """The closed-form mean-delay bracket for greedy routing, when
+        the network has one; default "no known constraint"."""
+        return (-math.inf, math.inf)
+
+    def mean_greedy_hops(self, spec: "ScenarioSpec") -> float:
+        """Expected greedy path length (``nan`` when unknown)."""
+        return float("nan")
+
+    def greedy_hop_pmf(self, spec: "ScenarioSpec") -> "np.ndarray":
+        """The greedy hop-count distribution: entry ``k`` is the
+        probability that a packet crosses exactly ``k`` arcs."""
+        raise NotImplementedError  # pragma: no cover - protocol
+
+    def bound_report(self, spec: "ScenarioSpec") -> List[Tuple[str, Any]]:
+        """Rows for the ``repro bounds`` CLI.  The bracket rows must be
+        derived from :meth:`greedy_theory_bounds` so the CLI and the
+        engine can never disagree."""
+        rows: List[Tuple[str, Any]] = [
+            ("per-node rate lam", spec.resolved_lam),
+            ("load factor rho", spec.resolved_rho),
+            ("stable", spec.resolved_rho < 1),
+            ("mean greedy hops", self.mean_greedy_hops(spec)),
+        ]
+        lower, upper = self.greedy_theory_bounds(spec)
+        rows.append(("greedy lower bound", lower))
+        rows.append(("greedy upper bound", upper))
+        return rows
+
+    # -- cosmetics -----------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<NetworkPlugin {self.name!r}>"
+
+
+def uniform_ring_mean_hops(n: int, variant: str = "absolute") -> float:
+    """Mean greedy hop count on an n-ring under uniform destinations.
+
+    ``absolute``: ``min(k, n-k)`` averaged over the uniform clockwise
+    offset ``k`` (ties at ``n/2`` are one offset, not two); exactly
+    ``n/4`` for even n, ``(n*n - 1) / (4n)`` for odd n.
+    ``clockwise``: ``(n-1)/2``.
+    """
+    if variant == "clockwise":
+        return (n - 1) / 2.0
+    return sum(min(k, n - k) for k in range(n)) / n
+
+
+def uniform_ring_bottleneck_hops(n: int, variant: str = "absolute") -> float:
+    """Mean *clockwise* hops per packet — the bottleneck direction's
+    per-arc flow multiplier (ties at ``n/2`` break clockwise, so the
+    clockwise arcs carry weakly more flow than the counter-clockwise
+    ones; under ``clockwise`` every hop is clockwise)."""
+    if variant == "clockwise":
+        return (n - 1) / 2.0
+    return sum(k for k in range(n) if 2 * k <= n) / n
+
+
+def uniform_ring_hop_pmf(n: int, variant: str = "absolute") -> "np.ndarray":
+    """Greedy hop-count pmf on an n-ring under uniform destinations
+    (the torus convolves this per dimension with ``n = side``)."""
+    import numpy as np
+
+    if variant == "clockwise":
+        return np.full(n, 1.0 / n)
+    pmf = np.zeros(n // 2 + 1)
+    for k in range(n):
+        pmf[min(k, n - k)] += 1.0 / n
+    return pmf
+
+
+__all__ += [
+    "uniform_ring_mean_hops",
+    "uniform_ring_bottleneck_hops",
+    "uniform_ring_hop_pmf",
+]

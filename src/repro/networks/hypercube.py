@@ -1,0 +1,155 @@
+"""Network plugin for the d-dimensional binary hypercube (paper §1–3).
+
+Everything network-specific the stack used to hard-code behind
+``if network == "hypercube"`` lives here: the §2.1 load law
+``rho = lam * p``, the Props 2/3/12/13 theory, the eq. (1) workload
+(with the ``law`` option switching to bit-reversal permutation
+traffic), the canonical dimension-order paths, and the vectorised
+feed-forward engine as the native greedy simulator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.networks.api import NetworkPlugin
+from repro.networks.registry import register_network
+from repro.plugins.api import OptionSpec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.runner.spec import ScenarioSpec
+    from repro.topology.hypercube import Hypercube
+    from repro.traffic.workload import TrafficSample
+
+__all__ = ["HypercubeNetwork"]
+
+
+@register_network
+class HypercubeNetwork(NetworkPlugin):
+    name = "hypercube"
+    aliases = ("cube", "d-cube")
+    summary = "the d-dimensional binary hypercube (paper §1-3, 2**d nodes)"
+    options = (
+        OptionSpec(
+            "law",
+            kind="str",
+            default="bernoulli",
+            choices=("bernoulli", "bitrev"),
+            description="destination law: eq. (1) Bernoulli flips or "
+            "bit-reversal permutation traffic",
+        ),
+        OptionSpec(
+            "dim_order",
+            kind="int_tuple",
+            description="global dimension crossing order "
+            "(vectorized engine only)",
+        ),
+    )
+
+    # -- topology ------------------------------------------------------------
+
+    def build_topology(self, spec: "ScenarioSpec") -> "Hypercube":
+        from repro.topology.hypercube import Hypercube
+
+        return Hypercube(spec.d)
+
+    # -- the §2.1 load law ---------------------------------------------------
+
+    def lam_for_load(self, spec: "ScenarioSpec") -> float:
+        from repro.core.load import lam_for_load
+
+        return lam_for_load(spec.rho, spec.p)
+
+    def load_factor(self, spec: "ScenarioSpec") -> float:
+        return spec.lam * spec.p
+
+    # -- greedy routing ------------------------------------------------------
+
+    def destination_law(self, spec: "ScenarioSpec"):
+        """The law object selected by the ``law`` option."""
+        from repro.traffic.destinations import (
+            BernoulliFlipLaw,
+            PermutationTraffic,
+            bit_reversal_permutation,
+        )
+
+        law = spec.option("law", "bernoulli")
+        if law == "bernoulli":
+            return BernoulliFlipLaw(spec.d, spec.p)
+        if law == "bitrev":
+            return PermutationTraffic(spec.d, bit_reversal_permutation(spec.d))
+        raise ConfigurationError(f"unknown destination law {law!r}")
+
+    def build_workload(self, spec: "ScenarioSpec"):
+        from repro.traffic.workload import HypercubeWorkload
+
+        return HypercubeWorkload(
+            self.build_topology(spec), spec.resolved_lam, self.destination_law(spec)
+        )
+
+    def greedy_paths(
+        self, topology: "Hypercube", spec: "ScenarioSpec", sample: "TrafficSample"
+    ) -> List[List[int]]:
+        from repro.sim.eventsim import hypercube_packet_paths
+
+        return hypercube_packet_paths(topology, sample)
+
+    def simulate_greedy(
+        self, topology: "Hypercube", spec: "ScenarioSpec", sample: "TrafficSample"
+    ) -> "np.ndarray":
+        from repro.sim.feedforward import simulate_hypercube_greedy
+
+        dim_order = spec.option("dim_order")
+        return simulate_hypercube_greedy(
+            topology,
+            sample,
+            discipline=spec.discipline,
+            dim_order=None if dim_order is None else list(dim_order),
+        ).delivery
+
+    # -- theory --------------------------------------------------------------
+
+    def greedy_theory_bounds(self, spec: "ScenarioSpec") -> Tuple[float, float]:
+        """Props 13/12: the greedy delay sandwich of §3."""
+        from repro.core import bounds as B
+
+        return (
+            B.greedy_delay_lower_bound(spec.d, spec.resolved_lam, spec.p),
+            B.greedy_delay_upper_bound(spec.d, spec.resolved_lam, spec.p),
+        )
+
+    def mean_greedy_hops(self, spec: "ScenarioSpec") -> float:
+        """``d * p``: the Binomial(d, p) mean of eq. (1)."""
+        return spec.d * spec.p
+
+    def greedy_hop_pmf(self, spec: "ScenarioSpec") -> "np.ndarray":
+        """Binomial(d, p) — Lemma 1's independent bit flips."""
+        import numpy as np
+        from scipy.stats import binom
+
+        return binom.pmf(np.arange(spec.d + 1), spec.d, spec.p)
+
+    def bound_report(self, spec: "ScenarioSpec") -> List[Tuple[str, Any]]:
+        from repro.core import bounds as B
+
+        d, rho, p = spec.d, spec.resolved_rho, spec.p
+        lam = spec.resolved_lam
+        rows: List[Tuple[str, Any]] = [
+            ("per-node rate lam", lam),
+            ("load factor rho", rho),
+            ("stable (Prop 6)", rho < 1),
+            ("zero-contention dp", B.zero_contention_delay(d, p)),
+        ]
+        if rho < 1:
+            lower, upper = self.greedy_theory_bounds(spec)
+            rows += [
+                ("Prop 2 universal lower", B.universal_delay_lower_bound(d, lam, p)),
+                ("Prop 3 oblivious lower", B.oblivious_delay_lower_bound(d, lam, p)),
+                ("Prop 13 greedy lower", lower),
+                ("Prop 12 greedy upper", upper),
+                ("queue/node bound", B.mean_queue_per_node_bound(d, lam, p)),
+            ]
+        return rows

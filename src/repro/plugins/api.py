@@ -97,6 +97,12 @@ class OptionSpec:
 class Capabilities:
     """What a scheme declares about itself.
 
+    ``networks`` lists canonical network-plugin names, or the wildcard
+    ``"*"`` for a scheme implemented entirely against the
+    :class:`~repro.networks.api.NetworkPlugin` protocol (greedy), which
+    therefore runs on every registered network — including third-party
+    ones this repository has never heard of.
+
     ``engines`` lists the *concrete* engines a spec may force via
     ``engine="..."``; ``engine="auto"`` (the scheme's native engine) is
     always admissible.  Schemes that own their whole simulation loop
@@ -111,6 +117,11 @@ class Capabilities:
     metrics: Tuple[str, ...] = ()
     #: one-shot permutation task: no arrival process, takes neither rho nor lam
     static: bool = False
+    #: the scheme routes through the network plugin's greedy machinery
+    #: and therefore admits the network's declared ``extra`` options
+    #: (``law``/``dim_order`` on the hypercube, ``direction`` on the
+    #: ring, ``side`` on the torus, ...)
+    network_options: bool = False
 
     def option_spec(self, name: str) -> Optional[OptionSpec]:
         for opt in self.options:
@@ -146,7 +157,7 @@ class SchemePlugin:
         available, so a failing spec is self-diagnosing.
         """
         caps = self.capabilities
-        if spec.network not in caps.networks:
+        if "*" not in caps.networks and spec.network not in caps.networks:
             from repro.plugins.registry import schemes_for_network
 
             peers = ", ".join(schemes_for_network(spec.network)) or "(none)"
@@ -168,15 +179,37 @@ class SchemePlugin:
                 f"{spec.discipline!r}; it supports: "
                 f"{', '.join(caps.disciplines)}"
             )
+        net = spec.network_plugin
         for key, value in spec.extra:
+            # the scheme's schema wins on a name collision with the
+            # network's; network options only apply to schemes that
+            # declare they consume them (capabilities.network_options)
             opt = caps.option_spec(key)
+            if opt is None and caps.network_options:
+                opt = net.option_spec(key)
             if opt is None:
                 declared = ", ".join(caps.option_names()) or "(none)"
-                raise ConfigurationError(
+                msg = (
                     f"unknown option {key!r} for scheme {self.name!r}; "
                     f"declared options: {declared}"
                 )
+                if caps.network_options:
+                    net_declared = ", ".join(net.option_names()) or "(none)"
+                    msg += (
+                        f"; options of network {spec.network!r}: {net_declared}"
+                    )
+                raise ConfigurationError(msg)
             opt.validate(value)
+
+    # -- theory --------------------------------------------------------------
+
+    def theory_bounds(self, spec: "ScenarioSpec") -> Tuple[float, float]:
+        """The closed-form mean-delay bracket for *spec*, when the
+        scheme has one (typically delegating to the network plugin's
+        hooks); default "no known constraint"."""
+        import math
+
+        return (-math.inf, math.inf)
 
     # -- execution -----------------------------------------------------------
 
@@ -209,16 +242,9 @@ def steady_output(
 
 
 def resolve_hypercube_law(spec: "ScenarioSpec"):
-    """The destination law object selected by the ``law`` option."""
-    from repro.traffic.destinations import (
-        BernoulliFlipLaw,
-        PermutationTraffic,
-        bit_reversal_permutation,
-    )
+    """The destination law object selected by the ``law`` option
+    (delegates to the hypercube network plugin, the single owner of
+    that schema)."""
+    from repro.networks.registry import get_network
 
-    law = spec.option("law", "bernoulli")
-    if law == "bernoulli":
-        return BernoulliFlipLaw(spec.d, spec.p)
-    if law == "bitrev":
-        return PermutationTraffic(spec.d, bit_reversal_permutation(spec.d))
-    raise ConfigurationError(f"unknown destination law {law!r}")
+    return get_network("hypercube").destination_law(spec)

@@ -1,15 +1,14 @@
-"""Plugin for the paper's central scheme: greedy dimension-order routing.
+"""Plugin for the paper's central scheme: greedy routing.
 
-Covers both topologies and both engines:
-
-* **hypercube** — the vectorized feed-forward engine by default
-  (:func:`repro.sim.feedforward.simulate_hypercube_greedy`), or the
-  event calendar when forced with ``engine="event"`` (cross-validation;
-  identical FIFO sample paths by the shared tie-breaking rule);
-* **butterfly** — the vectorized engine by default
-  (:func:`repro.sim.feedforward.simulate_butterfly_greedy`), or the
-  event calendar routing the unique §4.1 paths via
-  :func:`repro.sim.eventsim.butterfly_packet_paths`.
+Greedy routing is the one scheme defined on **every** registered
+network, and since the network axis became a plugin API it contains no
+network-specific code at all: the spec's
+:class:`~repro.networks.api.NetworkPlugin` supplies the topology, the
+workload, the native vectorised engine
+(:meth:`~repro.networks.api.NetworkPlugin.simulate_greedy` — the
+level-by-level feed-forward engine for the levelled hypercube and
+butterfly, the fixed-point solver for ring and torus) and the
+per-packet arc paths the event calendar replays for cross-validation.
 
 RNG contract (golden-pinned): the workload sample is drawn from the
 replication stream *before* any engine branch, so forcing the engine
@@ -19,15 +18,13 @@ resolved (identically, up to float round-off).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnstableSystemError
 from repro.plugins.api import (
     Capabilities,
-    OptionSpec,
     Runner,
     SchemePlugin,
-    resolve_hypercube_law,
     steady_output,
 )
 from repro.plugins.registry import register_scheme
@@ -41,114 +38,59 @@ __all__ = ["GreedyPlugin"]
 @register_scheme
 class GreedyPlugin(SchemePlugin):
     name = "greedy"
-    summary = "greedy dimension-order routing (the paper's scheme)"
+    summary = "greedy routing (the paper's scheme; every network)"
     capabilities = Capabilities(
-        networks=("hypercube", "butterfly"),
+        # implemented purely against the NetworkPlugin protocol, so it
+        # runs on every registered network, third-party ones included
+        networks=("*",),
         engines=("vectorized", "event"),
         disciplines=("fifo", "ps"),
-        options=(
-            OptionSpec(
-                "law",
-                kind="str",
-                default="bernoulli",
-                choices=("bernoulli", "bitrev"),
-                description="destination law (hypercube only)",
-            ),
-            OptionSpec(
-                "dim_order",
-                kind="int_tuple",
-                description="global dimension crossing order "
-                "(hypercube, vectorized engine only)",
-            ),
-        ),
+        network_options=True,
     )
 
     def validate(self, spec: "ScenarioSpec") -> None:
         super().validate(spec)
-        if spec.option("dim_order") is not None:
-            if spec.network == "butterfly":
-                raise ConfigurationError(
-                    "dim_order is undefined on the butterfly: the §4.1 "
-                    "path is unique, crossing dimensions in increasing "
-                    "order by construction"
-                )
-            if spec.engine == "event":
-                raise ConfigurationError(
-                    "dim_order is a vectorized-engine option"
-                )
-        if spec.network == "butterfly" and spec.option("law", "bernoulli") != "bernoulli":
-            raise ConfigurationError(
-                "butterfly scenarios use the Bernoulli law "
-                "(law='bitrev' is a hypercube option)"
-            )
+        # network-scoped options (law, dim_order, direction, side) are
+        # validated by the network plugin's schema; the one cross-field
+        # rule the scheme owns is engine admissibility of dim_order
+        if spec.option("dim_order") is not None and spec.engine == "event":
+            raise ConfigurationError("dim_order is a vectorized-engine option")
+
+    def theory_bounds(self, spec: "ScenarioSpec") -> Tuple[float, float]:
+        """The network's closed-form greedy bracket (Props 12/13 on the
+        hypercube, 14/17 on the butterfly, the zero-contention lower
+        bound elsewhere); ``(-inf, inf)`` off the Bernoulli law or at
+        unstable operating points."""
+        import math
+
+        no_bracket = (-math.inf, math.inf)
+        if spec.option("law", "bernoulli") != "bernoulli":
+            return no_bracket
+        try:
+            return spec.network_plugin.greedy_theory_bounds(spec)
+        except UnstableSystemError:
+            return no_bracket
 
     def prepare(self, spec: "ScenarioSpec") -> Runner:
-        if spec.network == "butterfly":
-            return self._prepare_butterfly(spec)
-        return self._prepare_hypercube(spec)
-
-    def _prepare_hypercube(self, spec: "ScenarioSpec") -> Runner:
-        from repro.sim.eventsim import (
-            hypercube_packet_paths,
-            simulate_paths_event_driven,
-        )
-        from repro.sim.feedforward import simulate_hypercube_greedy
         from repro.sim.measurement import DelayRecord
-        from repro.topology.hypercube import Hypercube
-        from repro.traffic.workload import HypercubeWorkload
 
-        cube = Hypercube(spec.d)
-        law = resolve_hypercube_law(spec)
-        dim_order = spec.option("dim_order")
+        net = spec.network_plugin
+        topology = net.build_topology(spec)
 
         def run(gen):
-            workload = HypercubeWorkload(cube, spec.resolved_lam, law)
-            sample = workload.generate(spec.horizon, gen)
+            sample = net.build_workload(spec).generate(spec.horizon, gen)
             if spec.engine == "event":
-                paths = hypercube_packet_paths(cube, sample)
+                from repro.sim.eventsim import simulate_paths_event_driven
+
+                paths = net.greedy_paths(topology, spec, sample)
                 delivery = simulate_paths_event_driven(
-                    cube.num_arcs, sample.times, paths, discipline=spec.discipline
-                ).delivery
-            else:
-                delivery = simulate_hypercube_greedy(
-                    cube,
-                    sample,
+                    topology.num_arcs,
+                    sample.times,
+                    paths,
                     discipline=spec.discipline,
-                    dim_order=None if dim_order is None else list(dim_order),
-                ).delivery
-            return steady_output(
-                spec, DelayRecord(sample.times, delivery, sample.horizon)
-            )
-
-        return run
-
-    def _prepare_butterfly(self, spec: "ScenarioSpec") -> Runner:
-        from repro.sim.eventsim import (
-            butterfly_packet_paths,
-            simulate_paths_event_driven,
-        )
-        from repro.sim.feedforward import simulate_butterfly_greedy
-        from repro.sim.measurement import DelayRecord
-        from repro.topology.butterfly import Butterfly
-        from repro.traffic.destinations import BernoulliFlipLaw
-        from repro.traffic.workload import ButterflyWorkload
-
-        bf = Butterfly(spec.d)
-
-        def run(gen):
-            workload = ButterflyWorkload(
-                bf, spec.resolved_lam, BernoulliFlipLaw(spec.d, spec.p)
-            )
-            sample = workload.generate(spec.horizon, gen)
-            if spec.engine == "event":
-                paths = butterfly_packet_paths(bf, sample)
-                delivery = simulate_paths_event_driven(
-                    bf.num_arcs, sample.times, paths, discipline=spec.discipline
                 ).delivery
             else:
-                delivery = simulate_butterfly_greedy(
-                    bf, sample, discipline=spec.discipline
-                ).delivery
+                delivery = net.simulate_greedy(topology, spec, sample)
             return steady_output(
                 spec, DelayRecord(sample.times, delivery, sample.horizon)
             )

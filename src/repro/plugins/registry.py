@@ -160,19 +160,33 @@ def available_schemes() -> Tuple[str, ...]:
 
 
 def available_networks() -> Tuple[str, ...]:
-    """Sorted union of every network some registered scheme supports."""
-    _ensure_loaded()
-    nets = {n for p in _PLUGINS.values() for n in p.capabilities.networks}
-    return tuple(sorted(nets))
+    """Sorted canonical names of every registered **network plugin**.
+
+    The network axis has its own registry
+    (:mod:`repro.networks.registry`); this re-export keeps the historic
+    import path working and makes scheme-capability validation a true
+    scheme x network cross-product.
+    """
+    from repro.networks.registry import available_networks as _nets
+
+    return _nets()
 
 
 def schemes_for_network(network: str) -> Tuple[str, ...]:
-    """Sorted names of the schemes that can run on *network*."""
+    """Sorted names of the schemes that can run on *network*
+    (canonical name or alias)."""
+    from repro.networks.registry import canonical_network_name
+
     _ensure_loaded()
+    try:
+        canon = canonical_network_name(network)
+    except ConfigurationError:
+        return ()  # unknown network: no scheme supports it
     return tuple(
         sorted(
             name
             for name, p in _PLUGINS.items()
-            if network in p.capabilities.networks
+            if canon in p.capabilities.networks
+            or "*" in p.capabilities.networks
         )
     )

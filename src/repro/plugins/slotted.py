@@ -37,6 +37,25 @@ class SlottedPlugin(SchemePlugin):
         ),
     )
 
+    def theory_bounds(self, spec: "ScenarioSpec"):
+        """The §3.4 upper bound next to the Prop 13 lower bound."""
+        import math
+
+        from repro.core import bounds as B
+        from repro.errors import UnstableSystemError
+
+        if spec.option("law", "bernoulli") != "bernoulli":
+            return (-math.inf, math.inf)
+        lam, p, d = spec.resolved_lam, spec.p, spec.d
+        tau = float(spec.option("tau", 0.5))
+        try:
+            return (
+                B.greedy_delay_lower_bound(d, lam, p),
+                B.slotted_delay_upper_bound(d, lam, p, tau),
+            )
+        except UnstableSystemError:
+            return (-math.inf, math.inf)
+
     def prepare(self, spec: "ScenarioSpec") -> Runner:
         from repro.sim.slotted import SlottedGreedyHypercube
 

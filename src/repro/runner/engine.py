@@ -15,14 +15,11 @@ calling :func:`repro.sim.run_spec.run_spec` by hand.
 
 from __future__ import annotations
 
-import math
 from multiprocessing import get_context
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core import bounds as _bounds
-from repro.errors import UnstableSystemError
 from repro.rng import replication_seeds
 from repro.runner.results import DelayMeasurement
 from repro.runner.spec import ScenarioSpec
@@ -39,37 +36,19 @@ __all__ = [
 
 
 def theory_bounds(spec: ScenarioSpec) -> Tuple[float, float]:
-    """The paper's closed-form bracket for *spec*, when it has one.
+    """The closed-form bracket for *spec*, when it has one.
 
-    Greedy routing gets Props 12/13 (hypercube) or 14/17 (butterfly);
-    the slotted variant gets the §3.4 upper bound next to the Prop 13
-    lower bound.  Unstable operating points and schemes outside the
-    paper's analysis get ``(-inf, +inf)`` — "no known constraint".
+    Entirely plugin-driven: the scheme plugin's
+    :meth:`~repro.plugins.api.SchemePlugin.theory_bounds` hook composes
+    the answer (typically from the network plugin's
+    :meth:`~repro.networks.api.NetworkPlugin.greedy_theory_bounds`) —
+    greedy routing gets Props 12/13 on the hypercube and 14/17 on the
+    butterfly, the slotted variant the §3.4 upper bound next to the
+    Prop 13 lower bound.  Unstable operating points and schemes outside
+    the paper's analysis get ``(-inf, +inf)`` — "no known constraint".
     """
-    no_bracket = (-math.inf, math.inf)
-    if spec.option("law", "bernoulli") != "bernoulli":
-        return no_bracket
-    lam, p, d = spec.resolved_lam, spec.p, spec.d
-    try:
-        if spec.scheme == "greedy":
-            if spec.network == "hypercube":
-                return (
-                    _bounds.greedy_delay_lower_bound(d, lam, p),
-                    _bounds.greedy_delay_upper_bound(d, lam, p),
-                )
-            return (
-                _bounds.butterfly_delay_lower_bound(d, lam, p),
-                _bounds.butterfly_delay_upper_bound(d, lam, p),
-            )
-        if spec.scheme == "slotted":
-            tau = float(spec.option("tau", 0.5))
-            return (
-                _bounds.greedy_delay_lower_bound(d, lam, p),
-                _bounds.slotted_delay_upper_bound(d, lam, p, tau),
-            )
-    except UnstableSystemError:
-        return no_bracket
-    return no_bracket
+    lower, upper = spec.plugin.theory_bounds(spec)
+    return (float(lower), float(upper))
 
 
 def run_replication(

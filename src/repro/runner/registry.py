@@ -2,12 +2,13 @@
 
 Every workload the repository measures is a named, frozen
 :class:`~repro.runner.spec.ScenarioSpec`.  The built-in catalog below
-covers every scheme in the library — greedy dimension-order routing on
-both topologies (FIFO and PS, both engines), the slotted variant,
-two-phase Valiant mixing, the §2.3 pipelined-batch baseline,
-hot-potato deflection, per-packet random order, and the static
-one-shot permutation tasks — so ``python -m repro list-scenarios``
-doubles as a map of the reproduction.
+covers every scheme *and every network* in the library — greedy
+routing on all four topologies (hypercube, butterfly, ring, torus;
+FIFO and PS, native and event engines), the slotted variant, two-phase
+Valiant mixing, the §2.3 pipelined-batch baseline, hot-potato
+deflection, per-packet random order, and the static one-shot
+permutation tasks — so ``python -m repro list-scenarios`` doubles as a
+map of the reproduction.
 
 Benchmarks and examples derive their grids from these entries via
 :meth:`ScenarioSpec.replace`, keeping every protocol decision (warm-up
@@ -195,6 +196,67 @@ _BUILTINS = [
         d=3,
         rho=0.6,
         description="butterfly with PS servers on the event engine (§4.3 R-tilde)",
+    ),
+    ScenarioSpec(
+        name="ring-greedy",
+        network="ring",
+        d=5,
+        rho=0.7,
+        description="Papillon-style greedy on the 32-ring (absolute distance)",
+    ),
+    ScenarioSpec(
+        name="ring-greedy-ps",
+        network="ring",
+        discipline="ps",
+        d=4,
+        rho=0.6,
+        horizon=200.0,
+        description="16-ring with every arc served Processor Sharing",
+    ),
+    ScenarioSpec(
+        name="ring-greedy-clockwise",
+        network="ring",
+        d=4,
+        rho=0.7,
+        extra={"direction": "clockwise"},
+        description="the unidirectional ring: clockwise-only greedy variant",
+    ),
+    ScenarioSpec(
+        name="ring-greedy-event",
+        network="ring",
+        engine="event",
+        d=4,
+        rho=0.7,
+        horizon=200.0,
+        description="ring greedy on the event engine (cross-validates the "
+        "fixed-point engine)",
+    ),
+    ScenarioSpec(
+        name="torus-greedy",
+        network="torus",
+        d=2,
+        rho=0.7,
+        description="dimension-order greedy on the 4x4 torus "
+        "(Dietzfelbinger-Woelfel grids)",
+    ),
+    ScenarioSpec(
+        name="torus-greedy-ps",
+        network="torus",
+        discipline="ps",
+        d=2,
+        rho=0.6,
+        horizon=300.0,
+        description="4x4 torus with Processor-Sharing arcs",
+    ),
+    ScenarioSpec(
+        name="torus-greedy-event",
+        network="torus",
+        engine="event",
+        d=2,
+        rho=0.7,
+        horizon=200.0,
+        description="torus greedy on the event engine (cross-validates the "
+        "fixed-point engine)",
     ),
     ScenarioSpec(
         name="static-greedy-bitrev",

@@ -14,13 +14,19 @@ destination ``law``, the static ``perm``) travel in the ``extra``
 mapping, stored as a sorted tuple of pairs (tuples all the way down)
 to stay hashable.
 
-Validation is **capability-driven**: the scheme resolves to a
-:class:`~repro.plugins.api.SchemePlugin` through the plugin registry,
-and the plugin's declared capabilities decide which networks, engines,
-disciplines and options the spec may combine — so an invalid spec is
-rejected with a message enumerating what *is* available.  There is no
-hard-coded scheme or network list here; registering a new plugin
-extends the accepted vocabulary automatically.
+Validation is **capability-driven along both axes**: the scheme
+resolves to a :class:`~repro.plugins.api.SchemePlugin` through the
+scheme registry and the network to a
+:class:`~repro.networks.api.NetworkPlugin` through the network
+registry, and their declared capabilities decide which
+scheme x network x engine x discipline x option combinations the spec
+may form — so an invalid spec is rejected with a message enumerating
+what *is* available.  There is no hard-coded scheme or network list
+here; registering a new plugin on either axis extends the accepted
+vocabulary automatically.  The network name is normalised to its
+canonical spelling (aliases like ``"cube"`` resolve to
+``"hypercube"``) **before** content-hashing, so an alias and its
+canonical name always share one cache cell.
 """
 
 from __future__ import annotations
@@ -31,7 +37,6 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.core.load import butterfly_lam_for_load, lam_for_load
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -116,14 +121,13 @@ class ScenarioSpec:
     description: str = ""
 
     def __post_init__(self) -> None:
-        from repro.plugins.registry import available_networks, get_plugin
+        from repro.networks.registry import get_network
+        from repro.plugins.registry import get_plugin
 
         object.__setattr__(self, "extra", _freeze_extra(self.extra))
-        if self.network not in available_networks():
-            raise ConfigurationError(
-                f"unknown network {self.network!r}; available: "
-                f"{', '.join(available_networks())}"
-            )
+        network = get_network(self.network)  # enumerates networks on a miss
+        # canonicalise aliases before anything hashes or validates
+        object.__setattr__(self, "network", network.name)
         plugin = get_plugin(self.scheme)  # enumerates schemes on a miss
         if self.discipline not in DISCIPLINES:
             raise ConfigurationError(
@@ -140,6 +144,7 @@ class ScenarioSpec:
                 f"unknown engine {self.engine!r}; one of {', '.join(ENGINES)}"
             )
         plugin.validate(self)
+        network.validate(self)
         if self.d < 1:
             raise ConfigurationError(f"d must be >= 1, got {self.d}")
         if not 0.0 <= self.p <= 1.0:
@@ -176,31 +181,36 @@ class ScenarioSpec:
         return get_plugin(self.scheme)
 
     @property
+    def network_plugin(self):
+        """The :class:`~repro.networks.api.NetworkPlugin` this spec runs on."""
+        from repro.networks.registry import get_network
+
+        return get_network(self.network)
+
+    @property
     def is_static(self) -> bool:
         """One-shot permutation task (no arrival process)?"""
         return self.plugin.capabilities.static
 
     @property
     def resolved_lam(self) -> float:
-        """Per-node arrival rate, whichever way the spec was given."""
+        """Per-node arrival rate, whichever way the spec was given
+        (the network plugin owns the load-factor -> rate law)."""
         if self.is_static:
             return float("nan")
         if self.lam is not None:
             return float(self.lam)
-        if self.network == "hypercube":
-            return lam_for_load(self.rho, self.p)
-        return butterfly_lam_for_load(self.rho, self.p)
+        return float(self.network_plugin.lam_for_load(self))
 
     @property
     def resolved_rho(self) -> float:
-        """Load factor, whichever way the spec was given."""
+        """Load factor, whichever way the spec was given (the network
+        plugin owns the rate -> load-factor law)."""
         if self.is_static:
             return float("nan")
         if self.rho is not None:
             return float(self.rho)
-        if self.network == "hypercube":
-            return self.lam * self.p
-        return self.lam * max(self.p, 1.0 - self.p)
+        return float(self.network_plugin.load_factor(self))
 
     def option(self, key: str, default: Any = None) -> Any:
         """Look up a scheme-specific knob from ``extra``."""

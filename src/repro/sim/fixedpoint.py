@@ -1,0 +1,136 @@
+"""Vectorised fixed-point simulation of non-levelled networks.
+
+The feed-forward engine (:mod:`repro.sim.feedforward`) solves a
+levelled network in one sweep because a packet leaving level ``l``
+only ever joins a level ``> l``.  Ring and torus greedy paths have no
+such global order — a path can wrap around the arc id space — so no
+single sweep order makes every server's arrival stream complete before
+it is solved.
+
+This module keeps the vectorised batch machinery anyway, by iterating
+it to a fixed point.  Per-hop arrival-time estimates start at the
+free-flow lower bound (birth + hops-so-far × service); each sweep
+solves **every** server in one vectorised shot with the estimated
+arrivals (:func:`repro.sim.feedforward.serve_level` — the same Lindley
+/ Processor-Sharing kernels the feed-forward engine uses) and feeds
+each departure into the next hop's arrival estimate.  When a sweep
+changes nothing, the estimates are a *consistent sample path*: every
+server's departures are exactly its discipline applied to its actual
+arrivals.
+
+Such a consistent sample path is **unique** (so the fixed point is the
+true one, identical to the event calendar's): service times are bounded
+below by a positive constant, so the first event where two consistent
+paths could differ is determined by strictly earlier events — on which
+they agree.  For a levelled network the iteration converges after at
+most ``max hops`` sweeps and reproduces the feed-forward engine
+bit-for-bit (tested); for ring/torus it converges in a few dozen
+sweeps at the loads the scenarios use.  A non-converging system (e.g.
+far above saturation with a horizon so long that dependency chains
+exceed ``max_sweeps``) raises :class:`~repro.errors.SimulationError`
+rather than returning an unconverged path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.feedforward import serve_level
+
+__all__ = ["FixedPointResult", "simulate_paths_fixed_point"]
+
+
+@dataclass(frozen=True)
+class FixedPointResult:
+    """Outcome of a fixed-point run."""
+
+    delivery: np.ndarray
+    hops: np.ndarray
+    #: sweeps needed to reach the fixed point (diagnostics / benchmarks)
+    sweeps: int
+
+
+def simulate_paths_fixed_point(
+    num_arcs: int,
+    birth_times: np.ndarray,
+    paths: Sequence[Sequence[int]],
+    *,
+    discipline: str = "fifo",
+    service: float = 1.0,
+    max_sweeps: Optional[int] = None,
+) -> FixedPointResult:
+    """Simulate packets following explicit arc paths, vectorised.
+
+    Same contract as
+    :func:`repro.sim.eventsim.simulate_paths_event_driven` (and
+    cross-validated against it): *paths* is a per-packet sequence of
+    arc ids in ``range(num_arcs)``; a packet with an empty path is
+    delivered at birth.  FIFO sample paths agree with the event engine
+    bit-for-bit (both reduce to the same max-plus arithmetic); PS
+    agrees to floating-point round-off.
+    """
+    if discipline not in ("fifo", "ps"):
+        raise ConfigurationError(f"unknown discipline {discipline!r}")
+    if service <= 0:
+        raise ConfigurationError(f"service must be > 0, got {service}")
+    births = np.asarray(birth_times, dtype=float)
+    n = births.shape[0]
+    if len(paths) != n:
+        raise ConfigurationError("paths and birth_times must be parallel")
+    hops = np.array([len(p) for p in paths], dtype=np.int64)
+    total = int(hops.sum())
+    delivery = births.copy()  # zero-hop packets are delivered at birth
+    if total == 0:
+        return FixedPointResult(delivery, hops, 0)
+
+    # Flatten the ragged paths: one row per (packet, hop).
+    hop_arc = np.fromiter(
+        (a for p in paths for a in p), dtype=np.int64, count=total
+    )
+    if hop_arc.size and (hop_arc.min() < 0 or hop_arc.max() >= num_arcs):
+        raise SimulationError("arc id out of range")
+    hop_pid = np.repeat(np.arange(n, dtype=np.int64), hops)
+    first = np.r_[0, np.cumsum(hops)[:-1]]  # row of each packet's hop 0
+    last = first + hops - 1  # row of each packet's final hop
+    routed = hops > 0
+    #: rows whose arrival is the previous row's departure (same packet)
+    chained = np.zeros(total, dtype=bool)
+    chained[1:] = hop_pid[1:] == hop_pid[:-1]
+
+    # Free-flow lower bound: birth + (hops already crossed) * service.
+    position = np.arange(total, dtype=np.int64) - np.repeat(first, hops)
+    arrivals = np.repeat(births, hops) + position * service
+
+    if max_sweeps is None:
+        # Every sweep finalises at least the earliest not-yet-consistent
+        # event, so total + 2 sweeps always suffice; real workloads
+        # converge in O(max path length + queue chain length).
+        max_sweeps = total + 2
+    chained_rows = np.flatnonzero(chained)
+    departures = np.empty(total)
+    # Only arcs whose arrival estimates changed need re-solving: the
+    # cached departures of every other arc remain its discipline
+    # applied to its (unchanged) actual arrivals.
+    arc_dirty = np.ones(num_arcs, dtype=bool)
+    for sweep in range(1, max_sweeps + 1):
+        rows = arc_dirty[hop_arc]
+        departures[rows], _ = serve_level(
+            hop_arc[rows], arrivals[rows], hop_pid[rows], discipline, service
+        )
+        moved = chained_rows[
+            departures[chained_rows - 1] != arrivals[chained_rows]
+        ]
+        if moved.size == 0:
+            delivery[routed] = departures[last[routed]]
+            return FixedPointResult(delivery, hops, sweep)
+        arrivals[moved] = departures[moved - 1]
+        arc_dirty[:] = False
+        arc_dirty[hop_arc[moved]] = True
+    raise SimulationError(
+        f"fixed-point simulation did not converge in {max_sweeps} sweeps "
+        f"({total} hops); the system is far above saturation"
+    )

@@ -7,9 +7,15 @@ The paper studies two networks:
 * the **d-dimensional butterfly** (:class:`Butterfly`) — §4.1 and Fig. 3a,
   the "unfolded" hypercube.
 
-Both classes expose a dense integer *arc indexing* that the queueing
-simulators build on, plus the canonical (dimension-order) path
-machinery used by the greedy routing scheme.
+Two further unit-capacity networks from the related-work directions
+ship through the network-plugin API (:mod:`repro.networks`):
+
+* the **bidirectional ring** (:class:`Ring`) — Papillon-style greedy;
+* the **d-dimensional torus** (:class:`Torus`) — wrap-around grids.
+
+All classes expose a dense integer *arc indexing* that the queueing
+simulators build on, plus the canonical (dimension-order / greedy)
+path machinery used by the greedy routing scheme.
 
 Note on conventions: the paper numbers dimensions ``1..d`` and butterfly
 levels ``1..d+1``; this library uses 0-based indices throughout
@@ -21,6 +27,8 @@ from repro.topology.base import Arc, Topology
 from repro.topology.butterfly import Butterfly, ButterflyArc
 from repro.topology.graphs import butterfly_digraph, hypercube_digraph
 from repro.topology.hypercube import Hypercube, HypercubeArc
+from repro.topology.ring import Ring
+from repro.topology.torus import Torus
 from repro.topology.paths import (
     all_shortest_paths,
     dims_to_cross,
@@ -35,6 +43,8 @@ __all__ = [
     "HypercubeArc",
     "Butterfly",
     "ButterflyArc",
+    "Ring",
+    "Torus",
     "dims_to_cross",
     "all_shortest_paths",
     "is_shortest_path",

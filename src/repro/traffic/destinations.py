@@ -39,6 +39,7 @@ __all__ = [
     "TranslationInvariantLaw",
     "PermutationTraffic",
     "HotSpotTraffic",
+    "UniformNodeLaw",
     "bit_reversal_permutation",
     "transpose_permutation",
 ]
@@ -318,6 +319,43 @@ class HotSpotTraffic:
             f"HotSpotTraffic(hot_node={self.hot_node}, beta={self.beta}, "
             f"background={self.background!r})"
         )
+
+
+class UniformNodeLaw:
+    """Uniform destinations over an arbitrary node set ``range(n)``.
+
+    The network-agnostic uniform law used by the ring and torus
+    plugins: the destination is uniform over all ``n`` nodes (origin
+    included — a packet targeting itself is delivered at birth, the
+    analogue of the zero XOR mask under eq. (1)).  Translation
+    invariant under the cyclic group, which is what makes every arc of
+    a direction class carry the same flow.
+
+    Implements the minimal sampler interface the workloads use
+    (``sample_destinations``); the d-bit mask machinery of
+    :class:`DestinationLaw` is deliberately absent.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise ConfigurationError(
+                f"num_nodes must be >= 1, got {num_nodes}"
+            )
+        self._n = int(num_nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    def sample_destinations(
+        self, origins: "np.ndarray", rng: SeedLike = None
+    ) -> "np.ndarray":
+        gen = as_generator(rng)
+        origins = np.asarray(origins, dtype=np.int64)
+        return gen.integers(0, self._n, size=origins.shape[0], dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UniformNodeLaw(num_nodes={self._n})"
 
 
 def bit_reversal_permutation(d: int) -> "np.ndarray":

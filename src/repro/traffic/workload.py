@@ -21,7 +21,12 @@ from repro.topology.hypercube import Hypercube
 from repro.traffic.arrivals import SlottedBatchArrivals, merged_poisson_arrivals
 from repro.traffic.destinations import DestinationLaw
 
-__all__ = ["TrafficSample", "HypercubeWorkload", "ButterflyWorkload"]
+__all__ = [
+    "TrafficSample",
+    "HypercubeWorkload",
+    "ButterflyWorkload",
+    "NodePoissonWorkload",
+]
 
 
 @dataclass(frozen=True)
@@ -117,6 +122,43 @@ class ButterflyWorkload:
     def total_rate(self) -> float:
         """Aggregate packet birth rate ``lam * 2**d``."""
         return self.lam * self.butterfly.rows
+
+
+@dataclass(frozen=True)
+class NodePoissonWorkload:
+    """Generic workload: every one of ``num_sources`` nodes births a
+    Poisson(``lam``) packet stream; destinations come from any sampler
+    exposing ``sample_destinations(origins, rng)``.
+
+    This is the network-agnostic face of the paper's traffic model,
+    used by network plugins (ring, torus) whose address structure is
+    not the d-bit XOR algebra of :class:`HypercubeWorkload`.
+    """
+
+    num_sources: int
+    lam: float
+    law: "DestinationLaw"  # anything with sample_destinations
+
+    def __post_init__(self) -> None:
+        _validate_positive_rate(self.lam)
+        if self.num_sources < 1:
+            raise ConfigurationError(
+                f"num_sources must be >= 1, got {self.num_sources}"
+            )
+
+    def generate(self, horizon: float, rng: SeedLike = None) -> TrafficSample:
+        """Sample every packet born in ``[0, horizon)``."""
+        gen = as_generator(rng)
+        times, origins = merged_poisson_arrivals(
+            self.num_sources, self.lam, horizon, gen
+        )
+        dests = self.law.sample_destinations(origins, gen)
+        return TrafficSample(times, origins, dests, float(horizon))
+
+    @property
+    def total_rate(self) -> float:
+        """Aggregate packet birth rate ``lam * num_sources``."""
+        return self.lam * self.num_sources
 
 
 @dataclass(frozen=True)

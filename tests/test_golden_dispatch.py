@@ -37,6 +37,20 @@ GOLDEN_SPECS = [
                  horizon=200.0, **_COMMON),
     ScenarioSpec(name="g-greedy-bf-ps", network="butterfly", discipline="ps",
                  d=3, rho=0.7, horizon=200.0, **_COMMON),
+    ScenarioSpec(name="g-greedy-ring-fifo", network="ring", d=4, rho=0.7,
+                 horizon=150.0, **_COMMON),
+    ScenarioSpec(name="g-greedy-ring-ps", network="ring", discipline="ps",
+                 d=4, rho=0.6, horizon=150.0, **_COMMON),
+    ScenarioSpec(name="g-greedy-ring-event", network="ring", engine="event",
+                 d=4, rho=0.7, horizon=150.0, **_COMMON),
+    ScenarioSpec(name="g-greedy-ring-clockwise", network="ring", d=4, rho=0.7,
+                 horizon=150.0, extra={"direction": "clockwise"}, **_COMMON),
+    ScenarioSpec(name="g-greedy-torus-fifo", network="torus", d=2, rho=0.7,
+                 horizon=150.0, **_COMMON),
+    ScenarioSpec(name="g-greedy-torus-ps", network="torus", discipline="ps",
+                 d=2, rho=0.6, horizon=150.0, **_COMMON),
+    ScenarioSpec(name="g-greedy-torus-event", network="torus", engine="event",
+                 d=2, rho=0.7, horizon=150.0, **_COMMON),
     ScenarioSpec(name="g-slotted-hc-fifo", scheme="slotted", d=4, rho=0.75,
                  horizon=200.0, extra={"tau": 0.5}, **_COMMON),
     ScenarioSpec(name="g-random-order-hc-fifo", scheme="random_order", d=4,
@@ -62,6 +76,16 @@ GOLDEN = {
     "g-greedy-hc-event": (4.182211256395824, 4516, ()),
     "g-greedy-bf-fifo": (6.001409534737611, 2265, ()),
     "g-greedy-bf-ps": (11.17466906563258, 2265, ()),
+    # ring/torus: the fixed-point engine is the native one; the forced
+    # event cells pin that both engines produce the same FIFO sample
+    # path bit for bit, exactly like the hypercube pair above
+    "g-greedy-ring-fifo": (6.027571894534329, 761, ()),
+    "g-greedy-ring-ps": (9.590600782641117, 654, ()),
+    "g-greedy-ring-event": (6.027571894534329, 761, ()),
+    "g-greedy-ring-clockwise": (11.384610392699296, 232, ()),
+    "g-greedy-torus-fifo": (4.170495767807324, 2265, ()),
+    "g-greedy-torus-ps": (4.5199929095388285, 1943, ()),
+    "g-greedy-torus-event": (4.170495767807324, 2265, ()),
     "g-slotted-hc-fifo": (4.216748017083588, 4658, ()),
     "g-random-order-hc-fifo": (5.871088631928394, 3873, ()),
     "g-twophase-hc-fifo": (5.543979359488571, 1219, (("mean_hops", 4.0),)),

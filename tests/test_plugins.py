@@ -38,8 +38,12 @@ class TestRegistry:
         assert ALL_BUILTINS <= set(available_schemes())
 
     def test_networks_are_derived_from_plugins(self):
-        assert available_networks() == ("butterfly", "hypercube")
+        assert available_networks() == ("butterfly", "hypercube", "ring", "torus")
         assert schemes_for_network("butterfly") == ("greedy",)
+        assert schemes_for_network("ring") == ("greedy",)
+        assert schemes_for_network("torus") == ("greedy",)
+        # aliases resolve before the capability lookup
+        assert schemes_for_network("bf") == ("greedy",)
         assert set(schemes_for_network("hypercube")) == set(available_schemes())
 
     def test_unknown_scheme_enumerates_registry(self):
@@ -191,11 +195,19 @@ class TestCapabilityValidation:
         with pytest.raises(ConfigurationError, match="vectorized-engine"):
             ScenarioSpec(name="x", rho=0.5, engine="event",
                          extra={"dim_order": (1, 0, 2, 3)})
-        with pytest.raises(ConfigurationError, match="unique"):
+        # dim_order and law are *hypercube network* options now: on the
+        # butterfly they are rejected as unknown, with the butterfly's
+        # (empty) network schema enumerated
+        with pytest.raises(ConfigurationError, match="dim_order"):
             ScenarioSpec(name="x", network="butterfly", rho=0.5,
                          extra={"dim_order": (1, 0, 2)})
-        with pytest.raises(ConfigurationError, match="Bernoulli"):
+        with pytest.raises(ConfigurationError, match="law"):
             ScenarioSpec(name="x", network="butterfly", rho=0.5,
+                         extra={"law": "bitrev"})
+        # network options only reach schemes that declare they consume
+        # them; the slotted scheme does not
+        with pytest.raises(ConfigurationError, match="law"):
+            ScenarioSpec(name="x", scheme="slotted", rho=0.5,
                          extra={"law": "bitrev"})
 
     def test_static_capability_drives_rate_rules(self):
@@ -268,8 +280,17 @@ class TestCLI:
         assert main(["describe", "butterfly-greedy-event"]) == 0
         out = capsys.readouterr().out
         assert "GreedyPlugin" in out
-        assert "option: dim_order" in out
+        assert "ButterflyNetwork" in out
         assert "content hash" in out
+
+    def test_describe_shows_network_options(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["describe", "hypercube-greedy-event"]) == 0
+        out = capsys.readouterr().out
+        assert "HypercubeNetwork" in out
+        assert "network option: dim_order" in out
+        assert "network option: law" in out
 
     def test_describe_static_scenario(self, capsys):
         from repro.__main__ import main

@@ -1,0 +1,183 @@
+"""Unit tests for the ring and torus topologies."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.topology.ring import CLOCKWISE, COUNTER_CLOCKWISE, Ring
+from repro.topology.torus import MINUS, PLUS, Torus
+
+
+class TestRingConstruction:
+    def test_basic_counts(self):
+        ring = Ring(8)
+        assert ring.n == 8
+        assert ring.num_nodes == 8
+        assert ring.num_arcs == 16
+        assert ring.num_levels == 2
+        assert ring.diameter == 4
+
+    @pytest.mark.parametrize("bad", [0, 1, 2, -3, 3.5, "8", True])
+    def test_rejects_bad_size(self, bad):
+        with pytest.raises(TopologyError):
+            Ring(bad)
+
+    def test_equality_and_hash(self):
+        assert Ring(8) == Ring(8)
+        assert Ring(8) != Ring(16)
+        assert hash(Ring(8)) == hash(Ring(8))
+
+
+class TestRingArcs:
+    def test_arc_round_trip(self):
+        ring = Ring(5)
+        for arc in ring.arcs():
+            assert ring.arc(arc.index) == arc
+        assert [a.index for a in ring.arcs()] == list(range(ring.num_arcs))
+
+    def test_arc_geometry(self):
+        ring = Ring(5)
+        cw = ring.arc(ring.arc_index(3, CLOCKWISE))
+        assert (cw.tail, cw.head, cw.level) == (3, 4, 0)
+        wrap = ring.arc(ring.arc_index(4, CLOCKWISE))
+        assert (wrap.tail, wrap.head) == (4, 0)
+        ccw = ring.arc(ring.arc_index(0, COUNTER_CLOCKWISE))
+        assert (ccw.tail, ccw.head, ccw.level) == (0, 4, 1)
+
+    def test_level_slices_partition(self):
+        ring = Ring(6)
+        ids = [
+            i
+            for level in range(ring.num_levels)
+            for i in range(*ring.level_slice(level).indices(ring.num_arcs))
+        ]
+        assert ids == list(range(ring.num_arcs))
+
+
+class TestRingGreedy:
+    @pytest.mark.parametrize("n", [5, 6, 9, 16])
+    @pytest.mark.parametrize("variant", ["absolute", "clockwise"])
+    def test_paths_reach_destination(self, n, variant):
+        ring = Ring(n)
+        for x in range(n):
+            for z in range(n):
+                path = ring.greedy_path_arcs(x, z, variant)
+                assert len(path) == ring.greedy_hops(x, z, variant)
+                cur = x
+                for arc_id in path:
+                    arc = ring.arc(arc_id)
+                    assert arc.tail == cur
+                    cur = arc.head
+                assert cur == z
+
+    def test_absolute_takes_shorter_direction(self):
+        ring = Ring(8)
+        assert ring.greedy_hops(0, 3) == 3
+        assert ring.greedy_hops(0, 5) == 3  # counter-clockwise
+        # the tie at n/2 breaks clockwise
+        path = ring.greedy_path_arcs(0, 4)
+        assert len(path) == 4
+        assert all(ring.arc(a).level == CLOCKWISE for a in path)
+
+    def test_clockwise_never_goes_back(self):
+        ring = Ring(8)
+        path = ring.greedy_path_arcs(0, 7, "clockwise")
+        assert len(path) == 7
+        assert all(ring.arc(a).level == CLOCKWISE for a in path)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ConfigurationError, match="absolute"):
+            Ring(8).greedy_path_arcs(0, 1, "widdershins")
+        with pytest.raises(ConfigurationError, match="absolute"):
+            Ring(8).greedy_hops(0, 1, "widdershins")
+
+    def test_distance_symmetry(self):
+        ring = Ring(9)
+        for x in range(9):
+            for z in range(9):
+                assert ring.distance(x, z) == ring.distance(z, x)
+                assert ring.distance(x, z) <= ring.diameter
+
+
+class TestTorusConstruction:
+    def test_basic_counts(self):
+        t = Torus(4, 2)
+        assert t.side == 4 and t.d == 2
+        assert t.num_nodes == 16
+        assert t.num_arcs == 64  # 2 * d * side**d
+        assert t.num_levels == 4
+        assert t.diameter == 4
+
+    @pytest.mark.parametrize("side,d", [(2, 2), (0, 1), (4, 0), (3.0, 2), (3, True)])
+    def test_rejects_bad_parameters(self, side, d):
+        with pytest.raises(TopologyError):
+            Torus(side, d)
+
+    def test_rejects_oversized(self):
+        with pytest.raises(TopologyError, match="nodes"):
+            Torus(100, 4)
+
+    def test_equality_and_hash(self):
+        assert Torus(4, 2) == Torus(4, 2)
+        assert Torus(4, 2) != Torus(4, 3)
+        assert hash(Torus(3, 2)) == hash(Torus(3, 2))
+
+
+class TestTorusCoords:
+    def test_coords_round_trip(self):
+        t = Torus(3, 3)
+        for v in range(t.num_nodes):
+            assert t.node(t.coords(v)) == v
+
+    def test_step_wraps(self):
+        t = Torus(4, 2)
+        v = t.node((3, 1))
+        assert t.coords(t.step(v, 0, PLUS)) == (0, 1)
+        assert t.coords(t.step(v, 1, MINUS)) == (3, 0)
+
+    def test_arc_round_trip(self):
+        t = Torus(3, 2)
+        for arc in t.arcs():
+            assert t.arc(arc.index) == arc
+        assert [a.index for a in t.arcs()] == list(range(t.num_arcs))
+
+    def test_level_slices_partition(self):
+        t = Torus(3, 2)
+        ids = [
+            i
+            for level in range(t.num_levels)
+            for i in range(*t.level_slice(level).indices(t.num_arcs))
+        ]
+        assert ids == list(range(t.num_arcs))
+
+
+class TestTorusGreedy:
+    @pytest.mark.parametrize("side,d", [(3, 2), (4, 2), (5, 1)])
+    def test_paths_reach_destination(self, side, d):
+        t = Torus(side, d)
+        for x in range(t.num_nodes):
+            for z in range(t.num_nodes):
+                path = t.greedy_path_arcs(x, z)
+                assert len(path) == t.greedy_hops(x, z)
+                cur = x
+                for arc_id in path:
+                    arc = t.arc(arc_id)
+                    assert arc.tail == cur
+                    cur = arc.head
+                assert cur == z
+
+    def test_dimension_order_is_increasing(self):
+        t = Torus(4, 3)
+        path = t.greedy_path_arcs(t.node((1, 2, 3)), t.node((3, 0, 1)))
+        dims = [t.arc_components(a)[1] for a in path]
+        assert dims == sorted(dims)
+
+    def test_tie_breaks_plus(self):
+        t = Torus(4, 1)
+        path = t.greedy_path_arcs(0, 2)  # offset 2 == side/2: tie
+        assert [t.arc_components(a)[2] for a in path] == [PLUS, PLUS]
+
+    def test_hops_match_per_dimension_distance(self):
+        t = Torus(5, 2)
+        x, z = t.node((0, 4)), t.node((3, 0))
+        # dim 0: min(3, 2) = 2?  offset 3 -> min(3, 2) = 2; dim 1: offset 1
+        assert t.greedy_hops(x, z) == min(3, 2) + min(1, 4)
