@@ -1,0 +1,173 @@
+"""Engine-axis baseline: the replication-batched fast path vs the seed.
+
+Emits ``benchmarks/results/BENCH_engines.json`` pinning the wall-clock
+payoff of the engine-plugin tentpole for one 32-replication
+hypercube-greedy measurement (jobs=1, one process, same machine):
+
+* ``seed_fanout_s``   — the **seed** per-process fan-out: one
+  replication per task, with the seed's ``serve_level`` (a Python loop
+  over arcs, one little Lindley/PS call per arc) re-enacted verbatim.
+  This is the pre-engines hot path this PR retires.
+* ``sequential_s``    — the current per-replication fan-out
+  (``measure(batch=False)``): same task structure, but every level is
+  solved by the segmented Lindley recursion with **no** per-arc loop.
+* ``batched_s``       — the batched engine path
+  (``measure(batch=True)``): R replications stacked into one
+  vectorised computation per level
+  (:meth:`repro.engines.api.EnginePlugin.simulate_batch`).
+
+All three produce **bit-identical** pooled measurements (asserted —
+the golden-pinned contract), so the comparison is pure wall clock.
+The operating point is deliberately arc-rich (d=13: 8192 nodes,
+106496 arcs, short horizon): the regime of wide parameter sweeps over
+large networks, where the seed's per-arc Python loop is the hot path
+and the acceptance bar — ``speedup_vs_seed >= 3`` for the batched
+path — has a wide margin.
+
+Run with::
+
+    python benchmarks/bench_engines.py            # full (the pinned JSON)
+    python benchmarks/bench_engines.py --quick    # CI smoke sizes
+"""
+
+import json
+import sys
+import time
+
+import numpy as np
+
+import repro.sim.feedforward as _ff
+from repro.rng import replication_seeds
+from repro.runner import ScenarioSpec, measure
+from repro.sim.lindley import fifo_departure_times
+from repro.sim.servers import ps_departure_times
+
+from _common import RESULTS_DIR
+
+#: arc-rich sweep cell: 8192-node cube, every level touches thousands
+#: of arcs with a handful of packets each
+FULL_SPEC = dict(d=13, rho=0.7, horizon=4.0, replications=32)
+#: CI smoke sizes (same shape, seconds instead of tens of seconds)
+QUICK_SPEC = dict(d=10, rho=0.7, horizon=6.0, replications=16)
+
+REPEATS = 3  # best-of timings
+
+
+def _seed_serve_level(arcs, times, pids, discipline="fifo", service=1.0,
+                      blocks=None):
+    """The seed's ``serve_level`` (commit c5ecac6), frozen verbatim:
+    after the (arc, time, pid) lexsort, a Python loop dispatches one
+    Lindley / fair-share call **per busy arc**."""
+    n = arcs.shape[0]
+    dep = np.empty(n)
+    if n == 0:
+        return dep, np.zeros(0, dtype=np.int64)
+    per_arc = isinstance(service, np.ndarray)
+    order = np.lexsort((pids, times, arcs))
+    a_s = arcs[order]
+    t_s = times[order]
+    starts = np.flatnonzero(np.r_[True, a_s[1:] != a_s[:-1]])
+    bounds = np.r_[starts, n]
+    dep_s = np.empty(n)
+    for i in range(starts.shape[0]):
+        lo, hi = bounds[i], bounds[i + 1]
+        s = float(service[int(a_s[lo])]) if per_arc else float(service)
+        if discipline == "fifo":
+            dep_s[lo:hi] = fifo_departure_times(t_s[lo:hi], s)
+        else:
+            dep_s[lo:hi] = ps_departure_times(t_s[lo:hi], work=s)
+    dep[order] = dep_s
+    return dep, order
+
+
+def _best_of(fn, repeats=REPEATS):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_experiment(quick=False):
+    params = QUICK_SPEC if quick else FULL_SPEC
+    spec = ScenarioSpec(
+        name="bench-engines", base_seed=0, seed_policy="spawn", **params
+    )
+    modern = _ff.serve_level
+    _ff.serve_level = _seed_serve_level
+    try:
+        seed_s, seed_m = _best_of(lambda: measure(spec, jobs=1, batch=False))
+    finally:
+        _ff.serve_level = modern
+    seq_s, seq_m = _best_of(lambda: measure(spec, jobs=1, batch=False))
+    bat_s, bat_m = _best_of(lambda: measure(spec, jobs=1, batch=True))
+
+    bit_identical = seed_m == seq_m == bat_m
+    # the batched outputs equal the sequential golden values per
+    # replication, not merely in the pooled mean
+    seeds = replication_seeds(spec.base_seed, spec.replications,
+                              spec.seed_policy)
+    runner = spec.plugin.batch_runner(spec)
+    from repro.sim.run_spec import run_spec
+
+    per_rep_identical = runner(seeds) == [run_spec(spec, s) for s in seeds]
+
+    return {
+        "mode": "quick" if quick else "full",
+        "spec": {
+            "network": spec.network,
+            "scheme": spec.scheme,
+            "engine": spec.engine,
+            "resolved_engine": "feedforward",
+            "d": spec.d,
+            "rho": spec.rho,
+            "horizon": spec.horizon,
+            "replications": spec.replications,
+            "seed_policy": spec.seed_policy,
+            "jobs": 1,
+        },
+        "num_packets": bat_m.num_packets,
+        "mean_delay": bat_m.mean_delay,
+        "seed_fanout_s": round(seed_s, 4),
+        "sequential_s": round(seq_s, 4),
+        "batched_s": round(bat_s, 4),
+        "speedup_vs_seed": round(seed_s / bat_s, 2),
+        "speedup_sequential_vs_seed": round(seed_s / seq_s, 2),
+        "batched_vs_sequential": round(seq_s / bat_s, 2),
+        "bit_identical": bool(bit_identical),
+        "per_replication_bit_identical": bool(per_rep_identical),
+    }
+
+
+def emit_json(results):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_engines.json"
+    payload = {
+        "description": "replication-batched engine path vs the seed "
+        "per-process fan-out (32-replication hypercube-greedy, jobs=1; "
+        "seed serve_level re-enacted verbatim for the baseline)",
+        **results,
+    }
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def test_engines_benchmark():
+    quick = True  # keep the pytest entry point CI-sized
+    results = run_experiment(quick=quick)
+    path = emit_json(results)
+    assert results["bit_identical"]
+    assert results["per_replication_bit_identical"]
+    assert results["speedup_vs_seed"] > 1.0
+    print(f"\n[written to {path}]")
+
+
+if __name__ == "__main__":
+    quick = "--quick" in sys.argv
+    results = run_experiment(quick=quick)
+    path = emit_json(results)
+    print(json.dumps(results, indent=1))
+    print(f"written {path}")
+    if not quick and results["speedup_vs_seed"] < 3.0:
+        sys.exit("FAIL: batched path is not >= 3x the seed fan-out")

@@ -11,6 +11,8 @@ Subcommands:
 * ``schemes``         — the scheme plugins and their declared capabilities;
 * ``networks``        — the network plugins: aliases, options, and the
   scheme x network capability matrix;
+* ``engines``         — the engine plugins: kind, disciplines, batching,
+  options, and the scheme x engine capability matrix;
 * ``describe``        — one scenario in full: spec fields + plugin capabilities;
 * ``run``             — execute a registered scenario: parallel replications,
   pooled confidence interval, content-hash results cache.
@@ -24,6 +26,7 @@ Examples::
     python -m repro list-scenarios
     python -m repro schemes
     python -m repro networks
+    python -m repro engines
     python -m repro describe butterfly-greedy-event
     python -m repro run hypercube-greedy-mid --replications 8 --jobs 4
 """
@@ -210,10 +213,51 @@ def _cmd_networks(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engines(args: argparse.Namespace) -> int:
+    from repro.engines import declared_engine_names, iter_engines
+    from repro.plugins import iter_plugins
+
+    schemes = iter_plugins()
+    rows = []
+    for plugin in iter_engines():
+        caps = plugin.capabilities
+        forceable = " ".join(
+            s.name
+            for s in schemes
+            if plugin.name in declared_engine_names(s.capabilities.engines)
+        )
+        rows.append(
+            (
+                plugin.name,
+                " ".join(plugin.aliases) or "-",
+                caps.kind,
+                " ".join(caps.disciplines),
+                "* (any)" if "*" in caps.networks else " ".join(caps.networks),
+                "yes" if caps.batching else "no",
+                " ".join(plugin.option_names()) or "-",
+                forceable or "-",
+                plugin.summary,
+            )
+        )
+    print(
+        format_table(
+            ["engine", "aliases", "kind", "disciplines", "networks", "batch",
+             "options", "schemes", "summary"],
+            rows,
+            title="registered engine plugins "
+            "(extend via the repro.engine_plugins entry-point group)",
+        )
+    )
+    return 0
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
+    from repro.engines import resolve_engine
+
     spec = get_scenario(args.scenario)
     plugin = spec.plugin
     net = spec.network_plugin
+    engine = resolve_engine(spec)
     caps = plugin.capabilities
     point = (
         "(static task)"
@@ -227,6 +271,15 @@ def _cmd_describe(args: argparse.Namespace) -> int:
         ("network plugin", f"{type(net).__name__}: {net.summary}"),
         ("operating point", f"d={spec.d}, p={spec.p}, {point}"),
         ("engine", spec.engine),
+        (
+            "resolved engine",
+            "(scheme-managed loop)"
+            if engine is None
+            else (
+                f"{engine.name} ({engine.capabilities.kind}; batch="
+                f"{'yes' if engine.supports_batch(spec) else 'no'})"
+            ),
+        ),
         ("horizon / trims",
          f"{spec.horizon} (warmup {spec.warmup_fraction}, "
          f"cooldown {spec.cooldown_fraction})"),
@@ -254,6 +307,8 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     _option_rows("option", caps.options)
     if caps.network_options:
         _option_rows("network option", net.options)
+    if engine is not None:
+        _option_rows("engine option", engine.capabilities.options)
     print(format_table(["field", "value"], rows,
                        title=f"scenario {spec.name!r}"))
     return 0
@@ -368,6 +423,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="the network plugins: aliases, options, scheme matrix",
     )
     sp.set_defaults(func=_cmd_networks)
+
+    sp = sub.add_parser(
+        "engines",
+        help="the engine plugins: kind, disciplines, batching, scheme matrix",
+    )
+    sp.set_defaults(func=_cmd_engines)
 
     sp = sub.add_parser(
         "describe",

@@ -1,0 +1,77 @@
+"""Engine plugin for the event calendar (the cross-validation engine).
+
+Wraps :func:`repro.sim.eventsim.simulate_paths_event_driven`: a single
+chronological event heap replaying per-packet arc paths, deliberately
+independent of the levelled structure.  It drives **every** network
+(third-party ones included) through the
+:meth:`~repro.networks.api.NetworkPlugin.greedy_paths` hook, and its
+FIFO sample paths agree with the vectorised engines bit for bit (PS to
+float round-off) — which is exactly what makes it the reference the
+fast engines are validated against.
+
+No batching: the calendar is inherently sequential (one heap, one
+clock), so replications of an event-engine spec fan out over the
+process pool instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+from repro.engines.api import EngineCapabilities, EnginePlugin
+from repro.engines.registry import register_engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.runner.spec import ScenarioSpec
+    from repro.topology.base import Topology
+    from repro.traffic.workload import TrafficSample
+
+__all__ = ["EventEngine"]
+
+
+@register_engine
+class EventEngine(EnginePlugin):
+    name = "event"
+    aliases = ("eventsim", "calendar")
+    summary = "chronological event calendar over explicit arc paths"
+    capabilities = EngineCapabilities(
+        kind="event",
+        disciplines=("fifo", "ps"),
+        networks=("*",),
+        batching=False,
+    )
+
+    def simulate(
+        self,
+        spec: "ScenarioSpec",
+        topology: "Topology",
+        sample: "TrafficSample",
+    ) -> "np.ndarray":
+        paths = spec.network_plugin.greedy_paths(topology, spec, sample)
+        return self.run_paths(
+            topology.num_arcs,
+            sample.times,
+            paths,
+            discipline=spec.discipline,
+        )
+
+    def run_paths(
+        self,
+        num_arcs: int,
+        birth_times: "np.ndarray",
+        paths: Sequence[Sequence[int]],
+        *,
+        discipline: str = "fifo",
+        service: float = 1.0,
+    ) -> "np.ndarray":
+        from repro.sim.eventsim import simulate_paths_event_driven
+
+        return simulate_paths_event_driven(
+            num_arcs,
+            birth_times,
+            paths,
+            discipline=discipline,
+            service=service,
+        ).delivery

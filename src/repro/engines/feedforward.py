@@ -1,0 +1,86 @@
+"""Engine plugin for the levelled feed-forward sweep (the HPC path).
+
+The paper's central computational trick: the equivalent networks Q
+(§3.1) and R (§4.3) are *levelled* (Property B), so a whole sample
+path solves level by level with **no event calendar** — one closed-form
+Lindley recursion (FIFO) or exact fair-share construction (PS) per
+server, all servers of a level in one vectorised shot
+(:func:`repro.sim.feedforward.serve_level`).
+
+The engine drives a network through its native level-sweep kernel
+(:meth:`~repro.networks.api.NetworkPlugin.simulate_greedy` — the
+XOR-algebra sweep on the hypercube, the one-arc-per-level sweep on the
+butterfly), so it only supports networks that declare it native; the
+fixed-point engine covers everything else.
+
+**Batching** is where the level sweep pays twice: R replications'
+workload arrays stack into one set of parallel arrays (arc ids offset
+by ``replication * num_arcs`` keep the R sub-systems disjoint), and the
+d-level loop runs **once** for the whole batch — one lexsort and one
+segmented Lindley recursion per level instead of R.  Each
+replication's sub-path is bit-identical to its sequential run
+(golden-pinned), because every per-arc arrival sequence is unchanged;
+only the Python-loop overhead is amortised away.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.engines.api import EngineCapabilities, EnginePlugin
+from repro.engines.registry import register_engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.runner.spec import ScenarioSpec
+    from repro.topology.base import Topology
+    from repro.traffic.workload import TrafficSample
+
+__all__ = ["FeedForwardEngine"]
+
+
+@register_engine
+class FeedForwardEngine(EnginePlugin):
+    name = "feedforward"
+    aliases = ("ff", "levelled")
+    summary = "level-by-level vectorised sweep of levelled networks (§3.1/§4.3)"
+    capabilities = EngineCapabilities(
+        kind="levelled",
+        disciplines=("fifo", "ps"),
+        # admissibility is structural, not a name list: any network —
+        # third-party included — that declares a native level-sweep
+        # kernel (NetworkPlugin.native_engine) can ride this engine
+        networks=("*",),
+        batching=True,
+    )
+
+    def supports(self, spec: "ScenarioSpec"):
+        reason = super().supports(spec)
+        if reason is not None:
+            return reason
+        if spec.network_plugin.native_engine() != self.name:
+            return (
+                f"network {spec.network!r} provides no levelled "
+                "level-sweep kernel (its native vectorised engine is "
+                f"{spec.network_plugin.native_engine()!r})"
+            )
+        return None
+
+    def simulate(
+        self,
+        spec: "ScenarioSpec",
+        topology: "Topology",
+        sample: "TrafficSample",
+    ) -> "np.ndarray":
+        return spec.network_plugin.simulate_greedy(topology, spec, sample)
+
+    def batch_deliveries(
+        self,
+        spec: "ScenarioSpec",
+        topology: "Topology",
+        samples: List["TrafficSample"],
+    ) -> List["np.ndarray"]:
+        return spec.network_plugin.simulate_greedy_batch(
+            topology, spec, samples
+        )

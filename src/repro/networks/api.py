@@ -120,6 +120,20 @@ class NetworkPlugin:
         """Per-packet greedy arc paths (the event-engine hook)."""
         raise NotImplementedError  # pragma: no cover - protocol
 
+    def native_engine(self) -> str:
+        """Canonical name of the network's native *vectorised* engine
+        (what ``engine="auto"``/``"vectorized"`` resolve to for greedy).
+
+        Default: a network that ships its own level-sweep kernel
+        (overrides :meth:`simulate_greedy`) is driven by the
+        ``feedforward`` engine plugin; one that only ships
+        :meth:`greedy_paths` is driven by the ``fixedpoint`` engine.
+        Custom networks may override to name any registered engine.
+        """
+        if type(self).simulate_greedy is not NetworkPlugin.simulate_greedy:
+            return "feedforward"
+        return "fixedpoint"
+
     def simulate_greedy(
         self,
         topology: "Topology",
@@ -132,7 +146,8 @@ class NetworkPlugin:
         Default: the fixed-point solver over :meth:`greedy_paths` —
         correct for *any* topology (that is all the ring and torus
         plugins use).  Levelled networks override this with their
-        one-pass feed-forward engine.
+        one-pass feed-forward level-sweep kernel, which also flips
+        :meth:`native_engine` to the ``feedforward`` engine plugin.
         """
         from repro.sim.fixedpoint import simulate_paths_fixed_point
 
@@ -142,6 +157,23 @@ class NetworkPlugin:
             self.greedy_paths(topology, spec, sample),
             discipline=spec.discipline,
         ).delivery
+
+    def simulate_greedy_batch(
+        self,
+        topology: "Topology",
+        spec: "ScenarioSpec",
+        samples: List["TrafficSample"],
+    ) -> List["np.ndarray"]:
+        """Delivery epochs of R independent samples (the
+        ``feedforward`` engine's replication-batched fast path).
+
+        Entry *r* must be **bit-identical** to
+        ``simulate_greedy(topology, spec, samples[r])``.  Default: a
+        plain per-sample loop (correct everywhere, vectorised nowhere);
+        the hypercube and butterfly override it with stacked kernels
+        that run the whole batch through one level sweep.
+        """
+        return [self.simulate_greedy(topology, spec, s) for s in samples]
 
     # -- theory --------------------------------------------------------------
 

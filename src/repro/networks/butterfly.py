@@ -74,6 +74,18 @@ class ButterflyNetwork(NetworkPlugin):
             topology, sample, discipline=spec.discipline
         ).delivery
 
+    def simulate_greedy_batch(
+        self,
+        topology: "Butterfly",
+        spec: "ScenarioSpec",
+        samples: List["TrafficSample"],
+    ) -> List["np.ndarray"]:
+        from repro.sim.feedforward import simulate_butterfly_greedy_batch
+
+        return simulate_butterfly_greedy_batch(
+            topology, samples, discipline=spec.discipline
+        )
+
     # -- theory --------------------------------------------------------------
 
     def greedy_theory_bounds(self, spec: "ScenarioSpec") -> Tuple[float, float]:

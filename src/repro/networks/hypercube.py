@@ -110,6 +110,22 @@ class HypercubeNetwork(NetworkPlugin):
             dim_order=None if dim_order is None else list(dim_order),
         ).delivery
 
+    def simulate_greedy_batch(
+        self,
+        topology: "Hypercube",
+        spec: "ScenarioSpec",
+        samples: List["TrafficSample"],
+    ) -> List["np.ndarray"]:
+        from repro.sim.feedforward import simulate_hypercube_greedy_batch
+
+        dim_order = spec.option("dim_order")
+        return simulate_hypercube_greedy_batch(
+            topology,
+            samples,
+            discipline=spec.discipline,
+            dim_order=None if dim_order is None else list(dim_order),
+        )
+
     # -- theory --------------------------------------------------------------
 
     def greedy_theory_bounds(self, spec: "ScenarioSpec") -> Tuple[float, float]:

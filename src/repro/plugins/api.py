@@ -23,7 +23,7 @@ that need simulator types import them lazily.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -103,11 +103,13 @@ class Capabilities:
     therefore runs on every registered network — including third-party
     ones this repository has never heard of.
 
-    ``engines`` lists the *concrete* engines a spec may force via
-    ``engine="..."``; ``engine="auto"`` (the scheme's native engine) is
-    always admissible.  Schemes that own their whole simulation loop
-    (deflection, the pipelined batch baseline, the static tasks)
-    declare no forceable engine at all.
+    ``engines`` lists the engines a spec may force via
+    ``engine="..."`` — canonical :class:`~repro.engines.api.EnginePlugin`
+    names, their aliases, or the ``"vectorized"`` directive (the
+    network's native vectorised engine); ``engine="auto"`` (the
+    scheme's native engine) is always admissible.  Schemes that own
+    their whole simulation loop (deflection, the pipelined batch
+    baseline, the static tasks) declare no forceable engine at all.
     """
 
     networks: Tuple[str, ...]
@@ -166,13 +168,9 @@ class SchemePlugin:
                 f"{spec.network!r}; it supports: {', '.join(caps.networks)} "
                 f"(schemes available on {spec.network!r}: {peers})"
             )
-        if spec.engine != "auto" and spec.engine not in caps.engines:
-            admissible = ", ".join(caps.engines) or "(none)"
-            raise ConfigurationError(
-                f"scheme {self.name!r} cannot be forced onto engine "
-                f"{spec.engine!r}; admissible engines: {admissible} "
-                "(engine='auto' always works)"
-            )
+        from repro.engines.registry import check_forced_engine, resolve_engine
+
+        check_forced_engine(self, spec)
         if spec.discipline not in caps.disciplines:
             raise ConfigurationError(
                 f"scheme {self.name!r} does not support discipline "
@@ -180,13 +178,19 @@ class SchemePlugin:
                 f"{', '.join(caps.disciplines)}"
             )
         net = spec.network_plugin
+        # engine-scoped options only reach schemes that participate in
+        # the engine axis (declare at least one forceable engine)
+        engine = resolve_engine(spec) if caps.engines else None
         for key, value in spec.extra:
             # the scheme's schema wins on a name collision with the
-            # network's; network options only apply to schemes that
-            # declare they consume them (capabilities.network_options)
+            # network's, which wins on one with the engine's; network
+            # options only apply to schemes that declare they consume
+            # them (capabilities.network_options)
             opt = caps.option_spec(key)
             if opt is None and caps.network_options:
                 opt = net.option_spec(key)
+            if opt is None and engine is not None:
+                opt = engine.option_spec(key)
             if opt is None:
                 declared = ", ".join(caps.option_names()) or "(none)"
                 msg = (
@@ -197,6 +201,11 @@ class SchemePlugin:
                     net_declared = ", ".join(net.option_names()) or "(none)"
                     msg += (
                         f"; options of network {spec.network!r}: {net_declared}"
+                    )
+                if engine is not None:
+                    eng_declared = ", ".join(engine.option_names()) or "(none)"
+                    msg += (
+                        f"; options of engine {engine.name!r}: {eng_declared}"
                     )
                 raise ConfigurationError(msg)
             opt.validate(value)
@@ -213,9 +222,39 @@ class SchemePlugin:
 
     # -- execution -----------------------------------------------------------
 
+    def native_engine(self, spec: "ScenarioSpec") -> Optional[str]:
+        """Canonical name of the engine an ``engine="auto"`` spec runs
+        on, or ``None`` when the scheme owns its whole simulation loop
+        (the default).
+
+        This is what :func:`repro.engines.registry.resolve_engine`
+        consults; schemes that route replications through an
+        :class:`~repro.engines.api.EnginePlugin` override it (greedy
+        returns whatever the network plugin declares native).
+        """
+        return None
+
     def prepare(self, spec: "ScenarioSpec") -> Runner:
         """Build the single-replication runner for a validated spec."""
         raise NotImplementedError  # pragma: no cover - protocol
+
+    def batch_runner(
+        self, spec: "ScenarioSpec"
+    ) -> Optional[Callable[[Sequence[Any]], list]]:
+        """A callable mapping replication seeds to their
+        :class:`~repro.sim.run_spec.ReplicationOutput` list as **one**
+        stacked computation, or ``None`` when the scheme cannot batch
+        (the default).
+
+        The contract matches :meth:`prepare` seed for seed: entry *k*
+        of the batch must be bit-identical to running the prepared
+        runner on ``as_generator(seeds[k])``.  The parallel runner
+        (:func:`repro.runner.engine.measure_many`) routes a spec's
+        replications through this hook whenever it returns a runner —
+        in process for small batches, chunked across the pool for
+        large ones.
+        """
+        return None
 
     # -- cosmetics -----------------------------------------------------------
 

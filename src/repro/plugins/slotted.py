@@ -26,7 +26,7 @@ class SlottedPlugin(SchemePlugin):
     summary = "slotted-time greedy hypercube routing (§3.4)"
     capabilities = Capabilities(
         networks=("hypercube",),
-        engines=("vectorized",),
+        engines=("vectorized", "feedforward"),
         options=(
             OptionSpec(
                 "tau",
@@ -36,6 +36,11 @@ class SlottedPlugin(SchemePlugin):
             ),
         ),
     )
+
+    def native_engine(self, spec: "ScenarioSpec"):
+        """The slotted workload rides the levelled level sweep (the
+        dyadic time grid keeps the shift arithmetic exact)."""
+        return "feedforward"
 
     def theory_bounds(self, spec: "ScenarioSpec"):
         """The §3.4 upper bound next to the Prop 13 lower bound."""

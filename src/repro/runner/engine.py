@@ -2,15 +2,25 @@
 
 The hot path of every experiment is running R independent replications
 of one spec (or a whole sweep of specs).  This module executes that
-fan-out with :mod:`multiprocessing`, flattening *all* replications of
-*all* requested specs into one task list so a sweep saturates the pool
-even when individual specs have few replications.
+fan-out along two routes:
+
+* **Batched** — when the spec's scheme exposes a batch runner
+  (:meth:`~repro.plugins.api.SchemePlugin.batch_runner`, backed by an
+  engine plugin declaring ``batching``), R replications stack into
+  **one** vectorised computation: no per-task pickling, no per-
+  replication Python overhead.  Large batches are chunked across the
+  process pool; small ones run in process.
+* **Pooled** — everything else flattens into a one-replication-per-task
+  list executed with :mod:`multiprocessing` (chunked sensibly, so
+  large sweeps do not pay per-task IPC overhead).
 
 Determinism: every replication's seed is derived **centrally** from the
 spec (:func:`repro.rng.replication_seeds`) before any fan-out, and each
-task consumes only its own stream — so the numbers are bit-for-bit
-identical whatever ``jobs`` is, and identical between a pooled run and
-calling :func:`repro.sim.run_spec.run_spec` by hand.
+replication consumes only its own stream — so the numbers are
+bit-for-bit identical whatever ``jobs`` is, whichever route runs,
+and identical to calling :func:`repro.sim.run_spec.run_spec` by hand
+(the batched route's bit-identity is golden-pinned in
+``tests/test_golden_dispatch.py``).
 """
 
 from __future__ import annotations
@@ -33,6 +43,7 @@ __all__ = [
     "run_replication",
     "theory_bounds",
 ]
+
 
 
 def theory_bounds(spec: ScenarioSpec) -> Tuple[float, float]:
@@ -63,18 +74,51 @@ def run_replication(
     return run_spec(spec, seeds[rep], keep_record=keep_record)
 
 
-def _run_task(task: Tuple[ScenarioSpec, object]) -> ReplicationOutput:
-    spec, seed = task
-    return run_spec(spec, seed)
+#: one unit of pool work: a spec plus an ordered slice of its
+#: replication seeds, flagged batched (one stacked engine computation)
+#: or not (a plain per-seed loop); either way it returns one
+#: ReplicationOutput per seed, in seed order
+_Task = Tuple[ScenarioSpec, Tuple[object, ...], bool]
 
 
-def _execute(
-    tasks: Sequence[Tuple[ScenarioSpec, object]], jobs: int
-) -> List[ReplicationOutput]:
+def _run_task(task: _Task) -> List[ReplicationOutput]:
+    spec, seeds, batched = task
+    if batched:
+        runner = spec.plugin.batch_runner(spec)
+        if runner is not None:  # closures don't cross the pool; rebuild
+            return list(runner(seeds))
+    return [run_spec(spec, seed) for seed in seeds]
+
+
+def _chunked(seeds: Sequence[object], jobs: int) -> List[Tuple[object, ...]]:
+    """Split a batched spec's seeds into contiguous chunks: one
+    in-process batch at ``jobs <= 1``, otherwise one chunk per worker
+    (a 1-seed chunk degenerates to a plain replication, so keeping
+    every worker busy always beats a bigger batch)."""
+    n = len(seeds)
+    if jobs <= 1 or n <= 1:
+        return [tuple(seeds)]
+    chunks = min(jobs, n)
+    bounds = np.linspace(0, n, chunks + 1).astype(int)
+    return [
+        tuple(seeds[lo:hi])
+        for lo, hi in zip(bounds[:-1], bounds[1:])
+        if hi > lo
+    ]
+
+
+def _execute(tasks: Sequence[_Task], jobs: int) -> List[ReplicationOutput]:
+    """Run every task (in parallel when ``jobs > 1``) and concatenate
+    their outputs in task order."""
     if jobs <= 1 or len(tasks) <= 1:
-        return [_run_task(t) for t in tasks]
-    with get_context().Pool(processes=min(jobs, len(tasks))) as pool:
-        return pool.map(_run_task, tasks, chunksize=1)
+        chunks = [_run_task(t) for t in tasks]
+    else:
+        workers = min(jobs, len(tasks))
+        # amortise per-task IPC: aim for ~4 waves of tasks per worker
+        chunksize = max(1, len(tasks) // (workers * 4))
+        with get_context().Pool(processes=workers) as pool:
+            chunks = pool.map(_run_task, tasks, chunksize=chunksize)
+    return [out for chunk in chunks for out in chunk]
 
 
 def _pool_measurement(
@@ -86,12 +130,17 @@ def _pool_measurement(
         if rep_means.shape[0] >= 2
         else None
     )
+    # a side metric is averaged over the replications that reported it
+    # (replications may carry heterogeneous metric keys, e.g. when a
+    # quantity is undefined on an empty sample)
     metric_sums: Dict[str, float] = {}
+    metric_counts: Dict[str, int] = {}
     for o in outputs:
         for key, value in o.metrics:
             metric_sums[key] = metric_sums.get(key, 0.0) + value
+            metric_counts[key] = metric_counts.get(key, 0) + 1
     metrics = tuple(
-        sorted((k, v / len(outputs)) for k, v in metric_sums.items())
+        sorted((k, v / metric_counts[k]) for k, v in metric_sums.items())
     )
     lower, upper = theory_bounds(spec)
     static = spec.is_static
@@ -120,15 +169,20 @@ def measure(
     jobs: int = 1,
     store: Optional[ResultsStore] = None,
     refresh: bool = False,
+    batch: bool = True,
 ) -> DelayMeasurement:
     """Run every replication of *spec* (in parallel when ``jobs > 1``)
     and pool them into one :class:`DelayMeasurement`.
 
     With a *store*, a previously computed spec (same content hash) is
     returned from cache without simulating; ``refresh=True`` forces
-    recomputation (and overwrites the cache cell).
+    recomputation (and overwrites the cache cell).  ``batch=False``
+    forces the one-replication-per-task route even when the spec's
+    engine could batch (benchmarking and cross-validation).
     """
-    return measure_many([spec], jobs=jobs, store=store, refresh=refresh)[0]
+    return measure_many(
+        [spec], jobs=jobs, store=store, refresh=refresh, batch=batch
+    )[0]
 
 
 def measure_many(
@@ -136,22 +190,28 @@ def measure_many(
     jobs: int = 1,
     store: Optional[ResultsStore] = None,
     refresh: bool = False,
+    batch: bool = True,
 ) -> List[DelayMeasurement]:
     """Batched :func:`measure`: one flat task list across all *specs*.
 
     Cached specs contribute no tasks; the rest fan out together, so a
     20-cell sweep with 4 replications each keeps ``jobs`` processes
-    busy on 80 independent tasks.
+    busy.  A spec whose scheme exposes a batch runner contributes
+    replication-*batch* tasks (stacked vectorised computations, chunked
+    across the pool for large R); the rest contribute one task per
+    replication.
 
     Caching is two-level.  A spec whose pooled measurement is already
     stored is returned outright; otherwise the store is probed **per
     replication** (cells keyed by ``(replication_hash, k)``, which is
     independent of the replication count), so raising ``replications``
     on a previously measured spec simulates only the new replications
-    and pools them with the cached ones.
+    and pools them with the cached ones.  Both routes preserve the
+    cells: a batched replication's output is bit-identical to its
+    pooled twin.
     """
     results: List[Optional[DelayMeasurement]] = [None] * len(specs)
-    tasks: List[Tuple[ScenarioSpec, object]] = []
+    tasks: List[_Task] = []
     #: per pending spec: (spec index, missing rep indices, cached outputs by rep)
     slots: List[Tuple[int, List[int], Dict[int, ReplicationOutput]]] = []
     for i, spec in enumerate(specs):
@@ -171,7 +231,13 @@ def measure_many(
         )
         missing = [k for k in range(spec.replications) if k not in cached_reps]
         slots.append((i, missing, cached_reps))
-        tasks.extend((spec, seeds[k]) for k in missing)
+        missing_seeds = [seeds[k] for k in missing]
+        if batch and missing and spec.plugin.batch_runner(spec) is not None:
+            tasks.extend(
+                (spec, chunk, True) for chunk in _chunked(missing_seeds, jobs)
+            )
+        else:
+            tasks.extend((spec, (seed,), False) for seed in missing_seeds)
     outputs = _execute(tasks, jobs)
     cursor = 0
     for i, missing, cached_reps in slots:

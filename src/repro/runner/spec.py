@@ -14,19 +14,22 @@ destination ``law``, the static ``perm``) travel in the ``extra``
 mapping, stored as a sorted tuple of pairs (tuples all the way down)
 to stay hashable.
 
-Validation is **capability-driven along both axes**: the scheme
+Validation is **capability-driven along all three axes**: the scheme
 resolves to a :class:`~repro.plugins.api.SchemePlugin` through the
-scheme registry and the network to a
+scheme registry, the network to a
 :class:`~repro.networks.api.NetworkPlugin` through the network
-registry, and their declared capabilities decide which
+registry, and the engine to an
+:class:`~repro.engines.api.EnginePlugin` through the engine registry,
+and their declared capabilities decide which
 scheme x network x engine x discipline x option combinations the spec
 may form — so an invalid spec is rejected with a message enumerating
-what *is* available.  There is no hard-coded scheme or network list
-here; registering a new plugin on either axis extends the accepted
-vocabulary automatically.  The network name is normalised to its
-canonical spelling (aliases like ``"cube"`` resolve to
-``"hypercube"``) **before** content-hashing, so an alias and its
-canonical name always share one cache cell.
+what *is* available.  There is no hard-coded scheme, network or engine
+list here; registering a new plugin on any axis extends the accepted
+vocabulary automatically.  Network and engine names are normalised to
+their canonical spellings (aliases like ``"cube"`` resolve to
+``"hypercube"``, ``"eventsim"`` to ``"event"``) **before**
+content-hashing, so an alias and its canonical name always share one
+cache cell.
 """
 
 from __future__ import annotations
@@ -43,7 +46,6 @@ __all__ = [
     "ScenarioSpec",
     "DISCIPLINES",
     "SEED_POLICIES",
-    "ENGINES",
 ]
 
 DISCIPLINES = ("fifo", "ps")
@@ -51,7 +53,6 @@ DISCIPLINES = ("fifo", "ps")
 #: (provably independent streams); ``sequential`` uses ``base_seed + k``,
 #: matching the historical hand-rolled experiment loops bit for bit.
 SEED_POLICIES = ("spawn", "sequential")
-ENGINES = ("auto", "vectorized", "event")
 
 ExtraValue = Union[int, float, str, bool, Tuple[Any, ...]]
 
@@ -121,13 +122,17 @@ class ScenarioSpec:
     description: str = ""
 
     def __post_init__(self) -> None:
+        from repro.engines.registry import normalize_engine_name
         from repro.networks.registry import get_network
         from repro.plugins.registry import get_plugin
 
         object.__setattr__(self, "extra", _freeze_extra(self.extra))
         network = get_network(self.network)  # enumerates networks on a miss
-        # canonicalise aliases before anything hashes or validates
+        # canonicalise aliases before anything hashes or validates; the
+        # engine vocabulary lives in the engine registry (canonical
+        # names, aliases, plus the auto/vectorized directives)
         object.__setattr__(self, "network", network.name)
+        object.__setattr__(self, "engine", normalize_engine_name(self.engine))
         plugin = get_plugin(self.scheme)  # enumerates schemes on a miss
         if self.discipline not in DISCIPLINES:
             raise ConfigurationError(
@@ -138,10 +143,6 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"unknown seed policy {self.seed_policy!r}; "
                 f"one of {', '.join(SEED_POLICIES)}"
-            )
-        if self.engine not in ENGINES:
-            raise ConfigurationError(
-                f"unknown engine {self.engine!r}; one of {', '.join(ENGINES)}"
             )
         plugin.validate(self)
         network.validate(self)

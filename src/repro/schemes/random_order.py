@@ -104,6 +104,9 @@ class RandomOrderPlugin(SchemePlugin):
     summary = "greedy with per-packet random dimension order (E13 ablation)"
     capabilities = Capabilities(networks=("hypercube",), engines=("event",))
 
+    def native_engine(self, spec: "ScenarioSpec"):
+        return "event"
+
     def prepare(self, spec: "ScenarioSpec") -> Runner:
         from repro.sim.measurement import DelayRecord
         from repro.traffic.destinations import BernoulliFlipLaw

@@ -212,6 +212,9 @@ class TwoPhasePlugin(SchemePlugin):
         metrics=("mean_hops",),
     )
 
+    def native_engine(self, spec: "ScenarioSpec"):
+        return "event"
+
     def prepare(self, spec: "ScenarioSpec") -> Runner:
         scheme = TwoPhaseScheme(
             d=spec.d, lam=spec.resolved_lam, law=resolve_hypercube_law(spec)

@@ -36,7 +36,6 @@ import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.rng import SeedLike, as_generator
-from repro.sim.lindley import fifo_departure_times
 from repro.sim.measurement import DelayRecord
 from repro.sim.servers import ps_departure_times
 from repro.topology.butterfly import Butterfly
@@ -50,6 +49,8 @@ __all__ = [
     "serve_level",
     "simulate_hypercube_greedy",
     "simulate_butterfly_greedy",
+    "simulate_hypercube_greedy_batch",
+    "simulate_butterfly_greedy_batch",
     "simulate_markovian",
     "LevelledSpec",
 ]
@@ -113,12 +114,49 @@ class MarkovianResult:
     decisions: Optional[Dict[int, np.ndarray]]
 
 
+def _segmented_running_max(
+    values: np.ndarray,
+    pos: np.ndarray,
+    blocks: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-segment prefix maximum of *values* (Hillis–Steele doubling).
+
+    ``pos`` gives each element's 0-based index within its (contiguous)
+    segment.  Equivalent to ``np.maximum.accumulate`` applied segment
+    by segment — bit-identical, since ``max`` selects one of its
+    operands — but with O(log max-segment-length) vectorised rounds
+    instead of a Python loop over segments.  ``blocks`` (boundaries of
+    independent row runs, as in :func:`serve_level`) keeps each
+    doubling scan cache-resident on large stacked batches.
+    """
+    out = values.copy()
+    n = out.shape[0]
+    if n == 0:
+        return out
+    if blocks is not None and len(blocks) > 2:
+        for lo, hi in zip(blocks[:-1], blocks[1:]):
+            out[lo:hi] = _segmented_running_max(values[lo:hi], pos[lo:hi])
+        return out
+    shift = 1
+    max_pos = int(pos.max())
+    while shift <= max_pos:
+        # element i's in-segment predecessor at distance `shift` is
+        # i - shift iff pos[i] >= shift (segments are contiguous);
+        # np.where materialises last round's values before the write
+        candidate = np.where(pos[shift:] >= shift, out[:-shift], -np.inf)
+        np.maximum(out[shift:], candidate, out=out[shift:])
+        shift <<= 1
+    return out
+
+
 def serve_level(
     arcs: np.ndarray,
     times: np.ndarray,
     pids: np.ndarray,
     discipline: str = "fifo",
     service: float | np.ndarray = 1.0,
+    *,
+    blocks: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Solve every server of one level in one shot.
 
@@ -131,6 +169,22 @@ def serve_level(
     aligned with the inputs and ``order`` is the service permutation
     (packets in (arc, time, pid) order) used for routing-decision
     positions.
+
+    ``blocks`` is the replication-batching fast path: boundaries (as in
+    ``blocks[i]:blocks[i+1]``) of contiguous row runs whose arc-id
+    ranges are **disjoint and increasing** — which is how the batch
+    kernels lay out R stacked replications (arc ids offset by
+    ``replication * num_arcs``, rows replication-major).  Each block is
+    then sorted independently (cache-resident, exactly the sorts the
+    R standalone runs would do) and the concatenation *is* the global
+    (arc, time, pid) order, skipping one large cache-hostile lexsort.
+
+    FIFO is solved for **all** arcs in one segmented Lindley recursion
+    (``D_i = s*(i+1) + max_{j<=i}(t_j - s*j)`` per arc, the closed form
+    of :func:`repro.sim.lindley.fifo_departure_times`, with the running
+    maximum computed by :func:`_segmented_running_max`) — no Python
+    loop over arcs, which is what makes the replication-batched engine
+    path scale.  PS keeps the exact per-arc fair-share construction.
     """
     if discipline not in ("fifo", "ps"):
         raise ConfigurationError(f"unknown discipline {discipline!r}")
@@ -139,18 +193,32 @@ def serve_level(
     if n == 0:
         return dep, np.zeros(0, dtype=np.int64)
     per_arc = isinstance(service, np.ndarray)
-    order = np.lexsort((pids, times, arcs))
+    if not per_arc and service <= 0.0:
+        raise ValueError(f"service time must be > 0, got {service}")
+    if blocks is None:
+        order = np.lexsort((pids, times, arcs))
+    else:
+        order = np.empty(n, dtype=np.int64)
+        for lo, hi in zip(blocks[:-1], blocks[1:]):
+            order[lo:hi] = lo + np.lexsort(
+                (pids[lo:hi], times[lo:hi], arcs[lo:hi])
+            )
     a_s = arcs[order]
     t_s = times[order]
     starts = np.flatnonzero(np.r_[True, a_s[1:] != a_s[:-1]])
     bounds = np.r_[starts, n]
     dep_s = np.empty(n)
-    for i in range(starts.shape[0]):
-        lo, hi = bounds[i], bounds[i + 1]
-        s = float(service[int(a_s[lo])]) if per_arc else float(service)
-        if discipline == "fifo":
-            dep_s[lo:hi] = fifo_departure_times(t_s[lo:hi], s)
-        else:
+    if discipline == "fifo":
+        counts = np.diff(bounds)
+        pos = np.arange(n, dtype=np.int64) - np.repeat(starts, counts)
+        idx = pos.astype(float)
+        s_rows = service[a_s] if per_arc else float(service)
+        run = _segmented_running_max(t_s - s_rows * idx, pos, blocks)
+        dep_s = s_rows * (idx + 1.0) + run
+    else:
+        for i in range(starts.shape[0]):
+            lo, hi = bounds[i], bounds[i + 1]
+            s = float(service[int(a_s[lo])]) if per_arc else float(service)
             dep_s[lo:hi] = ps_departure_times(t_s[lo:hi], work=s)
     dep[order] = dep_s
     return dep, order
@@ -247,6 +315,144 @@ def simulate_butterfly_greedy(
     hops = np.full(n, d, dtype=np.int64)
     arc_log = _merge_logs(logs) if record_arc_log else None
     return FeedForwardResult(cur, hops, arc_log, sample)
+
+
+# ---------------------------------------------------------------------------
+# replication-batched packet mode
+# ---------------------------------------------------------------------------
+#
+# R independent replications of the same spec are R disjoint copies of
+# the network: offsetting every arc id by ``replication * num_arcs``
+# makes the stacked system one big levelled network whose per-arc
+# arrival sequences are exactly the per-replication ones.  The d-level
+# loop then runs once for the whole batch — one lexsort and one
+# segmented Lindley/PS solve per level instead of R — while each
+# replication's delivery sub-array stays bit-identical to its
+# standalone run (pinned by tests/test_golden_dispatch.py).
+
+
+def _stack_samples(
+    samples: Sequence[TrafficSample],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate samples into parallel arrays plus a replication id
+    per packet and the per-replication packet counts."""
+    counts = np.array([s.num_packets for s in samples], dtype=np.int64)
+    times = np.concatenate([np.asarray(s.times, dtype=float) for s in samples])
+    origins = np.concatenate(
+        [np.asarray(s.origins, dtype=np.int64) for s in samples]
+    )
+    dests = np.concatenate(
+        [np.asarray(s.destinations, dtype=np.int64) for s in samples]
+    )
+    rep = np.repeat(np.arange(len(samples), dtype=np.int64), counts)
+    return times, origins, dests, rep, counts
+
+
+def _split_delivery(
+    delivery: np.ndarray, counts: np.ndarray
+) -> List[np.ndarray]:
+    return np.split(delivery, np.cumsum(counts)[:-1])
+
+
+def _rep_blocks(rep_rows: np.ndarray, reps: int) -> np.ndarray:
+    """Block boundaries of the (sorted) per-row replication ids — the
+    ``serve_level`` fast path for replication-major stacked rows."""
+    return np.searchsorted(rep_rows, np.arange(reps + 1))
+
+
+def simulate_hypercube_greedy_batch(
+    cube: Hypercube,
+    samples: Sequence[TrafficSample],
+    *,
+    dim_order: Optional[Sequence[int]] = None,
+    discipline: str = "fifo",
+) -> List[np.ndarray]:
+    """Delivery epochs of R independent samples, one per-level sweep.
+
+    Entry *r* of the result is bit-identical to
+    ``simulate_hypercube_greedy(cube, samples[r], ...).delivery``: the
+    replications share the vectorised level loop but never a server.
+
+    Unlike the single-sample sweep, the batch keeps **no evolving
+    per-packet state**: a packet's position entering level ``dim`` is
+    ``origin XOR (diff & crossed-so-far)`` and its hop index is
+    ``popcount(diff & crossed-so-far)``, both stateless bit algebra —
+    so each level touches only its own rows (gather arrival, serve,
+    scatter departure into the next hop's slot) instead of re-masking
+    R stacked replications' worth of arrays.
+    """
+    d, n_nodes = cube.d, cube.num_nodes
+    if dim_order is None:
+        dim_order = range(d)
+    elif sorted(dim_order) != list(range(d)):
+        raise ConfigurationError(
+            f"dim_order must be a permutation of range({d}), got {dim_order!r}"
+        )
+    times, origins, dests, rep, counts = _stack_samples(samples)
+    arc_offset = rep * np.int64(cube.num_arcs)
+    diff = origins ^ dests
+    hops = np.bitwise_count(diff).astype(np.int64)
+    total = int(hops.sum())
+    delivery = times.copy()  # zero-hop packets are delivered at birth
+    if total == 0:
+        return _split_delivery(delivery, counts)
+    #: pid-major per-hop arrival epochs; slot ``first[p] + k`` is hop k
+    first = np.r_[0, np.cumsum(hops)[:-1]]
+    arrivals = np.empty(total)
+    routed = hops > 0
+    arrivals[first[routed]] = times[routed]
+    crossed = np.int64(0)
+    for dim in dim_order:
+        rows = np.flatnonzero((diff >> dim) & 1)
+        below = crossed
+        crossed |= np.int64(1) << dim
+        if rows.size == 0:
+            continue
+        pdiff = diff[rows]
+        already = pdiff & below
+        k = np.bitwise_count(already).astype(np.int64)
+        slots = first[rows] + k
+        arc_ids = dim * n_nodes + (origins[rows] ^ already) + arc_offset[rows]
+        dep, _ = serve_level(
+            arc_ids,
+            arrivals[slots],
+            rows,
+            discipline,
+            blocks=_rep_blocks(rep[rows], len(samples)),
+        )
+        last = k + 1 == hops[rows]
+        delivery[rows[last]] = dep[last]
+        cont = ~last
+        arrivals[slots[cont] + 1] = dep[cont]
+    return _split_delivery(delivery, counts)
+
+
+def simulate_butterfly_greedy_batch(
+    bf: Butterfly,
+    samples: Sequence[TrafficSample],
+    *,
+    discipline: str = "fifo",
+) -> List[np.ndarray]:
+    """Delivery epochs of R independent samples, one per-level sweep
+    (the butterfly analogue of :func:`simulate_hypercube_greedy_batch`)."""
+    d, rows_per_level = bf.d, bf.rows
+    times, origins, dests, rep, counts = _stack_samples(samples)
+    arc_offset = rep * np.int64(bf.num_arcs)
+    diff = origins ^ dests
+    rows = origins.copy()
+    cur = times.copy()
+    n = times.shape[0]
+    pids = np.arange(n, dtype=np.int64)
+    blocks = np.r_[0, np.cumsum(counts)]
+    for level in range(d):
+        kind = (diff >> level) & 1
+        arc_ids = level * 2 * rows_per_level + 2 * rows + kind + arc_offset
+        dep, _ = serve_level(arc_ids, cur, pids, discipline, blocks=blocks)
+        cur = dep
+        rows = rows ^ (kind << level)
+    if n and np.any(rows != dests):  # pragma: no cover - internal invariant
+        raise SimulationError("packets did not reach their destination rows")
+    return _split_delivery(cur, counts)
 
 
 def _merge_logs(

@@ -34,14 +34,18 @@ rather than returning an unconverged path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.feedforward import serve_level
 
-__all__ = ["FixedPointResult", "simulate_paths_fixed_point"]
+__all__ = [
+    "FixedPointResult",
+    "simulate_paths_fixed_point",
+    "simulate_paths_fixed_point_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -134,3 +138,46 @@ def simulate_paths_fixed_point(
         f"fixed-point simulation did not converge in {max_sweeps} sweeps "
         f"({total} hops); the system is far above saturation"
     )
+
+
+def simulate_paths_fixed_point_batch(
+    num_arcs: int,
+    birth_times: Sequence[np.ndarray],
+    paths: Sequence[Sequence[Sequence[int]]],
+    *,
+    discipline: str = "fifo",
+    service: float = 1.0,
+    max_sweeps: Optional[int] = None,
+) -> List[np.ndarray]:
+    """One fixed-point solve for R independent replications.
+
+    ``birth_times[r]`` / ``paths[r]`` describe replication *r*;
+    offsetting its arc ids by ``r * num_arcs`` turns the batch into one
+    system of R disjoint sub-networks, settled by a **single**
+    vectorised iteration.  A replication's chained rows and dirty arcs
+    never cross the offset boundary, so entry *r* of the result is
+    bit-identical to ``simulate_paths_fixed_point(num_arcs,
+    birth_times[r], paths[r], ...).delivery`` (extra sweeps demanded by
+    a slower-converging sibling re-solve only *dirty* arcs, of which a
+    converged replication has none).
+    """
+    reps = len(birth_times)
+    if len(paths) != reps:
+        raise ConfigurationError("birth_times and paths must be parallel")
+    if reps == 0:
+        return []
+    births = np.concatenate([np.asarray(t, dtype=float) for t in birth_times])
+    stacked: List[List[int]] = []
+    for r, rep_paths in enumerate(paths):
+        base = r * num_arcs
+        stacked.extend([arc + base for arc in path] for path in rep_paths)
+    result = simulate_paths_fixed_point(
+        num_arcs * reps,
+        births,
+        stacked,
+        discipline=discipline,
+        service=service,
+        max_sweeps=max_sweeps,
+    )
+    counts = np.cumsum([len(t) for t in birth_times])[:-1]
+    return np.split(result.delivery, counts)

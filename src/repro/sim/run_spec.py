@@ -9,10 +9,11 @@ Execution is a thin lookup: the spec's scheme resolves to a
 :class:`~repro.plugins.api.SchemePlugin` through the plugin registry
 (:mod:`repro.plugins.registry`), whose ``prepare(spec)`` hook builds
 the ``Runner(gen) -> ReplicationOutput`` closure that does the work.
-Which engine runs — the vectorized feed-forward engine
-(:mod:`repro.sim.feedforward`) or the event calendar
-(:mod:`repro.sim.eventsim`) — is the plugin's decision, driven by its
-declared capabilities and the spec's ``engine`` field.
+Which engine runs — the levelled feed-forward sweep, the fixed-point
+solver or the event calendar — resolves through the **engine plugin
+registry** (:func:`repro.engines.registry.resolve_engine`), driven by
+the spec's ``engine`` field and the capabilities the scheme, network
+and engine plugins declare.
 
 The RNG consumption per scheme deliberately reproduces the historical
 hand-rolled experiment loops, so a spec with ``seed_policy=

@@ -5,7 +5,9 @@ fixed seed, computed from the pre-plugin ``_DISPATCH`` table.  The RNG
 consumption order of every scheme adapter is part of the public
 contract — migrating the dispatch to the plugin registry (or any later
 refactor of the adapters) must reproduce these numbers **exactly**, not
-merely to statistical agreement.
+merely to statistical agreement.  Each cell is additionally asserted
+through the replication-**batched** engine path: a batch of R
+replications must be bit-identical to R sequential runs.
 
 If a change legitimately alters the physics (never the plumbing), the
 values may be regenerated with::
@@ -115,6 +117,30 @@ def test_golden_cell_is_bit_identical(spec):
     assert out.mean_delay == mean  # exact: no tolerance
     assert out.num_packets == packets
     assert out.metrics == metrics
+
+
+@pytest.mark.parametrize("spec", GOLDEN_SPECS, ids=lambda s: s.name)
+def test_golden_cell_batched_is_bit_identical(spec):
+    """Every golden cell whose engine batches must reproduce its pinned
+    value **through the batched path**: a batch of R replications is
+    bit-identical to R sequential runs, replication 0 of which is the
+    golden cell itself."""
+    from repro.rng import replication_seeds
+
+    reps = 3
+    grown = spec.replace(replications=reps)
+    runner = grown.plugin.batch_runner(grown)
+    if runner is None:
+        pytest.skip("cell's scheme/engine does not declare batching")
+    seeds = replication_seeds(grown.base_seed, reps, grown.seed_policy)
+    batched = runner(seeds)
+    assert len(batched) == reps
+    mean, packets, metrics = GOLDEN[spec.name]
+    assert batched[0].mean_delay == mean  # exact: no tolerance
+    assert batched[0].num_packets == packets
+    assert batched[0].metrics == metrics
+    sequential = [run_spec(grown, seed) for seed in seeds]
+    assert batched == sequential
 
 
 def test_every_scheme_has_a_golden_cell():

@@ -251,6 +251,35 @@ class TestEngine:
         unbounded = get_scenario("hypercube-deflection")
         assert theory_bounds(unbounded) == (-np.inf, np.inf)
 
+    def test_metric_pooling_averages_over_reporting_replications(self):
+        """A side metric is the mean over the replications that carried
+        it — a replication that reported no value for a key (e.g. a
+        quantity undefined on its sample) must not drag the average
+        toward zero."""
+        from repro.runner.engine import _pool_measurement
+        from repro.sim.run_spec import ReplicationOutput
+
+        outputs = [
+            ReplicationOutput(1.0, 10, (("hops", 4.0), ("rare", 8.0))),
+            ReplicationOutput(2.0, 10, (("hops", 6.0),)),
+            ReplicationOutput(3.0, 10, ()),
+        ]
+        m = _pool_measurement(SMOKE, outputs)
+        assert dict(m.metrics) == {"hops": 5.0, "rare": 8.0}
+
+    def test_metric_pooling_homogeneous_unchanged(self):
+        """When every replication reports every key (the common case),
+        pooling is the plain mean across all replications."""
+        from repro.runner.engine import _pool_measurement
+        from repro.sim.run_spec import ReplicationOutput
+
+        outputs = [
+            ReplicationOutput(1.0, 5, (("hops", 2.0),)),
+            ReplicationOutput(2.0, 5, (("hops", 4.0),)),
+        ]
+        m = _pool_measurement(SMOKE, outputs)
+        assert dict(m.metrics) == {"hops": 3.0}
+
 
 class TestResultsStore:
     def test_cache_roundtrip(self, tmp_path):
@@ -315,7 +344,9 @@ class TestResultsStore:
 
         monkeypatch.setattr(engine_mod, "_run_task", counting)
         grown = measure(small.replace(replications=5), store=store)
-        assert len(executed) == 3  # replications 2, 3, 4 only
+        # replications 2, 3, 4 only (a task may carry several seeds —
+        # the batched route stacks them into one computation)
+        assert sum(len(t[1]) for t in executed) == 3
         # the first two pooled estimates are the cached ones, bit for bit
         assert grown.replication_delays[:2] == first.replication_delays
         # and the pooled result equals a from-scratch computation
