@@ -13,9 +13,12 @@ Subcommands:
   scheme x network capability matrix;
 * ``engines``         — the engine plugins: kind, disciplines, batching,
   options, and the scheme x engine capability matrix;
+* ``traffics``        — the traffic plugins: aliases, options, closed-form
+  theory, and the scheme x traffic capability matrix;
 * ``describe``        — one scenario in full: spec fields + plugin capabilities;
 * ``run``             — execute a registered scenario: parallel replications,
-  pooled confidence interval, content-hash results cache.
+  pooled confidence interval, content-hash results cache;
+* ``cache``           — inspect or clear the content-hash results store.
 
 Examples::
 
@@ -23,12 +26,15 @@ Examples::
     python -m repro bounds --network ring --d 5 --rho 0.7
     python -m repro simulate --network butterfly --d 5 --rho 0.7 --p 0.3
     python -m repro sweep --d 5 --points 6 --jobs 4
+    python -m repro sweep --network ring --traffic hotspot --d 4 --points 4
     python -m repro list-scenarios
     python -m repro schemes
     python -m repro networks
     python -m repro engines
+    python -m repro traffics
     python -m repro describe butterfly-greedy-event
     python -m repro run hypercube-greedy-mid --replications 8 --jobs 4
+    python -m repro cache info
 """
 
 from __future__ import annotations
@@ -55,6 +61,7 @@ def _cmd_bounds(args: argparse.Namespace) -> int:
     spec = ScenarioSpec(
         name=f"bounds-{args.network}",
         network=args.network,
+        traffic=args.traffic,
         d=args.d,
         rho=args.rho,
         p=args.p,
@@ -75,6 +82,7 @@ def _legacy_spec(args: argparse.Namespace, rho: float, seed: int) -> ScenarioSpe
     return ScenarioSpec(
         name=f"cli-{args.network}",
         network=args.network,
+        traffic=args.traffic,
         d=args.d,
         rho=rho,
         p=args.p,
@@ -143,13 +151,13 @@ def _cmd_list_scenarios(args: argparse.Namespace) -> int:
             f"lam={s.lam}" if s.lam is not None else "-"
         )
         rows.append(
-            (s.name, s.network, s.scheme, s.discipline, s.d, point, s.p,
-             s.replications, s.description)
+            (s.name, s.network, s.scheme, s.traffic, s.discipline, s.d,
+             point, s.p, s.replications, s.description)
         )
     print(
         format_table(
-            ["name", "network", "scheme", "disc", "d", "load", "p", "reps",
-             "description"],
+            ["name", "network", "scheme", "traffic", "disc", "d", "load",
+             "p", "reps", "description"],
             rows,
             title="registered scenarios (run one with: python -m repro run <name>)",
         )
@@ -251,12 +259,64 @@ def _cmd_engines(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_traffics(args: argparse.Namespace) -> int:
+    from repro.plugins import schemes_for_traffic
+    from repro.traffic import iter_traffics
+
+    rows = []
+    for plugin in iter_traffics():
+        rows.append(
+            (
+                plugin.name,
+                " ".join(plugin.aliases) or "-",
+                " ".join(schemes_for_traffic(plugin.name)) or "-",
+                " ".join(plugin.option_names()) or "-",
+                "eq. (1)" if plugin.paper_law else "-",
+                "d-bit" if plugin.needs_address_bits else "any",
+                plugin.summary,
+            )
+        )
+    print(
+        format_table(
+            ["traffic", "aliases", "schemes", "options", "theory",
+             "networks", "summary"],
+            rows,
+            title="registered traffic plugins "
+            "(extend via the repro.traffic_plugins entry-point group)",
+        )
+    )
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = ResultsStore(args.cache_dir)
+    if args.action == "clear":
+        removed = store.clear()
+        print(
+            f"cleared {removed.pooled} pooled and {removed.replications} "
+            f"per-replication cells ({removed.total_bytes} bytes) from "
+            f"{store.root}"
+        )
+        return 0
+    stats = store.stats()
+    rows = [
+        ("root", str(store.root)),
+        ("exists", store.root.is_dir()),
+        ("pooled cells", stats.pooled),
+        ("per-replication cells", stats.replications),
+        ("total bytes", stats.total_bytes),
+    ]
+    print(format_table(["quantity", "value"], rows, title="results store"))
+    return 0
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
     from repro.engines import resolve_engine
 
     spec = get_scenario(args.scenario)
     plugin = spec.plugin
     net = spec.network_plugin
+    tp = spec.traffic_plugin
     engine = resolve_engine(spec)
     caps = plugin.capabilities
     point = (
@@ -269,6 +329,8 @@ def _cmd_describe(args: argparse.Namespace) -> int:
         ("network / scheme", f"{spec.network} / {spec.scheme} ({spec.discipline})"),
         ("plugin", f"{type(plugin).__name__}: {plugin.summary}"),
         ("network plugin", f"{type(net).__name__}: {net.summary}"),
+        ("traffic", spec.traffic),
+        ("traffic plugin", f"{type(tp).__name__}: {tp.summary}"),
         ("operating point", f"d={spec.d}, p={spec.p}, {point}"),
         ("engine", spec.engine),
         (
@@ -288,6 +350,7 @@ def _cmd_describe(args: argparse.Namespace) -> int:
         ("content hash", spec.content_hash()),
         ("scheme networks", " ".join(caps.networks)),
         ("scheme engines", " ".join(caps.engines) or "(auto only)"),
+        ("scheme traffics", " ".join(caps.traffics)),
         ("scheme disciplines", " ".join(caps.disciplines)),
         ("scheme metrics", " ".join(caps.metrics) or "-"),
     ]
@@ -307,6 +370,7 @@ def _cmd_describe(args: argparse.Namespace) -> int:
     _option_rows("option", caps.options)
     if caps.network_options:
         _option_rows("network option", net.options)
+    _option_rows("traffic option", tp.options)
     if engine is not None:
         _option_rows("engine option", engine.capabilities.options)
     print(format_table(["field", "value"], rows,
@@ -337,6 +401,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         m = measure(spec, jobs=args.jobs, store=store, refresh=args.refresh)
     rows = [
         ("network / scheme", f"{m.network} / {m.scheme} ({m.discipline})"),
+        ("traffic", m.traffic),
         ("d, rho, p", f"{m.d}, {m.rho:.4g}, {m.p}"),
         ("per-node rate lam", m.lam),
         ("replications", m.num_replications),
@@ -381,11 +446,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     from repro.networks import all_network_names
+    from repro.traffic import all_traffic_names
 
     def _common(sp: argparse.ArgumentParser) -> None:
         sp.add_argument("--network", choices=list(all_network_names()),
                         default="hypercube",
                         help="a registered network plugin (or alias)")
+        sp.add_argument("--traffic", choices=list(all_traffic_names()),
+                        default="uniform",
+                        help="a registered traffic plugin (or alias)")
         sp.add_argument("--d", type=int, default=6, help="dimension")
         sp.add_argument("--rho", type=float, default=0.8, help="load factor")
         sp.add_argument("--p", type=float, default=0.5,
@@ -429,6 +498,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="the engine plugins: kind, disciplines, batching, scheme matrix",
     )
     sp.set_defaults(func=_cmd_engines)
+
+    sp = sub.add_parser(
+        "traffics",
+        help="the traffic plugins: aliases, options, theory, scheme matrix",
+    )
+    sp.set_defaults(func=_cmd_traffics)
+
+    sp = sub.add_parser(
+        "cache",
+        help="inspect or clear the content-hash results store",
+    )
+    sp.add_argument("action", choices=("info", "clear"),
+                    help="info = cell counts and size; clear = delete "
+                    "the store's cells (foreign files are left alone)")
+    sp.add_argument("--cache-dir", default=None,
+                    help="results store root (default: $REPRO_CACHE_DIR or .repro-cache)")
+    sp.set_defaults(func=_cmd_cache)
 
     sp = sub.add_parser(
         "describe",

@@ -183,18 +183,19 @@ class EnginePlugin:
 
         This template owns the RNG-consumption half of that contract
         (one workload draw per seed, each from its own stream — exactly
-        the sequential runner's order) and the shared epilogue; a
-        batching engine implements only :meth:`batch_deliveries`.
+        the sequential runner's order, generated through the network's
+        :meth:`~repro.networks.api.NetworkPlugin.build_workload_batch`
+        so the traffic plugin can amortise across the batch) and the
+        shared epilogue; a batching engine implements only
+        :meth:`batch_deliveries`.
         """
         from repro.rng import as_generator
 
         net = spec.network_plugin
         topology = net.build_topology(spec)
-        workload = net.build_workload(spec)
-        samples = [
-            workload.generate(spec.horizon, as_generator(seed))
-            for seed in seeds
-        ]
+        samples = net.build_workload_batch(
+            spec, spec.horizon, [as_generator(seed) for seed in seeds]
+        )
         deliveries = self.batch_deliveries(spec, topology, samples)
         return [
             batch_output(spec, sample, delivery)

@@ -12,8 +12,13 @@ rest of the stack used to hard-code per network:
 * :meth:`~NetworkPlugin.lam_for_load` / :meth:`~NetworkPlugin.load_factor`
   — the load-factor ↔ arrival-rate law (``ScenarioSpec.resolved_lam``
   / ``resolved_rho`` delegate here);
-* :meth:`~NetworkPlugin.build_workload` — the network's dynamic greedy
-  arrival process;
+* :meth:`~NetworkPlugin.num_sources` / :meth:`~NetworkPlugin.address_bits`
+  — the node space the **traffic axis** drives: how many sources the
+  network exposes and whether its addresses carry the d-bit XOR
+  algebra; :meth:`~NetworkPlugin.build_workload` delegates to the
+  spec's resolved :class:`~repro.traffic.api.TrafficPlugin`, so the
+  arrival process and destination law are a fourth plugin axis rather
+  than per-network code;
 * :meth:`~NetworkPlugin.greedy_paths` — per-packet arc paths, the
   event-engine cross-validation hook;
 * :meth:`~NetworkPlugin.simulate_greedy` — the network's native
@@ -35,7 +40,7 @@ without cycles; concrete plugins import their machinery lazily.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, List, Optional, Sequence, Tuple
 
 from repro.plugins.api import OptionSpec
 
@@ -103,13 +108,61 @@ class NetworkPlugin:
         """Load factor (bottleneck arc utilisation) at rate ``spec.lam``."""
         raise NotImplementedError  # pragma: no cover - protocol
 
+    # -- the traffic interface -----------------------------------------------
+
+    def num_sources(self, spec: "ScenarioSpec") -> int:
+        """How many packet sources the network exposes (the node count
+        traffic laws draw origins and node-addressed destinations
+        from).  Default: the topology's node count; networks whose
+        sources are a strict subset (the butterfly's level-0 rows)
+        override."""
+        return self.build_topology(spec).num_nodes
+
+    def address_bits(self, spec: "ScenarioSpec") -> Optional[int]:
+        """The network's bit-address width, when its node space is the
+        d-bit XOR algebra traffic masks act on (hypercube rows,
+        butterfly rows); ``None`` for node-addressed networks (ring,
+        torus), which makes the bit-mask traffic family (bitrev,
+        transpose, bitcomp) inadmissible and the uniform background
+        degrade to the uniform node law."""
+        return None
+
     # -- greedy routing ------------------------------------------------------
 
     def build_workload(self, spec: "ScenarioSpec") -> Any:
         """The dynamic greedy arrival process: an object whose
         ``generate(horizon, gen)`` returns a
-        :class:`~repro.traffic.workload.TrafficSample`."""
-        raise NotImplementedError  # pragma: no cover - protocol
+        :class:`~repro.traffic.workload.TrafficSample`.
+
+        Default: delegate to the spec's resolved
+        :class:`~repro.traffic.api.TrafficPlugin` — the traffic axis
+        owns who sends, when, and to whom, parameterised by this
+        network's :meth:`num_sources` / :meth:`address_bits`.  Custom
+        networks with a bespoke arrival process may still override.
+        """
+        return spec.traffic_plugin.build_workload(spec, self)
+
+    def build_workload_batch(
+        self,
+        spec: "ScenarioSpec",
+        horizon: float,
+        gens: Sequence["np.random.Generator"],
+    ) -> List["TrafficSample"]:
+        """R realised workloads, entry *r* **bit-identical** to
+        ``build_workload(spec).generate(horizon, gens[r])`` (the
+        replication-batched engine path's generation hook).
+
+        Routes through the traffic plugin's
+        :meth:`~repro.traffic.api.TrafficPlugin.sample_workload_batch`
+        — unless the network overrides :meth:`build_workload`, in which
+        case that override stays authoritative for the batch too.
+        """
+        if type(self).build_workload is not NetworkPlugin.build_workload:
+            workload = self.build_workload(spec)
+            return [workload.generate(horizon, gen) for gen in gens]
+        return spec.traffic_plugin.sample_workload_batch(
+            spec, self, horizon, gens
+        )
 
     def greedy_paths(
         self,
@@ -194,7 +247,13 @@ class NetworkPlugin:
     def bound_report(self, spec: "ScenarioSpec") -> List[Tuple[str, Any]]:
         """Rows for the ``repro bounds`` CLI.  The bracket rows must be
         derived from :meth:`greedy_theory_bounds` so the CLI and the
-        engine can never disagree."""
+        engine can never disagree — including the traffic gate: off the
+        paper's law (:func:`no_paper_law_report`) the CLI reports "no
+        known constraint", exactly like the runner's ``theory_bounds``.
+        """
+        off_law = no_paper_law_report(spec)
+        if off_law is not None:
+            return off_law
         rows: List[Tuple[str, Any]] = [
             ("per-node rate lam", spec.resolved_lam),
             ("load factor rho", spec.resolved_rho),
@@ -210,6 +269,25 @@ class NetworkPlugin:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<NetworkPlugin {self.name!r}>"
+
+
+def no_paper_law_report(spec: "ScenarioSpec") -> Optional[List[Tuple[str, Any]]]:
+    """The ``repro bounds`` rows for a spec whose traffic plugin does
+    not declare ``paper_law`` — or ``None`` when the closed forms
+    apply.  Shared by every network's :meth:`NetworkPlugin.bound_report`
+    so the CLI can never print the eq. (1) stability verdict or delay
+    bracket for a law the runner's ``theory_bounds`` refuses."""
+    if spec.traffic_plugin.paper_law:
+        return None
+    return [
+        ("per-node rate lam", spec.resolved_lam),
+        ("traffic", spec.traffic),
+        (
+            "closed-form theory",
+            "none: the paper's load law and delay brackets assume the "
+            "eq. (1) uniform/Bernoulli traffic",
+        ),
+    ]
 
 
 def uniform_ring_mean_hops(n: int, variant: str = "absolute") -> float:
@@ -249,6 +327,7 @@ def uniform_ring_hop_pmf(n: int, variant: str = "absolute") -> "np.ndarray":
 
 
 __all__ += [
+    "no_paper_law_report",
     "uniform_ring_mean_hops",
     "uniform_ring_bottleneck_hops",
     "uniform_ring_hop_pmf",

@@ -46,17 +46,22 @@ class ButterflyNetwork(NetworkPlugin):
     def load_factor(self, spec: "ScenarioSpec") -> float:
         return spec.lam * max(spec.p, 1.0 - spec.p)
 
+    # -- the traffic interface -----------------------------------------------
+
+    def num_sources(self, spec: "ScenarioSpec") -> int:
+        """Packets are born at the ``2**d`` level-0 inputs; origins and
+        destinations are *row* addresses."""
+        return 1 << spec.d
+
+    def address_bits(self, spec: "ScenarioSpec") -> int:
+        """Rows are d-bit addresses — the full bit-mask traffic family
+        (Bernoulli flips, bit reversal, transpose, complement) applies."""
+        return spec.d
+
     # -- greedy routing ------------------------------------------------------
 
-    def build_workload(self, spec: "ScenarioSpec"):
-        from repro.traffic.destinations import BernoulliFlipLaw
-        from repro.traffic.workload import ButterflyWorkload
-
-        return ButterflyWorkload(
-            self.build_topology(spec),
-            spec.resolved_lam,
-            BernoulliFlipLaw(spec.d, spec.p),
-        )
+    # build_workload: the NetworkPlugin default — the traffic axis
+    # drives the §4.2 row workload through num_sources / address_bits
 
     def greedy_paths(
         self, topology: "Butterfly", spec: "ScenarioSpec", sample: "TrafficSample"
@@ -110,6 +115,11 @@ class ButterflyNetwork(NetworkPlugin):
         return pmf
 
     def bound_report(self, spec: "ScenarioSpec") -> List[Tuple[str, Any]]:
+        from repro.networks.api import no_paper_law_report
+
+        off_law = no_paper_law_report(spec)
+        if off_law is not None:
+            return off_law
         rho = spec.resolved_rho
         rows: List[Tuple[str, Any]] = [
             ("per-input rate lam", spec.resolved_lam),

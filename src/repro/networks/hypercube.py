@@ -2,17 +2,18 @@
 
 Everything network-specific the stack used to hard-code behind
 ``if network == "hypercube"`` lives here: the §2.1 load law
-``rho = lam * p``, the Props 2/3/12/13 theory, the eq. (1) workload
-(with the ``law`` option switching to bit-reversal permutation
-traffic), the canonical dimension-order paths, and the vectorised
-feed-forward engine as the native greedy simulator.
+``rho = lam * p``, the Props 2/3/12/13 theory, the canonical
+dimension-order paths, and the vectorised feed-forward engine as the
+native greedy simulator.  The workload itself comes from the **traffic
+axis** (:mod:`repro.traffic`): this plugin only declares that its
+``2**d`` sources live in a ``d``-bit XOR address space, and the spec's
+traffic plugin does the rest.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, List, Tuple
 
-from repro.errors import ConfigurationError
 from repro.networks.api import NetworkPlugin
 from repro.networks.registry import register_network
 from repro.plugins.api import OptionSpec
@@ -34,14 +35,6 @@ class HypercubeNetwork(NetworkPlugin):
     summary = "the d-dimensional binary hypercube (paper §1-3, 2**d nodes)"
     options = (
         OptionSpec(
-            "law",
-            kind="str",
-            default="bernoulli",
-            choices=("bernoulli", "bitrev"),
-            description="destination law: eq. (1) Bernoulli flips or "
-            "bit-reversal permutation traffic",
-        ),
-        OptionSpec(
             "dim_order",
             kind="int_tuple",
             description="global dimension crossing order "
@@ -56,6 +49,14 @@ class HypercubeNetwork(NetworkPlugin):
 
         return Hypercube(spec.d)
 
+    # -- the traffic interface -----------------------------------------------
+
+    def num_sources(self, spec: "ScenarioSpec") -> int:
+        return 1 << spec.d
+
+    def address_bits(self, spec: "ScenarioSpec") -> int:
+        return spec.d
+
     # -- the §2.1 load law ---------------------------------------------------
 
     def lam_for_load(self, spec: "ScenarioSpec") -> float:
@@ -68,27 +69,9 @@ class HypercubeNetwork(NetworkPlugin):
 
     # -- greedy routing ------------------------------------------------------
 
-    def destination_law(self, spec: "ScenarioSpec"):
-        """The law object selected by the ``law`` option."""
-        from repro.traffic.destinations import (
-            BernoulliFlipLaw,
-            PermutationTraffic,
-            bit_reversal_permutation,
-        )
-
-        law = spec.option("law", "bernoulli")
-        if law == "bernoulli":
-            return BernoulliFlipLaw(spec.d, spec.p)
-        if law == "bitrev":
-            return PermutationTraffic(spec.d, bit_reversal_permutation(spec.d))
-        raise ConfigurationError(f"unknown destination law {law!r}")
-
-    def build_workload(self, spec: "ScenarioSpec"):
-        from repro.traffic.workload import HypercubeWorkload
-
-        return HypercubeWorkload(
-            self.build_topology(spec), spec.resolved_lam, self.destination_law(spec)
-        )
+    # build_workload: the NetworkPlugin default — the spec's traffic
+    # plugin drives the eq. (1) workload (and every other law) through
+    # num_sources / address_bits above
 
     def greedy_paths(
         self, topology: "Hypercube", spec: "ScenarioSpec", sample: "TrafficSample"
@@ -150,7 +133,11 @@ class HypercubeNetwork(NetworkPlugin):
 
     def bound_report(self, spec: "ScenarioSpec") -> List[Tuple[str, Any]]:
         from repro.core import bounds as B
+        from repro.networks.api import no_paper_law_report
 
+        off_law = no_paper_law_report(spec)
+        if off_law is not None:
+            return off_law
         d, rho, p = spec.d, spec.resolved_rho, spec.p
         lam = spec.resolved_lam
         rows: List[Tuple[str, Any]] = [

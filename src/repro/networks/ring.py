@@ -90,14 +90,19 @@ class RingNetwork(NetworkPlugin):
             self._n(spec), self._variant(spec)
         )
 
+    # -- the traffic interface -----------------------------------------------
+
+    def num_sources(self, spec: "ScenarioSpec") -> int:
+        return self._n(spec)
+
+    # address_bits: the NetworkPlugin default (None) — ring addresses
+    # are cyclic node ids, not an XOR algebra, so the bit-mask traffic
+    # family is inadmissible and uniform traffic degrades to the
+    # uniform node law
+
     # -- greedy routing ------------------------------------------------------
 
-    def build_workload(self, spec: "ScenarioSpec"):
-        from repro.traffic.destinations import UniformNodeLaw
-        from repro.traffic.workload import NodePoissonWorkload
-
-        n = self._n(spec)
-        return NodePoissonWorkload(n, spec.resolved_lam, UniformNodeLaw(n))
+    # build_workload: the NetworkPlugin default — the traffic axis
 
     def greedy_paths(
         self, topology: "Ring", spec: "ScenarioSpec", sample: "TrafficSample"

@@ -86,14 +86,17 @@ class TorusNetwork(NetworkPlugin):
     def load_factor(self, spec: "ScenarioSpec") -> float:
         return spec.lam * uniform_ring_bottleneck_hops(self._side(spec))
 
+    # -- the traffic interface -----------------------------------------------
+
+    def num_sources(self, spec: "ScenarioSpec") -> int:
+        return self._side(spec) ** spec.d
+
+    # address_bits: the NetworkPlugin default (None) — torus addresses
+    # are mixed-radix coordinates, not an XOR algebra
+
     # -- greedy routing ------------------------------------------------------
 
-    def build_workload(self, spec: "ScenarioSpec"):
-        from repro.traffic.destinations import UniformNodeLaw
-        from repro.traffic.workload import NodePoissonWorkload
-
-        n = self._side(spec) ** spec.d
-        return NodePoissonWorkload(n, spec.resolved_lam, UniformNodeLaw(n))
+    # build_workload: the NetworkPlugin default — the traffic axis
 
     def greedy_paths(
         self, topology: "Torus", spec: "ScenarioSpec", sample: "TrafficSample"

@@ -49,6 +49,7 @@ from repro.plugins.registry import (
     iter_plugins,
     register_scheme,
     schemes_for_network,
+    schemes_for_traffic,
     unregister_scheme,
 )
 
@@ -63,5 +64,6 @@ __all__ = [
     "iter_plugins",
     "register_scheme",
     "schemes_for_network",
+    "schemes_for_traffic",
     "unregister_scheme",
 ]

@@ -40,7 +40,6 @@ __all__ = [
     "Runner",
     "SchemePlugin",
     "steady_output",
-    "resolve_hypercube_law",
 ]
 
 #: the standardized run contract: one replication from one RNG stream.
@@ -110,10 +109,20 @@ class Capabilities:
     scheme's native engine) is always admissible.  Schemes that own
     their whole simulation loop (deflection, the pipelined batch
     baseline, the static tasks) declare no forceable engine at all.
+
+    ``traffics`` lists the traffic laws the scheme can run under —
+    canonical :class:`~repro.traffic.api.TrafficPlugin` names or the
+    wildcard ``"*"`` for a scheme implemented purely against the
+    workload sample (greedy, two-phase), which therefore runs under
+    every registered law.  The default is the paper's assumption
+    alone: a scheme that hard-codes its own arrival/destination
+    machinery (slotted, deflection, the static tasks) only admits
+    ``traffic="uniform"`` until it is taught otherwise.
     """
 
     networks: Tuple[str, ...]
     engines: Tuple[str, ...] = ()
+    traffics: Tuple[str, ...] = ("uniform",)
     disciplines: Tuple[str, ...] = ("fifo",)
     options: Tuple[OptionSpec, ...] = ()
     metrics: Tuple[str, ...] = ()
@@ -169,8 +178,15 @@ class SchemePlugin:
                 f"(schemes available on {spec.network!r}: {peers})"
             )
         from repro.engines.registry import check_forced_engine, resolve_engine
+        from repro.traffic.registry import declared_traffic_names
 
         check_forced_engine(self, spec)
+        declared_traffics = declared_traffic_names(caps.traffics)
+        if "*" not in declared_traffics and spec.traffic not in declared_traffics:
+            raise ConfigurationError(
+                f"scheme {self.name!r} does not run under traffic "
+                f"{spec.traffic!r}; it supports: {', '.join(caps.traffics)}"
+            )
         if spec.discipline not in caps.disciplines:
             raise ConfigurationError(
                 f"scheme {self.name!r} does not support discipline "
@@ -178,17 +194,21 @@ class SchemePlugin:
                 f"{', '.join(caps.disciplines)}"
             )
         net = spec.network_plugin
+        tp = spec.traffic_plugin
         # engine-scoped options only reach schemes that participate in
         # the engine axis (declare at least one forceable engine)
         engine = resolve_engine(spec) if caps.engines else None
         for key, value in spec.extra:
             # the scheme's schema wins on a name collision with the
-            # network's, which wins on one with the engine's; network
-            # options only apply to schemes that declare they consume
-            # them (capabilities.network_options)
+            # network's, which wins on the traffic plugin's, which wins
+            # on the engine's; network options only apply to schemes
+            # that declare they consume them
+            # (capabilities.network_options)
             opt = caps.option_spec(key)
             if opt is None and caps.network_options:
                 opt = net.option_spec(key)
+            if opt is None:
+                opt = tp.option_spec(key)
             if opt is None and engine is not None:
                 opt = engine.option_spec(key)
             if opt is None:
@@ -202,6 +222,8 @@ class SchemePlugin:
                     msg += (
                         f"; options of network {spec.network!r}: {net_declared}"
                     )
+                tp_declared = ", ".join(tp.option_names()) or "(none)"
+                msg += f"; options of traffic {spec.traffic!r}: {tp_declared}"
                 if engine is not None:
                     eng_declared = ", ".join(engine.option_names()) or "(none)"
                     msg += (
@@ -278,12 +300,3 @@ def steady_output(
 
     mean = record.mean_delay(spec.warmup_fraction, spec.cooldown_fraction)
     return ReplicationOutput(mean, record.num_packets, metrics, record)
-
-
-def resolve_hypercube_law(spec: "ScenarioSpec"):
-    """The destination law object selected by the ``law`` option
-    (delegates to the hypercube network plugin, the single owner of
-    that schema)."""
-    from repro.networks.registry import get_network
-
-    return get_network("hypercube").destination_law(spec)

@@ -51,6 +51,9 @@ class GreedyPlugin(SchemePlugin):
         # third-party plugins included
         networks=("*",),
         engines=("vectorized", "feedforward", "fixedpoint", "event"),
+        # implemented purely against the workload sample, so any
+        # registered traffic law — third-party included — can drive it
+        traffics=("*",),
         disciplines=("fifo", "ps"),
         network_options=True,
     )
@@ -80,12 +83,13 @@ class GreedyPlugin(SchemePlugin):
     def theory_bounds(self, spec: "ScenarioSpec") -> Tuple[float, float]:
         """The network's closed-form greedy bracket (Props 12/13 on the
         hypercube, 14/17 on the butterfly, the zero-contention lower
-        bound elsewhere); ``(-inf, inf)`` off the Bernoulli law or at
-        unstable operating points."""
+        bound elsewhere); ``(-inf, inf)`` off the paper's traffic law
+        (the traffic plugin's ``paper_law`` declaration) or at unstable
+        operating points."""
         import math
 
         no_bracket = (-math.inf, math.inf)
-        if spec.option("law", "bernoulli") != "bernoulli":
+        if not spec.traffic_plugin.paper_law:
             return no_bracket
         try:
             return spec.network_plugin.greedy_theory_bounds(spec)

@@ -37,6 +37,7 @@ __all__ = [
     "available_schemes",
     "available_networks",
     "schemes_for_network",
+    "schemes_for_traffic",
     "ENTRY_POINT_GROUP",
 ]
 
@@ -188,5 +189,25 @@ def schemes_for_network(network: str) -> Tuple[str, ...]:
             for name, p in _PLUGINS.items()
             if canon in p.capabilities.networks
             or "*" in p.capabilities.networks
+        )
+    )
+
+
+def schemes_for_traffic(traffic: str) -> Tuple[str, ...]:
+    """Sorted names of the schemes that can run under *traffic*
+    (canonical name or alias)."""
+    from repro.traffic.registry import canonical_traffic_name, declared_traffic_names
+
+    _ensure_loaded()
+    try:
+        canon = canonical_traffic_name(traffic)
+    except ConfigurationError:
+        return ()  # unknown traffic: no scheme supports it
+    return tuple(
+        sorted(
+            name
+            for name, p in _PLUGINS.items()
+            if canon in declared_traffic_names(p.capabilities.traffics)
+            or "*" in p.capabilities.traffics
         )
     )

@@ -43,14 +43,16 @@ class SlottedPlugin(SchemePlugin):
         return "feedforward"
 
     def theory_bounds(self, spec: "ScenarioSpec"):
-        """The §3.4 upper bound next to the Prop 13 lower bound."""
+        """The §3.4 upper bound next to the Prop 13 lower bound.
+
+        The scheme only admits ``traffic="uniform"`` (its capability
+        declaration), so the eq. (1) closed forms always apply here.
+        """
         import math
 
         from repro.core import bounds as B
         from repro.errors import UnstableSystemError
 
-        if spec.option("law", "bernoulli") != "bernoulli":
-            return (-math.inf, math.inf)
         lam, p, d = spec.resolved_lam, spec.p, spec.d
         tau = float(spec.option("tau", 0.5))
         try:

@@ -157,6 +157,7 @@ def _pool_measurement(
         lower_bound=lower,
         upper_bound=upper,
         scheme=spec.scheme,
+        traffic=spec.traffic,
         discipline=spec.discipline,
         scenario=spec.name,
         replication_delays=tuple(float(x) for x in rep_means),

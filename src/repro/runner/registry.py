@@ -2,13 +2,14 @@
 
 Every workload the repository measures is a named, frozen
 :class:`~repro.runner.spec.ScenarioSpec`.  The built-in catalog below
-covers every scheme *and every network* in the library — greedy
-routing on all four topologies (hypercube, butterfly, ring, torus;
-FIFO and PS, native and event engines), the slotted variant, two-phase
-Valiant mixing, the §2.3 pipelined-batch baseline, hot-potato
-deflection, per-packet random order, and the static one-shot
-permutation tasks — so ``python -m repro list-scenarios`` doubles as a
-map of the reproduction.
+covers every scheme, every network *and every traffic law* in the
+library — greedy routing on all four topologies (hypercube, butterfly,
+ring, torus; FIFO and PS, native and event engines), the permutation
+family (bit reversal, transpose, bit complement), hot-spot and bursty
+workloads, the slotted variant, two-phase Valiant mixing, the §2.3
+pipelined-batch baseline, hot-potato deflection, per-packet random
+order, and the static one-shot permutation tasks — so ``python -m
+repro list-scenarios`` doubles as a map of the reproduction.
 
 Benchmarks and examples derive their grids from these entries via
 :meth:`ScenarioSpec.replace`, keeping every protocol decision (warm-up
@@ -115,8 +116,52 @@ _BUILTINS = [
         name="hypercube-greedy-bitrev",
         d=6,
         lam=0.4,
-        extra={"law": "bitrev"},
+        traffic="bitrev",
         description="direct greedy under bit-reversal traffic — saturated arcs (§5)",
+    ),
+    ScenarioSpec(
+        name="hypercube-greedy-transpose",
+        d=6,
+        lam=0.3,
+        horizon=250.0,
+        traffic="transpose",
+        description="direct greedy under matrix-transpose traffic (the "
+        "other classic hard permutation)",
+    ),
+    ScenarioSpec(
+        name="hypercube-greedy-bitcomp",
+        d=6,
+        lam=0.5,
+        traffic="bitcomp",
+        description="bit-complement traffic: every packet crosses all d "
+        "dimensions (constant all-ones mask)",
+    ),
+    ScenarioSpec(
+        name="hypercube-greedy-hotspot",
+        d=6,
+        lam=0.3,
+        traffic="hotspot",
+        extra={"beta": 0.15},
+        description="hot-spot traffic: 15% of packets target node 0 — "
+        "its incoming arcs saturate first",
+    ),
+    ScenarioSpec(
+        name="hypercube-greedy-bursty",
+        d=5,
+        rho=0.6,
+        traffic="bursty",
+        extra={"burst": 4.0},
+        description="compound-Poisson batch arrivals at unchanged mean "
+        "rate: delay driven by variance, not rho",
+    ),
+    ScenarioSpec(
+        name="hypercube-greedy-bursty-onoff",
+        d=5,
+        rho=0.5,
+        traffic="bursty",
+        extra={"mode": "onoff", "duty": 0.3},
+        description="on-off modulated Poisson arrivals (30% duty cycle "
+        "at triple the ON rate)",
     ),
     ScenarioSpec(
         name="hypercube-slotted",
@@ -147,8 +192,30 @@ _BUILTINS = [
         d=6,
         lam=0.4,
         horizon=200.0,
-        extra={"law": "bitrev"},
+        traffic="bitrev",
         description="two-phase mixing neutralises bit-reversal traffic (§5 / E18)",
+    ),
+    ScenarioSpec(
+        name="hypercube-twophase-hotspot",
+        scheme="twophase",
+        d=5,
+        lam=0.4,
+        horizon=200.0,
+        traffic="hotspot",
+        extra={"beta": 0.2},
+        description="mixing spreads a 20% hot spot over both phases "
+        "(stability no longer law-dependent)",
+    ),
+    ScenarioSpec(
+        name="hypercube-twophase-bursty",
+        scheme="twophase",
+        d=5,
+        lam=0.4,
+        horizon=200.0,
+        traffic="bursty",
+        extra={"burst": 3.0},
+        description="two-phase mixing under compound-Poisson batch "
+        "arrivals: bursts survive mixing, hot arcs do not",
     ),
     ScenarioSpec(
         name="hypercube-pipelined-batch",
@@ -196,6 +263,27 @@ _BUILTINS = [
         d=3,
         rho=0.6,
         description="butterfly with PS servers on the event engine (§4.3 R-tilde)",
+    ),
+    ScenarioSpec(
+        name="butterfly-greedy-transpose",
+        network="butterfly",
+        d=4,
+        lam=0.4,
+        horizon=250.0,
+        traffic="transpose",
+        description="matrix-transpose rows through the butterfly: the "
+        "unique §4.1 paths collide level by level",
+    ),
+    ScenarioSpec(
+        name="butterfly-greedy-hotspot",
+        network="butterfly",
+        d=4,
+        lam=0.3,
+        horizon=250.0,
+        traffic="hotspot",
+        extra={"beta": 0.2},
+        description="hot output row on the butterfly: the last-level "
+        "arc into the hot row is the bottleneck",
     ),
     ScenarioSpec(
         name="ring-greedy",
@@ -257,6 +345,28 @@ _BUILTINS = [
         horizon=200.0,
         description="torus greedy on the event engine (cross-validates the "
         "fixed-point engine)",
+    ),
+    ScenarioSpec(
+        name="ring-greedy-hotspot",
+        network="ring",
+        d=4,
+        lam=0.2,
+        horizon=200.0,
+        traffic="hotspot",
+        extra={"beta": 0.25},
+        description="hot node on the 16-ring: its two incoming arcs "
+        "carry a quarter of all flow",
+    ),
+    ScenarioSpec(
+        name="torus-greedy-hotspot",
+        network="torus",
+        d=2,
+        lam=0.25,
+        horizon=200.0,
+        traffic="hotspot",
+        extra={"beta": 0.2},
+        description="hot node on the 4x4 torus under dimension-order "
+        "greedy (node-addressed hot-spot law)",
     ),
     ScenarioSpec(
         name="static-greedy-bitrev",

@@ -3,8 +3,8 @@
 Historically this dataclass lived in ``repro.analysis.experiments``;
 it moved here when the scenario runner became the canonical producer
 (the old module still re-exports it).  A measurement now carries its
-provenance — scheme, discipline, scenario name, and the per-replication
-delay estimates that the pooled confidence interval is built from — so
+provenance — scheme, traffic law, discipline, scenario name, and the
+per-replication delay estimates that the pooled confidence interval is built from — so
 a cached result is a complete record of how it was obtained.
 """
 
@@ -44,6 +44,7 @@ class DelayMeasurement:
     lower_bound: float
     upper_bound: float
     scheme: str = "greedy"
+    traffic: str = "uniform"
     discipline: str = "fifo"
     scenario: Optional[str] = None
     #: one steady-state estimate per independent replication; the
@@ -110,6 +111,7 @@ def measurement_to_dict(m: DelayMeasurement) -> Dict[str, Any]:
         "lower_bound": _encode_float(m.lower_bound),
         "upper_bound": _encode_float(m.upper_bound),
         "scheme": m.scheme,
+        "traffic": m.traffic,
         "discipline": m.discipline,
         "scenario": m.scenario,
         "replication_delays": None
@@ -143,6 +145,7 @@ def measurement_from_dict(data: Mapping[str, Any]) -> DelayMeasurement:
         lower_bound=_decode_float(data["lower_bound"]),
         upper_bound=_decode_float(data["upper_bound"]),
         scheme=data.get("scheme", "greedy"),
+        traffic=data.get("traffic", "uniform"),
         discipline=data.get("discipline", "fifo"),
         scenario=data.get("scenario"),
         replication_delays=None

@@ -14,22 +14,26 @@ destination ``law``, the static ``perm``) travel in the ``extra``
 mapping, stored as a sorted tuple of pairs (tuples all the way down)
 to stay hashable.
 
-Validation is **capability-driven along all three axes**: the scheme
+Validation is **capability-driven along all four axes**: the scheme
 resolves to a :class:`~repro.plugins.api.SchemePlugin` through the
 scheme registry, the network to a
 :class:`~repro.networks.api.NetworkPlugin` through the network
+registry, the traffic law to a
+:class:`~repro.traffic.api.TrafficPlugin` through the traffic
 registry, and the engine to an
 :class:`~repro.engines.api.EnginePlugin` through the engine registry,
-and their declared capabilities decide which
-scheme x network x engine x discipline x option combinations the spec
-may form — so an invalid spec is rejected with a message enumerating
-what *is* available.  There is no hard-coded scheme, network or engine
+and their declared capabilities decide which scheme x network x
+traffic x engine x discipline x option combinations the spec may form
+— so an invalid spec is rejected with a message enumerating what *is*
+available.  There is no hard-coded scheme, network, traffic or engine
 list here; registering a new plugin on any axis extends the accepted
-vocabulary automatically.  Network and engine names are normalised to
-their canonical spellings (aliases like ``"cube"`` resolve to
-``"hypercube"``, ``"eventsim"`` to ``"event"``) **before**
-content-hashing, so an alias and its canonical name always share one
-cache cell.
+vocabulary automatically.  Network, traffic and engine names are
+normalised to their canonical spellings (aliases like ``"cube"``
+resolve to ``"hypercube"``, ``"bernoulli"`` to ``"uniform"``,
+``"eventsim"`` to ``"event"``) **before** content-hashing, so an alias
+and its canonical name always share one cache cell — as does the
+retired ``extra={"law": ...}`` spelling, which folds into the traffic
+field during normalisation.
 """
 
 from __future__ import annotations
@@ -106,6 +110,7 @@ class ScenarioSpec:
     name: str
     network: str = "hypercube"
     scheme: str = "greedy"
+    traffic: str = "uniform"
     discipline: str = "fifo"
     d: int = 4
     rho: Optional[float] = None
@@ -125,6 +130,7 @@ class ScenarioSpec:
         from repro.engines.registry import normalize_engine_name
         from repro.networks.registry import get_network
         from repro.plugins.registry import get_plugin
+        from repro.traffic.registry import canonical_traffic_name, merge_legacy_law
 
         object.__setattr__(self, "extra", _freeze_extra(self.extra))
         network = get_network(self.network)  # enumerates networks on a miss
@@ -133,6 +139,22 @@ class ScenarioSpec:
         # names, aliases, plus the auto/vectorized directives)
         object.__setattr__(self, "network", network.name)
         object.__setattr__(self, "engine", normalize_engine_name(self.engine))
+        # the retired extra={"law": ...} spelling folds into the
+        # traffic axis (the mapping lives in the traffic registry), so
+        # legacy specs normalise — pre-content-hash — onto the same
+        # cache cells as their traffic-axis twins
+        traffic_name = self.traffic
+        law = next((v for k, v in self.extra if k == "law"), None)
+        if law is not None:
+            traffic_name = merge_legacy_law(traffic_name, law)
+            object.__setattr__(
+                self,
+                "extra",
+                tuple((k, v) for k, v in self.extra if k != "law"),
+            )
+        object.__setattr__(
+            self, "traffic", canonical_traffic_name(traffic_name)
+        )
         plugin = get_plugin(self.scheme)  # enumerates schemes on a miss
         if self.discipline not in DISCIPLINES:
             raise ConfigurationError(
@@ -146,6 +168,7 @@ class ScenarioSpec:
             )
         plugin.validate(self)
         network.validate(self)
+        self.traffic_plugin.validate(self)
         if self.d < 1:
             raise ConfigurationError(f"d must be >= 1, got {self.d}")
         if not 0.0 <= self.p <= 1.0:
@@ -187,6 +210,14 @@ class ScenarioSpec:
         from repro.networks.registry import get_network
 
         return get_network(self.network)
+
+    @property
+    def traffic_plugin(self):
+        """The :class:`~repro.traffic.api.TrafficPlugin` generating
+        this spec's workload."""
+        from repro.traffic.registry import get_traffic
+
+        return get_traffic(self.traffic)
 
     @property
     def is_static(self) -> bool:

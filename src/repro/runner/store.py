@@ -24,7 +24,9 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -38,13 +40,28 @@ from repro.runner.results import (
 from repro.runner.spec import ScenarioSpec
 from repro.sim.run_spec import ReplicationOutput
 
-__all__ = ["ResultsStore", "default_cache_dir"]
+__all__ = ["ResultsStore", "StoreStats", "default_cache_dir"]
 
 _ENV_VAR = "REPRO_CACHE_DIR"
+
+#: what the store's own cells look like — content-hash-named JSON.
+#: Anything else in the directory is foreign and never touched by
+#: :meth:`ResultsStore.clear`.
+_POOLED_CELL = re.compile(r"^[0-9a-f]{20}\.json$")
+_REPLICATION_CELL = re.compile(r"^[0-9a-f]{20}\.r\d{4,}\.json$")
 
 
 def default_cache_dir() -> Path:
     return Path(os.environ.get(_ENV_VAR, ".repro-cache"))
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Cell counts and on-disk size of a results store."""
+
+    pooled: int
+    replications: int
+    total_bytes: int
 
 
 class ResultsStore:
@@ -142,6 +159,57 @@ class ResultsStore:
         return self._write_atomic(self.replication_path_for(spec, rep), payload)
 
     def __len__(self) -> int:
+        """Number of pooled cells the store owns (foreign JSON a user
+        parked in the directory is not counted — one definition of
+        "cell", shared with :meth:`stats` and :meth:`clear`)."""
+        return sum(1 for _ in self._pooled_cells())
+
+    # -- maintenance (the `repro cache` subcommand) ---------------------------
+
+    def _pooled_cells(self):
         if not self.root.is_dir():
-            return 0
-        return sum(1 for _ in self.root.glob("*.json"))
+            return
+        for path in sorted(self.root.iterdir()):
+            if path.is_file() and _POOLED_CELL.match(path.name):
+                yield path
+
+    def _replication_cells(self):
+        reps = self.root / "replications"
+        if not reps.is_dir():
+            return
+        for path in sorted(reps.iterdir()):
+            if path.is_file() and _REPLICATION_CELL.match(path.name):
+                yield path
+
+    def stats(self) -> StoreStats:
+        """Cell counts and total size — only the store's own cells
+        (content-hash-named JSON) are counted, never foreign files."""
+        pooled = list(self._pooled_cells())
+        reps = list(self._replication_cells())
+        total = sum(p.stat().st_size for p in pooled + reps)
+        return StoreStats(len(pooled), len(reps), total)
+
+    def clear(self) -> StoreStats:
+        """Delete every cell the store owns; returns what was removed.
+
+        Deliberately surgical: only files matching the store's own
+        naming scheme go (``<20-hex>.json`` at the root,
+        ``<20-hex>.rNNNN.json`` under ``replications/``).  Foreign
+        files a user parked in the directory — notes, plots, a stray
+        ``.gitignore`` — are left untouched, as is the directory
+        itself (unless ``replications/`` ends up empty, which is then
+        removed as it is store-owned).
+        """
+        pooled = replications = freed = 0
+        for path in self._pooled_cells():
+            freed += path.stat().st_size
+            path.unlink()
+            pooled += 1
+        for path in self._replication_cells():
+            freed += path.stat().st_size
+            path.unlink()
+            replications += 1
+        reps_dir = self.root / "replications"
+        if reps_dir.is_dir() and not any(reps_dir.iterdir()):
+            reps_dir.rmdir()
+        return StoreStats(pooled, replications, freed)

@@ -102,22 +102,26 @@ class RandomOrderPlugin(SchemePlugin):
 
     name = "random_order"
     summary = "greedy with per-packet random dimension order (E13 ablation)"
-    capabilities = Capabilities(networks=("hypercube",), engines=("event",))
+    capabilities = Capabilities(
+        networks=("hypercube",),
+        engines=("event",),
+        # routes whatever the workload sample holds (the shuffle is per
+        # packet, not per law), so any registered traffic law drives it
+        traffics=("*",),
+    )
 
     def native_engine(self, spec: "ScenarioSpec"):
         return "event"
 
     def prepare(self, spec: "ScenarioSpec") -> Runner:
         from repro.sim.measurement import DelayRecord
-        from repro.traffic.destinations import BernoulliFlipLaw
-        from repro.traffic.workload import HypercubeWorkload
 
         cube = Hypercube(spec.d)
 
         def run(gen):
-            workload = HypercubeWorkload(
-                cube, spec.resolved_lam, BernoulliFlipLaw(spec.d, spec.p)
-            )
+            # the traffic axis samples the workload (for uniform traffic
+            # this is bit-identical to the historical eq. (1) draw)
+            workload = spec.network_plugin.build_workload(spec)
             sample = workload.generate(spec.horizon, gen)
             delivery = simulate_random_order(cube, sample, gen).delivery
             return steady_output(

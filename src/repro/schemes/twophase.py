@@ -60,19 +60,22 @@ class TwoPhaseScheme:
 
     ``law`` may be *any* destination sampler (translation invariant or
     not — permutations, hot spots, ...): the point of the scheme is
-    that stability no longer depends on it.
+    that stability no longer depends on it.  Callers that draw their
+    workload elsewhere (the scenario runner's traffic axis, bursty
+    arrival processes) may omit the law and hand pre-sampled traffic
+    to :meth:`route` directly.
     """
 
     d: int
     lam: float
-    law: object  # anything with .d and .sample_destinations
+    law: object = None  # anything with .d and .sample_destinations
     cube: Hypercube = field(init=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "cube", Hypercube(self.d))
         if self.lam <= 0.0:
             raise ConfigurationError(f"lam must be > 0, got {self.lam}")
-        if getattr(self.law, "d", None) != self.d:
+        if self.law is not None and getattr(self.law, "d", None) != self.d:
             raise ConfigurationError(
                 f"law dimension {getattr(self.law, 'd', None)} != {self.d}"
             )
@@ -111,8 +114,32 @@ class TwoPhaseScheme:
             paths.append(arcs)
         return paths
 
+    def route(self, sample: TrafficSample, rng: SeedLike = None) -> TwoPhaseResult:
+        """Pick uniform intermediates for pre-sampled traffic and route
+        both phases.
+
+        RNG contract: consumes exactly one ``integers`` draw of
+        ``sample.num_packets`` intermediates from the stream — drawn
+        *after* whatever sampled the workload, matching the historical
+        consumption order bit for bit.
+        """
+        gen = as_generator(rng)
+        intermediates = gen.integers(
+            0, self.cube.num_nodes, size=sample.num_packets, dtype=np.int64
+        )
+        paths = self._paths(sample, intermediates)
+        result = simulate_paths_event_driven(
+            self.cube.num_arcs, sample.times, paths
+        )
+        return TwoPhaseResult(sample, result, intermediates)
+
     def run(self, horizon: float, rng: SeedLike = None) -> TwoPhaseResult:
         """Sample traffic, pick uniform intermediates, route both phases."""
+        if self.law is None:
+            raise ConfigurationError(
+                "run() needs a destination law; either construct the "
+                "scheme with one or pre-sample traffic and call route()"
+            )
         gen = as_generator(rng)
         from repro.traffic.arrivals import merged_poisson_arrivals
 
@@ -123,14 +150,7 @@ class TwoPhaseScheme:
             self.law.sample_destinations(origins, gen), dtype=np.int64
         )
         sample = TrafficSample(times, origins, dests, float(horizon))
-        intermediates = gen.integers(
-            0, self.cube.num_nodes, size=sample.num_packets, dtype=np.int64
-        )
-        paths = self._paths(sample, intermediates)
-        result = simulate_paths_event_driven(
-            self.cube.num_arcs, sample.times, paths
-        )
-        return TwoPhaseResult(sample, result, intermediates)
+        return self.route(sample, gen)
 
     def measure_delay(
         self, horizon: float, rng: SeedLike = None, warmup_fraction: float = 0.2
@@ -177,10 +197,8 @@ from typing import TYPE_CHECKING
 
 from repro.plugins.api import (
     Capabilities,
-    OptionSpec,
     Runner,
     SchemePlugin,
-    resolve_hypercube_law,
     steady_output,
 )
 from repro.plugins.registry import register_scheme
@@ -200,15 +218,10 @@ class TwoPhasePlugin(SchemePlugin):
     capabilities = Capabilities(
         networks=("hypercube",),
         engines=("event",),
-        options=(
-            OptionSpec(
-                "law",
-                kind="str",
-                default="bernoulli",
-                choices=("bernoulli", "bitrev"),
-                description="destination law the mixing neutralises",
-            ),
-        ),
+        # mixing exists precisely to neutralise the traffic pattern, so
+        # the scheme runs under every registered law — permutations,
+        # hot spots, bursty arrivals, third-party plugins
+        traffics=("*",),
         metrics=("mean_hops",),
     )
 
@@ -216,12 +229,15 @@ class TwoPhasePlugin(SchemePlugin):
         return "event"
 
     def prepare(self, spec: "ScenarioSpec") -> Runner:
-        scheme = TwoPhaseScheme(
-            d=spec.d, lam=spec.resolved_lam, law=resolve_hypercube_law(spec)
-        )
+        # the traffic axis samples the workload; the scheme only draws
+        # the intermediates and routes (RNG order: workload first, then
+        # intermediates — the historical order, golden-pinned)
+        workload = spec.network_plugin.build_workload(spec)
+        scheme = TwoPhaseScheme(d=spec.d, lam=spec.resolved_lam)
 
         def run(gen):
-            result = scheme.run(spec.horizon, gen)
+            sample = workload.generate(spec.horizon, gen)
+            result = scheme.route(sample, gen)
             return steady_output(
                 spec,
                 result.delay_record(),

@@ -1,6 +1,7 @@
-"""Traffic generation substrate: who sends, when, and to whom.
+"""Traffic generation substrate *and* the traffic plugin axis: who
+sends, when, and to whom.
 
-Implements the paper's packet-generation model (§1.1):
+The substrate implements the paper's packet-generation model (§1.1):
 
 * each node generates packets as an independent Poisson process with
   rate ``lam`` (:class:`PoissonProcess`, :func:`merged_poisson_arrivals`);
@@ -12,10 +13,33 @@ Implements the paper's packet-generation model (§1.1):
 * the §3.4 slotted variant generates Poisson-sized batches at slot
   boundaries (:class:`SlottedBatchArrivals`).
 
-:class:`HypercubeWorkload` / :class:`ButterflyWorkload` bundle both into
-a reproducible sample of (birth time, origin, destination) triples.
+On top of the substrate sits the **fourth plugin axis** (after
+schemes, networks and engines): every workload law a scenario can run
+under is a :class:`~repro.traffic.api.TrafficPlugin` declaring its
+identity (name + aliases), its typed traffic-scoped options, its
+sampling hooks (``sample_workload`` / ``sample_workload_batch`` for
+the replication-batched engine path) and its exact-theory closed forms
+(``mask_pmf`` / ``flip_probabilities`` / ``mean_distance``).  Built-ins:
+``uniform`` (eq. (1)), the permutation family (``bitrev``,
+``transpose``, ``bitcomp``), ``hotspot`` and ``bursty``; third-party
+packages extend the vocabulary via the ``repro.traffic_plugins``
+entry-point group.
+
+Quickstart — a new traffic law in one class::
+
+    from repro.traffic import TrafficPlugin, register_traffic
+
+    @register_traffic
+    class MyLaw(TrafficPlugin):
+        name = "mylaw"
+        aliases = ("ml",)
+        summary = "one line for `repro traffics`"
+
+        def destination_law(self, spec, network):
+            ...  # anything with sample_destinations(origins, rng)
 """
 
+from repro.traffic.api import TrafficPlugin
 from repro.traffic.arrivals import (
     PoissonProcess,
     SlottedBatchArrivals,
@@ -24,17 +48,29 @@ from repro.traffic.arrivals import (
 from repro.traffic.destinations import (
     BernoulliFlipLaw,
     DestinationLaw,
+    FixedMaskLaw,
     HotSpotTraffic,
     PermutationTraffic,
     TranslationInvariantLaw,
     UniformExcludingOriginLaw,
     UniformLaw,
+    UniformNodeLaw,
     bit_reversal_permutation,
     transpose_permutation,
+)
+from repro.traffic.registry import (
+    all_traffic_names,
+    available_traffics,
+    canonical_traffic_name,
+    get_traffic,
+    iter_traffics,
+    register_traffic,
+    unregister_traffic,
 )
 from repro.traffic.workload import (
     ButterflyWorkload,
     HypercubeWorkload,
+    NodePoissonWorkload,
     SlottedHypercubeWorkload,
     TrafficSample,
 )
@@ -48,12 +84,23 @@ __all__ = [
     "UniformLaw",
     "UniformExcludingOriginLaw",
     "TranslationInvariantLaw",
+    "FixedMaskLaw",
     "PermutationTraffic",
     "HotSpotTraffic",
+    "UniformNodeLaw",
     "bit_reversal_permutation",
     "transpose_permutation",
     "TrafficSample",
     "HypercubeWorkload",
     "ButterflyWorkload",
+    "NodePoissonWorkload",
     "SlottedHypercubeWorkload",
+    "TrafficPlugin",
+    "all_traffic_names",
+    "available_traffics",
+    "canonical_traffic_name",
+    "get_traffic",
+    "iter_traffics",
+    "register_traffic",
+    "unregister_traffic",
 ]

@@ -37,6 +37,7 @@ __all__ = [
     "UniformLaw",
     "UniformExcludingOriginLaw",
     "TranslationInvariantLaw",
+    "FixedMaskLaw",
     "PermutationTraffic",
     "HotSpotTraffic",
     "UniformNodeLaw",
@@ -226,6 +227,44 @@ class TranslationInvariantLaw(DestinationLaw):
         return f"TranslationInvariantLaw(d={self._d})"
 
 
+class FixedMaskLaw(DestinationLaw):
+    """Degenerate translation-invariant law: a constant XOR mask.
+
+    Every packet targets ``origin ^ mask`` — e.g. bit-complement
+    traffic for ``mask = 2**d - 1``, a single-dimension shuffle for a
+    one-hot mask.  Deterministic, so sampling consumes no randomness;
+    still translation invariant, so all the §2.2 exact machinery
+    (``mask_pmf`` is a point mass, ``q_j`` the bits of the mask)
+    applies.
+    """
+
+    def __init__(self, d: int, mask: int) -> None:
+        super().__init__(d)
+        if not 0 <= int(mask) < (1 << self._d):
+            raise ConfigurationError(
+                f"mask {mask} out of range for d={d}"
+            )
+        self._mask = int(mask)
+
+    @property
+    def mask(self) -> int:
+        return self._mask
+
+    def sample_masks(self, n: int, rng: SeedLike = None) -> np.ndarray:
+        return np.full(n, self._mask, dtype=np.int64)
+
+    def mask_prob(self, v: int) -> float:
+        if not 0 <= v < (1 << self._d):
+            raise ConfigurationError(f"mask {v} out of range for d={self._d}")
+        return 1.0 if v == self._mask else 0.0
+
+    def flip_probabilities(self) -> np.ndarray:
+        return ((self._mask >> np.arange(self._d)) & 1).astype(float)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedMaskLaw(d={self._d}, mask={self._mask})"
+
+
 # ---------------------------------------------------------------------------
 # non-translation-invariant traffic (for the §5 two-phase discussion)
 # ---------------------------------------------------------------------------
@@ -284,25 +323,39 @@ class HotSpotTraffic:
     The standard non-uniform stress case; like
     :class:`PermutationTraffic` it is outside the paper's
     translation-invariant model and motivates two-phase mixing.
+
+    The background may be any destination sampler — a d-bit
+    :class:`DestinationLaw` (node space ``2**d``) or a node-addressed
+    law like :class:`UniformNodeLaw` (node space ``num_nodes``) — so
+    hot spots exist on every network the traffic axis drives.
     """
 
     def __init__(
         self,
-        background: DestinationLaw,
+        background,
         hot_node: int,
         beta: float,
     ) -> None:
         if not 0.0 <= beta <= 1.0:
             raise ConfigurationError(f"beta must lie in [0, 1], got {beta}")
-        if not 0 <= hot_node < (1 << background.d):
+        d = getattr(background, "d", None)
+        num_nodes = (1 << d) if d is not None else background.num_nodes
+        if not 0 <= hot_node < num_nodes:
             raise ConfigurationError(f"hot node {hot_node} out of range")
         self.background = background
+        self.num_nodes = int(num_nodes)
         self.hot_node = int(hot_node)
         self.beta = float(beta)
 
     @property
     def d(self) -> int:
-        return self.background.d
+        d = getattr(self.background, "d", None)
+        if d is None:
+            raise AttributeError(
+                "node-addressed hot-spot law has no d-bit structure; "
+                "use num_nodes"
+            )
+        return d
 
     def sample_destinations(
         self, origins: "np.ndarray", rng: SeedLike = None

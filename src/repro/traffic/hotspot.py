@@ -1,0 +1,92 @@
+"""Traffic plugin for hot-spot destinations.
+
+The standard non-uniform stress case (and the regime where greedy
+performance degrades sharply in the faulty/non-ideal-workload
+literature): with probability ``beta`` a packet targets one fixed hot
+node, otherwise it falls back to the network's uniform background law
+(eq. (1) Bernoulli flips on bit-addressed networks, uniform node
+destinations elsewhere).  ``beta = 0`` recovers uniform traffic;
+raising ``beta`` funnels an ever larger flow share into the hot node's
+incoming arcs, saturating them long before the uniform load law would
+predict — which is why the paper's closed forms do not apply
+(:attr:`~repro.traffic.api.TrafficPlugin.paper_law` stays False) and
+why two-phase mixing is the §5 remedy here too.
+
+Runs on **every** network: the hot node is validated against the
+network's source count, and the background law adapts to its address
+structure.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import ConfigurationError
+from repro.plugins.api import OptionSpec
+from repro.traffic.api import TrafficPlugin
+from repro.traffic.registry import register_traffic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.networks.api import NetworkPlugin
+    from repro.runner.spec import ScenarioSpec
+
+__all__ = ["HotSpotTrafficPlugin"]
+
+
+@register_traffic
+class HotSpotTrafficPlugin(TrafficPlugin):
+    name = "hotspot"
+    aliases = ("hot-spot",)
+    summary = (
+        "one hot destination with tunable skew: P[target hot node] = "
+        "beta, uniform background otherwise"
+    )
+    options = (
+        OptionSpec(
+            "beta",
+            kind="float",
+            default=0.1,
+            description="probability a packet targets the hot node "
+            "(0 recovers uniform traffic)",
+        ),
+        OptionSpec(
+            "hot",
+            kind="int",
+            default=0,
+            description="the hot destination's node id",
+        ),
+    )
+
+    @staticmethod
+    def _beta(spec: "ScenarioSpec") -> float:
+        return float(spec.option("beta", 0.1))
+
+    @staticmethod
+    def _hot(spec: "ScenarioSpec") -> int:
+        return int(spec.option("hot", 0))
+
+    def validate(self, spec: "ScenarioSpec") -> None:
+        super().validate(spec)
+        beta = self._beta(spec)
+        if not 0.0 <= beta <= 1.0:
+            raise ConfigurationError(
+                f"hotspot beta must lie in [0, 1], got {beta}"
+            )
+        num = spec.network_plugin.num_sources(spec)
+        if not 0 <= self._hot(spec) < num:
+            raise ConfigurationError(
+                f"hot node {self._hot(spec)} out of range for network "
+                f"{spec.network!r} with {num} sources"
+            )
+
+    def destination_law(
+        self, spec: "ScenarioSpec", network: "NetworkPlugin"
+    ) -> Any:
+        from repro.traffic.destinations import HotSpotTraffic
+        from repro.traffic.uniform import uniform_background_law
+
+        return HotSpotTraffic(
+            uniform_background_law(spec, network),
+            self._hot(spec),
+            self._beta(spec),
+        )

@@ -1,0 +1,132 @@
+"""Traffic plugins for the classic permutation family.
+
+The adversarial destination patterns of the oblivious-routing
+literature, now first-class scenario vocabulary:
+
+* ``bitrev``    — bit reversal: the canonical worst case for greedy
+  dimension-order routing, piling ``Theta(2^{d/2})`` canonical paths
+  onto single arcs (the §5 motivation for Valiant mixing);
+* ``transpose`` — matrix transpose (swap the low and high address
+  halves), the other standard hard permutation; needs even ``d``;
+* ``bitcomp``   — bit complement: every packet targets its antipode.
+  Unlike the other two it *is* translation invariant (the XOR mask is
+  constantly all-ones), so the §2.2 exact hooks have closed forms:
+  every dimension flips with probability 1 and every greedy path
+  crosses all ``d`` arcs.
+
+All three are deterministic maps over d-bit addresses, so they require
+a bit-addressed network (hypercube, butterfly; the ring's node space
+is cyclic, not an XOR algebra) and consume **no** randomness for the
+destinations — the replication stream is spent on arrivals alone,
+which is what makes their batched generation trivially bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.errors import ConfigurationError
+from repro.traffic.api import TrafficPlugin
+from repro.traffic.registry import register_traffic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.networks.api import NetworkPlugin
+    from repro.runner.spec import ScenarioSpec
+
+__all__ = ["BitReversalTraffic", "TransposeTraffic", "BitComplementTraffic"]
+
+
+class _PermutationTrafficPlugin(TrafficPlugin):
+    """Shared shape of the deterministic d-bit permutation plugins."""
+
+    needs_address_bits = True
+
+    def permutation(self, bits: int) -> "np.ndarray":
+        """The permutation table over ``range(2**bits)``."""
+        raise NotImplementedError  # pragma: no cover - protocol
+
+    def destination_law(
+        self, spec: "ScenarioSpec", network: "NetworkPlugin"
+    ) -> Any:
+        from repro.traffic.destinations import PermutationTraffic
+
+        bits = network.address_bits(spec)
+        return PermutationTraffic(bits, self.permutation(bits))
+
+
+@register_traffic
+class BitReversalTraffic(_PermutationTrafficPlugin):
+    name = "bitrev"
+    aliases = ("bit-reversal",)
+    summary = (
+        "bit-reversal permutation: Theta(2**(d/2)) greedy flows share "
+        "single arcs (§5 adversary)"
+    )
+
+    def permutation(self, bits: int) -> "np.ndarray":
+        from repro.traffic.destinations import bit_reversal_permutation
+
+        return bit_reversal_permutation(bits)
+
+
+@register_traffic
+class TransposeTraffic(_PermutationTrafficPlugin):
+    name = "transpose"
+    aliases = ("matrix-transpose",)
+    summary = (
+        "matrix-transpose permutation (swap address halves); the other "
+        "classic hard case, even d only"
+    )
+
+    def validate(self, spec: "ScenarioSpec") -> None:
+        super().validate(spec)  # guarantees address_bits is not None
+        bits = spec.network_plugin.address_bits(spec)
+        if bits % 2 != 0:
+            raise ConfigurationError(
+                f"traffic 'transpose' swaps the two address halves and "
+                f"needs an even address width, got {bits} bits"
+            )
+
+    def permutation(self, bits: int) -> "np.ndarray":
+        from repro.traffic.destinations import transpose_permutation
+
+        return transpose_permutation(bits)
+
+
+@register_traffic
+class BitComplementTraffic(TrafficPlugin):
+    name = "bitcomp"
+    aliases = ("bit-complement", "antipodal")
+    summary = (
+        "bit complement: every packet targets its antipode (constant "
+        "all-ones XOR mask, d greedy hops)"
+    )
+    needs_address_bits = True
+
+    def destination_law(
+        self, spec: "ScenarioSpec", network: "NetworkPlugin"
+    ) -> Any:
+        from repro.traffic.destinations import FixedMaskLaw
+
+        bits = network.address_bits(spec)
+        return FixedMaskLaw(bits, (1 << bits) - 1)
+
+    # -- exact theory (translation invariant: point mass at all-ones) --------
+
+    def mask_pmf(self, spec: "ScenarioSpec") -> Optional["np.ndarray"]:
+        from repro.traffic.destinations import FixedMaskLaw
+
+        bits = spec.network_plugin.address_bits(spec)
+        if bits is None:
+            return None
+        return FixedMaskLaw(bits, (1 << bits) - 1).mask_pmf()
+
+    def flip_probabilities(self, spec: "ScenarioSpec") -> Optional["np.ndarray"]:
+        import numpy as np
+
+        bits = spec.network_plugin.address_bits(spec)
+        if bits is None:
+            return None
+        return np.ones(bits)

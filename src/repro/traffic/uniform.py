@@ -1,0 +1,93 @@
+"""Traffic plugin for the paper's primary law: eq. (1) / uniform.
+
+On a bit-addressed network (hypercube, butterfly — anything exposing
+:meth:`~repro.networks.api.NetworkPlugin.address_bits`) this is the
+product-Bernoulli of eq. (1): every address bit flips independently
+with probability ``spec.p``, uniform traffic at ``p = 1/2``.  On node-
+addressed networks (ring, torus) it degrades gracefully to the uniform
+law over all nodes — the network-agnostic face of the same assumption,
+which is what the pre-axis network plugins hard-wired.
+
+This is the **only** plugin declaring :attr:`~TrafficPlugin.paper_law`:
+the closed-form load laws and the Props 12/13 and 14/17 delay brackets
+assume exactly this model.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.traffic.api import TrafficPlugin
+from repro.traffic.registry import register_traffic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from repro.networks.api import NetworkPlugin
+    from repro.runner.spec import ScenarioSpec
+
+__all__ = [
+    "UniformTraffic",
+    "uniform_background_law",
+    "bernoulli_mask_pmf",
+    "bernoulli_flip_probabilities",
+]
+
+
+def uniform_background_law(spec: "ScenarioSpec", network: "NetworkPlugin") -> Any:
+    """The eq. (1) background every uniform-destination plugin shares:
+    Bernoulli(``spec.p``) flips where the network exposes a d-bit XOR
+    address space, the uniform node law elsewhere.  One definition, so
+    uniform, hotspot and bursty can never drift apart."""
+    from repro.traffic.destinations import BernoulliFlipLaw, UniformNodeLaw
+
+    bits = network.address_bits(spec)
+    if bits is not None:
+        return BernoulliFlipLaw(bits, spec.p)
+    return UniformNodeLaw(network.num_sources(spec))
+
+
+def bernoulli_mask_pmf(spec: "ScenarioSpec") -> Optional["np.ndarray"]:
+    """The eq. (1) mask pmf on *spec*'s network, ``None`` where the
+    network is not bit-addressed."""
+    from repro.traffic.destinations import BernoulliFlipLaw
+
+    bits = spec.network_plugin.address_bits(spec)
+    if bits is None:
+        return None
+    return BernoulliFlipLaw(bits, spec.p).mask_pmf()
+
+
+def bernoulli_flip_probabilities(spec: "ScenarioSpec") -> Optional["np.ndarray"]:
+    """The eq. (1) per-dimension flip probabilities, ``None`` where the
+    network is not bit-addressed."""
+    import numpy as np
+
+    bits = spec.network_plugin.address_bits(spec)
+    if bits is None:
+        return None
+    return np.full(bits, spec.p)
+
+
+@register_traffic
+class UniformTraffic(TrafficPlugin):
+    name = "uniform"
+    aliases = ("bernoulli", "eq1")
+    summary = (
+        "the paper's eq. (1): Bernoulli(p) bit flips on bit-addressed "
+        "networks, uniform node destinations elsewhere"
+    )
+    paper_law = True
+
+    def destination_law(
+        self, spec: "ScenarioSpec", network: "NetworkPlugin"
+    ) -> Any:
+        return uniform_background_law(spec, network)
+
+    # -- exact theory ---------------------------------------------------------
+
+    def mask_pmf(self, spec: "ScenarioSpec") -> Optional["np.ndarray"]:
+        return bernoulli_mask_pmf(spec)
+
+    def flip_probabilities(self, spec: "ScenarioSpec") -> Optional["np.ndarray"]:
+        return bernoulli_flip_probabilities(spec)

@@ -1,0 +1,101 @@
+"""Tests for the ``repro cache`` subcommand and the store maintenance
+API (:meth:`ResultsStore.stats` / :meth:`ResultsStore.clear`).
+
+The contract under test: the store only ever counts and deletes its
+*own* cells — content-hash-named JSON at the root and
+``<hash>.rNNNN.json`` under ``replications/`` — so anything a user
+parked in the cache directory survives a ``repro cache clear``.
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.runner import ResultsStore, ScenarioSpec, measure
+
+
+@pytest.fixture
+def populated_store(tmp_path):
+    store = ResultsStore(tmp_path)
+    spec = ScenarioSpec(name="cache-t", d=3, rho=0.5, horizon=60.0,
+                        replications=2)
+    measurement = measure(spec, store=store)
+    return store, spec, measurement
+
+
+class TestStoreMaintenance:
+    def test_stats_counts_cells(self, populated_store):
+        store, _, _ = populated_store
+        stats = store.stats()
+        assert stats.pooled == 1
+        assert stats.replications == 2
+        assert stats.total_bytes > 0
+
+    def test_stats_on_missing_root(self, tmp_path):
+        stats = ResultsStore(tmp_path / "never-created").stats()
+        assert (stats.pooled, stats.replications, stats.total_bytes) == (0, 0, 0)
+
+    def test_clear_removes_cells_and_reports(self, populated_store):
+        store, spec, _ = populated_store
+        removed = store.clear()
+        assert removed.pooled == 1
+        assert removed.replications == 2
+        assert removed.total_bytes > 0
+        assert store.load(spec) is None
+        assert store.stats().pooled == 0
+
+    def test_clear_leaves_foreign_files_untouched(self, populated_store):
+        store, _, _ = populated_store
+        foreign_root = store.root / "notes.md"
+        foreign_root.write_text("my lab notes")
+        # a JSON that does not match the cell naming scheme is foreign too
+        foreign_json = store.root / "summary-2026.json"
+        foreign_json.write_text(json.dumps({"keep": True}))
+        foreign_rep = store.root / "replications" / "keep.me"
+        foreign_rep.write_text("foreign")
+        store.clear()
+        assert foreign_root.read_text() == "my lab notes"
+        assert json.loads(foreign_json.read_text()) == {"keep": True}
+        assert foreign_rep.read_text() == "foreign"
+        # replications/ survives because it still holds a foreign file
+        assert (store.root / "replications").is_dir()
+
+    def test_wide_replication_indices_are_store_cells(self, populated_store):
+        """rep >= 10000 pads to five digits; those cells are still the
+        store's own (counted and cleared, not treated as foreign)."""
+        store, spec, _ = populated_store
+        wide = store.replication_path_for(spec, 12345)
+        assert wide.name.endswith(".r12345.json")
+        wide.write_text("{}")
+        assert store.stats().replications == 3
+        removed = store.clear()
+        assert removed.replications == 3
+        assert not wide.exists()
+
+    def test_clear_removes_empty_replications_dir(self, populated_store):
+        store, _, _ = populated_store
+        store.clear()
+        assert not (store.root / "replications").exists()
+        assert store.root.is_dir()  # the root itself always survives
+
+
+class TestCacheCLI:
+    def test_info_reports_counts(self, populated_store, capsys):
+        store, _, _ = populated_store
+        assert main(["cache", "info", "--cache-dir", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "pooled cells" in out and "per-replication cells" in out
+
+    def test_clear_round_trip(self, populated_store, capsys):
+        store, spec, _ = populated_store
+        (store.root / "keep.txt").write_text("x")
+        assert main(["cache", "clear", "--cache-dir", str(store.root)]) == 0
+        out = capsys.readouterr().out
+        assert "cleared 1 pooled and 2 per-replication cells" in out
+        assert (store.root / "keep.txt").read_text() == "x"
+        assert store.load(spec) is None
+
+    def test_clear_is_idempotent(self, tmp_path, capsys):
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "cleared 0 pooled" in capsys.readouterr().out

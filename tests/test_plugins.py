@@ -195,20 +195,27 @@ class TestCapabilityValidation:
         with pytest.raises(ConfigurationError, match="vectorized-engine"):
             ScenarioSpec(name="x", rho=0.5, engine="event",
                          extra={"dim_order": (1, 0, 2, 3)})
-        # dim_order and law are *hypercube network* options now: on the
-        # butterfly they are rejected as unknown, with the butterfly's
-        # (empty) network schema enumerated
+        # dim_order is a *hypercube network* option: on the butterfly
+        # it is rejected as unknown, with the butterfly's (empty)
+        # network schema enumerated
         with pytest.raises(ConfigurationError, match="dim_order"):
             ScenarioSpec(name="x", network="butterfly", rho=0.5,
                          extra={"dim_order": (1, 0, 2)})
-        with pytest.raises(ConfigurationError, match="law"):
-            ScenarioSpec(name="x", network="butterfly", rho=0.5,
-                         extra={"law": "bitrev"})
-        # network options only reach schemes that declare they consume
-        # them; the slotted scheme does not
-        with pytest.raises(ConfigurationError, match="law"):
+        # the legacy law option folds into the traffic axis — on the
+        # butterfly bit reversal is now *valid* (rows are d-bit
+        # addresses), and the normalised spec says so
+        spec = ScenarioSpec(name="x", network="butterfly", rho=0.5,
+                            extra={"law": "bitrev"})
+        assert spec.traffic == "bitrev"
+        assert spec.extra == ()
+        # non-uniform traffic only reaches schemes that declare they
+        # run under it; the slotted scheme admits uniform alone
+        with pytest.raises(ConfigurationError, match="traffic"):
             ScenarioSpec(name="x", scheme="slotted", rho=0.5,
                          extra={"law": "bitrev"})
+        with pytest.raises(ConfigurationError, match="traffic"):
+            ScenarioSpec(name="x", scheme="slotted", rho=0.5,
+                         traffic="hotspot")
 
     def test_static_capability_drives_rate_rules(self):
         spec = ScenarioSpec(name="x", scheme="static_greedy")
@@ -290,7 +297,7 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "HypercubeNetwork" in out
         assert "network option: dim_order" in out
-        assert "network option: law" in out
+        assert "UniformTraffic" in out
 
     def test_describe_static_scenario(self, capsys):
         from repro.__main__ import main

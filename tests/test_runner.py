@@ -69,12 +69,18 @@ class TestScenarioSpec:
     def test_extra_is_frozen_and_sorted(self):
         spec = ScenarioSpec(
             name="x", rho=0.5,
-            extra={"law": "bernoulli", "dim_order": [1, 0, 2, 3]},
+            extra={"beta": 0.2, "dim_order": [1, 0, 2, 3]},
+            traffic="hotspot",
         )
-        assert spec.extra == (("dim_order", (1, 0, 2, 3)), ("law", "bernoulli"))
-        assert spec.option("law") == "bernoulli"
+        assert spec.extra == (("beta", 0.2), ("dim_order", (1, 0, 2, 3)))
+        assert spec.option("beta") == 0.2
         assert spec.option("missing", 7) == 7
         assert hash(spec)  # stays hashable
+        # the legacy law spelling folds into the traffic axis and out
+        # of extra (so both spellings share one cache cell)
+        legacy = ScenarioSpec(name="x", rho=0.5, extra={"law": "bernoulli"})
+        assert legacy.traffic == "uniform"
+        assert legacy.extra == ()
 
     def test_unknown_option_enumerates_schema(self):
         # tau belongs to the slotted scheme, not greedy; the error must
@@ -84,6 +90,7 @@ class TestScenarioSpec:
 
     def test_option_values_are_typed(self):
         with pytest.raises(ConfigurationError, match="bernoulli"):
+            # the legacy law vocabulary is enumerated on a miss
             ScenarioSpec(name="x", rho=0.5, extra={"law": "weird"})
         with pytest.raises(ConfigurationError, match="float"):
             ScenarioSpec(name="x", scheme="slotted", rho=0.5,
