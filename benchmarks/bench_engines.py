@@ -1,28 +1,35 @@
-"""Engine-axis baseline: the replication-batched fast path vs the seed.
+"""Engine-axis baseline: the three execution paths, timed and pinned.
 
-Emits ``benchmarks/results/BENCH_engines.json`` pinning the wall-clock
-payoff of the engine-plugin tentpole for one 32-replication
-hypercube-greedy measurement (jobs=1, one process, same machine):
+Emits ``BENCH_engines.json`` at the **repo root** pinning the
+wall-clock and memory profile of the replication fan-out for one
+32-replication hypercube-greedy measurement:
 
-* ``seed_fanout_s``   — the **seed** per-process fan-out: one
+* ``seed_fanout_s``   — the original per-process fan-out: one
   replication per task, with the seed's ``serve_level`` (a Python loop
   over arcs, one little Lindley/PS call per arc) re-enacted verbatim.
-  This is the pre-engines hot path this PR retires.
-* ``sequential_s``    — the current per-replication fan-out
+* ``sequential_s``    — the per-replication fan-out
   (``measure(batch=False)``): same task structure, but every level is
   solved by the segmented Lindley recursion with **no** per-arc loop.
-* ``batched_s``       — the batched engine path
-  (``measure(batch=True)``): R replications stacked into one
-  vectorised computation per level
-  (:meth:`repro.engines.api.EnginePlugin.simulate_batch`).
+* ``batched_s``       — the batched engine path (``measure(batch=True)``,
+  jobs=1, same process): replications stacked into cache-resident
+  sub-batches, one workload-generation pass, one vectorised level loop
+  per sub-batch.  The **headline** ratio is
+  ``batched_vs_sequential = sequential_s / batched_s``.
+* ``batched_jobs4_s`` — the batched path composed with ``jobs=4``: the
+  shared-workload route (workloads generated once in the parent,
+  published to workers via a memory-mapped file).  On a single-core
+  host this *loses* to jobs=1 — the pool is pure overhead — so the
+  JSON also records ``host_cpu_cores``; read the ratio against it.
+* ``chunked_s`` + ``memory`` — the bounded-memory chunked-horizon mode
+  (``chunk_packets``): wall-clock on the pinned cell, plus tracemalloc
+  peaks of the one-shot vs chunked kernel on a long-horizon cell where
+  the horizon (not the topology) dominates the one-shot footprint.
 
-All three produce **bit-identical** pooled measurements (asserted —
-the golden-pinned contract), so the comparison is pure wall clock.
-The operating point is deliberately arc-rich (d=13: 8192 nodes,
-106496 arcs, short horizon): the regime of wide parameter sweeps over
-large networks, where the seed's per-arc Python loop is the hot path
-and the acceptance bar — ``speedup_vs_seed >= 3`` for the batched
-path — has a wide margin.
+Every path produces **bit-identical** measurements (asserted — the
+golden-pinned contract), so the comparison is pure wall clock.  The
+operating point is deliberately arc-rich (d=13: 8192 nodes, 106496
+arcs, short horizon): the regime of wide parameter sweeps over large
+networks.
 
 Run with::
 
@@ -31,26 +38,39 @@ Run with::
 """
 
 import json
+import os
 import sys
 import time
+import tracemalloc
+from pathlib import Path
 
 import numpy as np
 
 import repro.sim.feedforward as _ff
-from repro.rng import replication_seeds
+from repro.rng import as_generator, replication_seeds
 from repro.runner import ScenarioSpec, measure
 from repro.sim.lindley import fifo_departure_times
 from repro.sim.servers import ps_departure_times
 
-from _common import RESULTS_DIR
+ROOT = Path(__file__).resolve().parent.parent
 
 #: arc-rich sweep cell: 8192-node cube, every level touches thousands
 #: of arcs with a handful of packets each
 FULL_SPEC = dict(d=13, rho=0.7, horizon=4.0, replications=32)
-#: CI smoke sizes (same shape, seconds instead of tens of seconds)
+#: CI smoke sizes (same shape, seconds instead of minutes)
 QUICK_SPEC = dict(d=10, rho=0.7, horizon=6.0, replications=16)
 
-REPEATS = 3  # best-of timings
+#: bounded-memory demonstration cell: modest network, long horizon —
+#: the regime chunk_packets exists for (one-shot footprint scales with
+#: the horizon, chunked with the chunk + the topology)
+FULL_MEM = dict(d=10, rho=0.7, horizon=200.0)
+QUICK_MEM = dict(d=8, rho=0.7, horizon=120.0)
+MEM_CHUNK = 4096
+
+#: chunk used for the wall-clock column on the pinned cell
+TIMING_CHUNK = 32768
+
+REPEATS = 5  # best-of timings
 
 
 def _seed_serve_level(arcs, times, pids, discipline="fifo", service=1.0,
@@ -89,6 +109,38 @@ def _best_of(fn, repeats=REPEATS):
     return best, result
 
 
+def _memory_peaks(params):
+    """tracemalloc peaks of the one-shot vs chunked kernel on one
+    long-horizon replication (the workload itself is excluded — both
+    kernels read the same pre-generated sample)."""
+    spec = ScenarioSpec(
+        name="bench-engines-mem", base_seed=0, seed_policy="spawn",
+        replications=1, **params
+    )
+    net = spec.network_plugin
+    topology = net.build_topology(spec)
+    seeds = replication_seeds(spec.base_seed, 1, spec.seed_policy)
+    sample = net.build_workload(spec).generate(
+        spec.horizon, as_generator(seeds[0])
+    )
+    tracemalloc.start()
+    one_shot = net.simulate_greedy(topology, spec, sample)
+    _, peak_one = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    tracemalloc.start()
+    chunked = net.simulate_greedy_chunked(topology, spec, sample, MEM_CHUNK)
+    _, peak_chunk = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "cell": {**params, "num_packets": sample.num_packets},
+        "chunk_packets": MEM_CHUNK,
+        "oneshot_peak_mb": round(peak_one / 2**20, 2),
+        "chunked_peak_mb": round(peak_chunk / 2**20, 2),
+        "oneshot_over_chunked": round(peak_one / max(peak_chunk, 1), 2),
+        "bit_identical": bool(np.array_equal(one_shot, chunked)),
+    }
+
+
 def run_experiment(quick=False):
     params = QUICK_SPEC if quick else FULL_SPEC
     spec = ScenarioSpec(
@@ -102,8 +154,14 @@ def run_experiment(quick=False):
         _ff.serve_level = modern
     seq_s, seq_m = _best_of(lambda: measure(spec, jobs=1, batch=False))
     bat_s, bat_m = _best_of(lambda: measure(spec, jobs=1, batch=True))
+    par_s, par_m = _best_of(lambda: measure(spec, jobs=4, batch=True))
+    chunk_spec = spec.replace(extra={"chunk_packets": TIMING_CHUNK})
+    chk_s, chk_m = _best_of(lambda: measure(chunk_spec, jobs=1, batch=True))
 
-    bit_identical = seed_m == seq_m == bat_m
+    bit_identical = seed_m == seq_m == bat_m == par_m
+    chunked_identical = (
+        chk_m.replication_delays == seq_m.replication_delays
+    )
     # the batched outputs equal the sequential golden values per
     # replication, not merely in the pooled mean
     seeds = replication_seeds(spec.base_seed, spec.replications,
@@ -115,6 +173,7 @@ def run_experiment(quick=False):
 
     return {
         "mode": "quick" if quick else "full",
+        "host_cpu_cores": os.cpu_count(),
         "spec": {
             "network": spec.network,
             "scheme": spec.scheme,
@@ -125,28 +184,37 @@ def run_experiment(quick=False):
             "horizon": spec.horizon,
             "replications": spec.replications,
             "seed_policy": spec.seed_policy,
-            "jobs": 1,
         },
         "num_packets": bat_m.num_packets,
         "mean_delay": bat_m.mean_delay,
         "seed_fanout_s": round(seed_s, 4),
         "sequential_s": round(seq_s, 4),
         "batched_s": round(bat_s, 4),
+        "batched_jobs4_s": round(par_s, 4),
+        "chunked_s": round(chk_s, 4),
+        "chunked_chunk_packets": TIMING_CHUNK,
         "speedup_vs_seed": round(seed_s / bat_s, 2),
         "speedup_sequential_vs_seed": round(seed_s / seq_s, 2),
         "batched_vs_sequential": round(seq_s / bat_s, 2),
+        "batched_jobs4_vs_batched": round(bat_s / par_s, 2),
+        "chunked_vs_sequential": round(seq_s / chk_s, 2),
         "bit_identical": bool(bit_identical),
+        "chunked_bit_identical": bool(chunked_identical),
         "per_replication_bit_identical": bool(per_rep_identical),
+        "memory": _memory_peaks(QUICK_MEM if quick else FULL_MEM),
     }
 
 
 def emit_json(results):
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / "BENCH_engines.json"
+    path = ROOT / "BENCH_engines.json"
     payload = {
-        "description": "replication-batched engine path vs the seed "
-        "per-process fan-out (32-replication hypercube-greedy, jobs=1; "
-        "seed serve_level re-enacted verbatim for the baseline)",
+        "description": "the three replication fan-out routes on one "
+        "hypercube-greedy cell: sequential per-replication tasks, the "
+        "cache-resident sub-batched engine path (jobs=1, same process "
+        "-- the headline batched_vs_sequential ratio), and the "
+        "shared-workload parallel composition (jobs=4); plus the "
+        "bounded-memory chunked-horizon mode and the seed's per-arc "
+        "serve_level re-enacted verbatim as the historical baseline",
         **results,
     }
     path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
@@ -158,7 +226,9 @@ def test_engines_benchmark():
     results = run_experiment(quick=quick)
     path = emit_json(results)
     assert results["bit_identical"]
+    assert results["chunked_bit_identical"]
     assert results["per_replication_bit_identical"]
+    assert results["memory"]["bit_identical"]
     assert results["speedup_vs_seed"] > 1.0
     print(f"\n[written to {path}]")
 
@@ -169,5 +239,14 @@ if __name__ == "__main__":
     path = emit_json(results)
     print(json.dumps(results, indent=1))
     print(f"written {path}")
+    if not (
+        results["bit_identical"]
+        and results["chunked_bit_identical"]
+        and results["per_replication_bit_identical"]
+        and results["memory"]["bit_identical"]
+    ):
+        sys.exit("FAIL: execution paths are not bit-identical")
     if not quick and results["speedup_vs_seed"] < 3.0:
         sys.exit("FAIL: batched path is not >= 3x the seed fan-out")
+    if not quick and results["batched_vs_sequential"] < 1.0:
+        sys.exit("FAIL: batched path is slower than sequential fan-out")

@@ -392,13 +392,32 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if overrides:
         spec = spec.replace(**overrides)
     store = None if args.no_cache else ResultsStore(args.cache_dir)
-    # a corrupt/torn cell counts as a miss, so probe with load, not contains
+    profiling = args.profile or args.profile_out is not None
+    # a corrupt/torn cell counts as a miss, so probe with load, not
+    # contains; skip the probe entirely under --profile so a profiled
+    # simulation always actually runs
     m = None
-    if store is not None and not args.refresh:
+    if store is not None and not args.refresh and not profiling:
         m = store.load(spec)
     cached = m is not None
     if m is None:
-        m = measure(spec, jobs=args.jobs, store=store, refresh=args.refresh)
+        if profiling:
+            import cProfile
+            import pstats
+            import sys
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                m = measure(spec, jobs=args.jobs, store=store, refresh=True)
+            finally:
+                profiler.disable()
+                stats = pstats.Stats(profiler, stream=sys.stderr)
+                stats.sort_stats("cumulative").print_stats(20)
+                if args.profile_out is not None:
+                    stats.dump_stats(args.profile_out)
+        else:
+            m = measure(spec, jobs=args.jobs, store=store, refresh=args.refresh)
     rows = [
         ("network / scheme", f"{m.network} / {m.scheme} ({m.discipline})"),
         ("traffic", m.traffic),
@@ -540,6 +559,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="neither read nor write the results store")
     sp.add_argument("--refresh", action="store_true",
                     help="recompute even on a cache hit")
+    sp.add_argument("--profile", action="store_true",
+                    help="run under cProfile and print the top 20 "
+                    "cumulative-time entries to stderr (forces a "
+                    "recomputation so there is something to profile)")
+    sp.add_argument("--profile-out", default=None, metavar="FILE",
+                    help="also dump the raw pstats data to FILE "
+                    "(implies --profile; load with pstats.Stats)")
     sp.set_defaults(func=_cmd_run)
     return parser
 

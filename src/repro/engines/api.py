@@ -23,7 +23,15 @@ implements the hooks the rest of the stack used to hard-code behind
   computation (offsetting arc ids per replication keeps the
   sub-systems disjoint, so the batch is bit-identical to R sequential
   runs).  :func:`repro.runner.engine.measure_many` routes through this
-  hook whenever the resolved engine declares ``batching``.
+  hook whenever the resolved engine declares ``batching``; at
+  ``jobs > 1`` it decomposes the template instead — workloads are
+  generated once centrally and each worker calls
+  :meth:`~EnginePlugin.batch_deliveries` + :func:`batch_output` on a
+  shared-memory slice (the scheme's ``batch_engine`` hook exposes the
+  engine for exactly this).  How an engine *internally* organises a
+  batch is its own affair: the feed-forward engine stacks replications
+  in cache-resident sub-batches and streams chunk-composable kernels
+  under its ``chunk_packets`` option.
 
 Like the scheme and network APIs, this module is dependency-light (no
 numpy import at runtime, no simulator imports) so plugin modules can

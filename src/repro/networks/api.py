@@ -228,6 +228,31 @@ class NetworkPlugin:
         """
         return [self.simulate_greedy(topology, spec, s) for s in samples]
 
+    def simulate_greedy_chunked(
+        self,
+        topology: "Topology",
+        spec: "ScenarioSpec",
+        sample: "TrafficSample",
+        chunk_packets: int,
+    ) -> "np.ndarray":
+        """Delivery epochs of *sample*, computed in birth-ordered
+        chunks of at most ``chunk_packets`` packets with per-arc queue
+        state carried between chunks (the ``feedforward`` engine's
+        streaming bounded-memory mode).
+
+        The contract is strict: the result must be **bit-identical** to
+        :meth:`simulate_greedy`, with peak memory bounded by the chunk
+        size and the topology instead of the horizon.  Default: the
+        network ships no chunk-composable kernel.
+        """
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"network {self.name!r} ships no chunked-horizon greedy "
+            "kernel (NetworkPlugin.simulate_greedy_chunked); drop the "
+            "chunk_packets option for this network"
+        )
+
     # -- theory --------------------------------------------------------------
 
     def greedy_theory_bounds(self, spec: "ScenarioSpec") -> Tuple[float, float]:

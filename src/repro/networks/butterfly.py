@@ -91,6 +91,22 @@ class ButterflyNetwork(NetworkPlugin):
             topology, samples, discipline=spec.discipline
         )
 
+    def simulate_greedy_chunked(
+        self,
+        topology: "Butterfly",
+        spec: "ScenarioSpec",
+        sample: "TrafficSample",
+        chunk_packets: int,
+    ) -> "np.ndarray":
+        from repro.sim.feedforward import simulate_butterfly_greedy_chunked
+
+        return simulate_butterfly_greedy_chunked(
+            topology,
+            sample,
+            chunk_packets=chunk_packets,
+            discipline=spec.discipline,
+        )
+
     # -- theory --------------------------------------------------------------
 
     def greedy_theory_bounds(self, spec: "ScenarioSpec") -> Tuple[float, float]:

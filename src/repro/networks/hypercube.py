@@ -109,6 +109,24 @@ class HypercubeNetwork(NetworkPlugin):
             dim_order=None if dim_order is None else list(dim_order),
         )
 
+    def simulate_greedy_chunked(
+        self,
+        topology: "Hypercube",
+        spec: "ScenarioSpec",
+        sample: "TrafficSample",
+        chunk_packets: int,
+    ) -> "np.ndarray":
+        from repro.sim.feedforward import simulate_hypercube_greedy_chunked
+
+        dim_order = spec.option("dim_order")
+        return simulate_hypercube_greedy_chunked(
+            topology,
+            sample,
+            chunk_packets=chunk_packets,
+            discipline=spec.discipline,
+            dim_order=None if dim_order is None else list(dim_order),
+        )
+
     # -- theory --------------------------------------------------------------
 
     def greedy_theory_bounds(self, spec: "ScenarioSpec") -> Tuple[float, float]:

@@ -278,6 +278,21 @@ class SchemePlugin:
         """
         return None
 
+    def batch_engine(self, spec: "ScenarioSpec") -> Optional[Any]:
+        """The batching-capable :class:`~repro.engines.api.EnginePlugin`
+        behind :meth:`batch_runner`, or ``None`` when the scheme cannot
+        batch or owns its batch loop opaquely (the default).
+
+        Exposing the engine — not just the sealed runner closure — lets
+        the parallel runner *decompose* a batch: generate all R
+        workloads once in the parent (one vectorised
+        ``build_workload_batch`` pass), publish the arrays to workers
+        through shared memory, and have each worker call the engine's
+        ``batch_deliveries``/``batch_output`` on its slice.  The
+        bit-identity contract is :meth:`batch_runner`'s, seed for seed.
+        """
+        return None
+
     # -- cosmetics -----------------------------------------------------------
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -2,14 +2,26 @@
 
 The hot path of every experiment is running R independent replications
 of one spec (or a whole sweep of specs).  This module executes that
-fan-out along two routes:
+fan-out along three routes:
 
 * **Batched** — when the spec's scheme exposes a batch runner
   (:meth:`~repro.plugins.api.SchemePlugin.batch_runner`, backed by an
   engine plugin declaring ``batching``), R replications stack into
   **one** vectorised computation: no per-task pickling, no per-
-  replication Python overhead.  Large batches are chunked across the
-  process pool; small ones run in process.
+  replication Python overhead.  At ``jobs <= 1`` the whole batch runs
+  in process.
+* **Shared-workload parallel** — the composition of batching with
+  ``jobs > 1``.  When the scheme also exposes the engine behind its
+  batch runner (:meth:`~repro.plugins.api.SchemePlugin.batch_engine`),
+  the parent generates **all** R workloads once (one vectorised
+  ``build_workload_batch`` pass — this is where the replication
+  streams are consumed, so seeding stays centralized), publishes the
+  concatenated arrays through a memory-mapped scratch file, and hands
+  each worker only ``(path, offsets, rep range)``: workers attach
+  zero-copy views and run the engine's stacked solver on their slice.
+  Nothing large is ever pickled, and each replication's output is
+  bit-identical to its sequential twin because the workload draw and
+  the per-replication sample path are both unchanged.
 * **Pooled** — everything else flattens into a one-replication-per-task
   list executed with :mod:`multiprocessing` (chunked sensibly, so
   large sweeps do not pay per-task IPC overhead).
@@ -20,13 +32,17 @@ replication consumes only its own stream — so the numbers are
 bit-for-bit identical whatever ``jobs`` is, whichever route runs,
 and identical to calling :func:`repro.sim.run_spec.run_spec` by hand
 (the batched route's bit-identity is golden-pinned in
-``tests/test_golden_dispatch.py``).
+``tests/test_golden_dispatch.py``; the three-route equivalence in
+``tests/test_execution_paths.py``).
 """
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from multiprocessing import get_context
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -74,37 +90,127 @@ def run_replication(
     return run_spec(spec, seeds[rep], keep_record=keep_record)
 
 
-#: one unit of pool work: a spec plus an ordered slice of its
-#: replication seeds, flagged batched (one stacked engine computation)
-#: or not (a plain per-seed loop); either way it returns one
-#: ReplicationOutput per seed, in seed order
-_Task = Tuple[ScenarioSpec, Tuple[object, ...], bool]
+#: one unit of pool work, tagged by route; every variant returns one
+#: ReplicationOutput per replication, in seed order:
+#:
+#: * ``("seq", spec, seeds)`` — a plain per-seed loop
+#: * ``("batch", spec, seeds, runner_or_None)`` — one stacked engine
+#:   computation; the resolved runner rides along only in process
+#:   (closures do not cross the pool — workers rebuild from the spec)
+#: * ``("shm", spec, path, bounds, horizons, lo, hi)`` — replications
+#:   ``lo:hi`` of a shared pre-generated workload file (see
+#:   :func:`_share_workloads` for the layout)
+_Task = Tuple[Any, ...]
+
+
+def _run_shm_task(task: _Task) -> List[ReplicationOutput]:
+    """Attach the shared workload file and solve replications
+    ``lo:hi`` as one stacked computation."""
+    from repro.engines.api import batch_output
+    from repro.traffic.workload import TrafficSample
+
+    _, spec, path, bounds, horizons, lo, hi = task
+    total = bounds[-1]
+    times = np.memmap(path, dtype=np.float64, mode="r", shape=(total,))
+    origins = np.memmap(
+        path, dtype=np.int64, mode="r", offset=8 * total, shape=(total,)
+    )
+    dests = np.memmap(
+        path, dtype=np.int64, mode="r", offset=16 * total, shape=(total,)
+    )
+    samples = [
+        TrafficSample(
+            np.asarray(times[bounds[r] : bounds[r + 1]]),
+            np.asarray(origins[bounds[r] : bounds[r + 1]]),
+            np.asarray(dests[bounds[r] : bounds[r + 1]]),
+            horizons[r],
+        )
+        for r in range(lo, hi)
+    ]
+    engine = spec.plugin.batch_engine(spec)
+    topology = spec.network_plugin.build_topology(spec)
+    deliveries = engine.batch_deliveries(spec, topology, samples)
+    return [
+        batch_output(spec, sample, delivery)
+        for sample, delivery in zip(samples, deliveries)
+    ]
 
 
 def _run_task(task: _Task) -> List[ReplicationOutput]:
-    spec, seeds, batched = task
-    if batched:
-        runner = spec.plugin.batch_runner(spec)
-        if runner is not None:  # closures don't cross the pool; rebuild
+    kind = task[0]
+    if kind == "shm":
+        return _run_shm_task(task)
+    if kind == "batch":
+        _, spec, seeds, runner = task
+        if runner is None:
+            runner = spec.plugin.batch_runner(spec)
+        if runner is not None:
             return list(runner(seeds))
+        return [run_spec(spec, seed) for seed in seeds]
+    _, spec, seeds = task
     return [run_spec(spec, seed) for seed in seeds]
+
+
+def _chunk_bounds(n: int, jobs: int) -> List[Tuple[int, int]]:
+    """Contiguous near-equal index ranges: one per worker (a 1-item
+    range degenerates gracefully, so keeping every worker busy always
+    beats a bigger batch)."""
+    chunks = min(jobs, n)
+    bounds = np.linspace(0, n, chunks + 1).astype(int)
+    return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
 
 
 def _chunked(seeds: Sequence[object], jobs: int) -> List[Tuple[object, ...]]:
     """Split a batched spec's seeds into contiguous chunks: one
-    in-process batch at ``jobs <= 1``, otherwise one chunk per worker
-    (a 1-seed chunk degenerates to a plain replication, so keeping
-    every worker busy always beats a bigger batch)."""
-    n = len(seeds)
-    if jobs <= 1 or n <= 1:
+    in-process batch at ``jobs <= 1``, otherwise one chunk per
+    worker."""
+    if jobs <= 1 or len(seeds) <= 1:
         return [tuple(seeds)]
-    chunks = min(jobs, n)
-    bounds = np.linspace(0, n, chunks + 1).astype(int)
-    return [
-        tuple(seeds[lo:hi])
-        for lo, hi in zip(bounds[:-1], bounds[1:])
-        if hi > lo
-    ]
+    return [tuple(seeds[lo:hi]) for lo, hi in _chunk_bounds(len(seeds), jobs)]
+
+
+def _share_workloads(
+    spec: ScenarioSpec, seeds: Sequence[object], scratch_dir: str, tag: int
+) -> Optional[Tuple[str, Tuple[int, ...], Tuple[float, ...]]]:
+    """Generate every seed's workload in the parent and publish the
+    arrays through one memory-mapped scratch file.
+
+    Layout (``total`` = packets across all replications): ``times`` as
+    float64 at offset 0, ``origins`` as int64 at ``8 * total``,
+    ``destinations`` as int64 at ``16 * total``; replication *r* owns
+    rows ``bounds[r]:bounds[r + 1]``.  Returns ``None`` for an empty
+    workload (nothing to share — the caller falls back to the plain
+    batched route).
+    """
+    from repro.rng import as_generator
+
+    net = spec.network_plugin
+    samples = net.build_workload_batch(
+        spec, spec.horizon, [as_generator(seed) for seed in seeds]
+    )
+    counts = np.array([s.num_packets for s in samples], dtype=np.int64)
+    bounds = tuple(int(x) for x in np.concatenate(([0], np.cumsum(counts))))
+    if bounds[-1] == 0:
+        return None
+    path = os.path.join(scratch_dir, f"workloads-{tag}.bin")
+    with open(path, "wb") as fh:
+        fh.write(
+            np.concatenate(
+                [np.asarray(s.times, dtype=np.float64) for s in samples]
+            ).tobytes()
+        )
+        fh.write(
+            np.concatenate(
+                [np.asarray(s.origins, dtype=np.int64) for s in samples]
+            ).tobytes()
+        )
+        fh.write(
+            np.concatenate(
+                [np.asarray(s.destinations, dtype=np.int64) for s in samples]
+            ).tobytes()
+        )
+    horizons = tuple(float(s.horizon) for s in samples)
+    return path, bounds, horizons
 
 
 def _execute(tasks: Sequence[_Task], jobs: int) -> List[ReplicationOutput]:
@@ -198,48 +304,80 @@ def measure_many(
     Cached specs contribute no tasks; the rest fan out together, so a
     20-cell sweep with 4 replications each keeps ``jobs`` processes
     busy.  A spec whose scheme exposes a batch runner contributes
-    replication-*batch* tasks (stacked vectorised computations, chunked
-    across the pool for large R); the rest contribute one task per
-    replication.
+    stacked replication-batch tasks — at ``jobs > 1``, when the scheme
+    also exposes the engine behind the runner, its workloads are
+    generated once in the parent and published to the workers through
+    a memory-mapped scratch file (the shared-workload route: nothing
+    large crosses the pool).  The rest contribute one task per
+    replication.  The batch runner and engine are resolved **once per
+    spec** here, never per task.
 
     Caching is two-level.  A spec whose pooled measurement is already
     stored is returned outright; otherwise the store is probed **per
     replication** (cells keyed by ``(replication_hash, k)``, which is
     independent of the replication count), so raising ``replications``
     on a previously measured spec simulates only the new replications
-    and pools them with the cached ones.  Both routes preserve the
-    cells: a batched replication's output is bit-identical to its
-    pooled twin.
+    and pools them with the cached ones.  All routes preserve the
+    cells: a batched or shared-workload replication's output is
+    bit-identical to its pooled twin.
     """
     results: List[Optional[DelayMeasurement]] = [None] * len(specs)
     tasks: List[_Task] = []
     #: per pending spec: (spec index, missing rep indices, cached outputs by rep)
     slots: List[Tuple[int, List[int], Dict[int, ReplicationOutput]]] = []
-    for i, spec in enumerate(specs):
-        cached_reps: Dict[int, ReplicationOutput] = {}
-        if store is not None and not refresh:
-            cached = store.load(spec)
-            if cached is not None:
-                results[i] = cached
-                continue
-            cached_reps = {
-                k: out
-                for k in range(spec.replications)
-                if (out := store.load_replication(spec, k)) is not None
-            }
-        seeds = replication_seeds(
-            spec.base_seed, spec.replications, spec.seed_policy
-        )
-        missing = [k for k in range(spec.replications) if k not in cached_reps]
-        slots.append((i, missing, cached_reps))
-        missing_seeds = [seeds[k] for k in missing]
-        if batch and missing and spec.plugin.batch_runner(spec) is not None:
-            tasks.extend(
-                (spec, chunk, True) for chunk in _chunked(missing_seeds, jobs)
+    scratch_dir: Optional[str] = None
+    try:
+        for i, spec in enumerate(specs):
+            cached_reps: Dict[int, ReplicationOutput] = {}
+            if store is not None and not refresh:
+                cached = store.load(spec)
+                if cached is not None:
+                    results[i] = cached
+                    continue
+                cached_reps = {
+                    k: out
+                    for k in range(spec.replications)
+                    if (out := store.load_replication(spec, k)) is not None
+                }
+            seeds = replication_seeds(
+                spec.base_seed, spec.replications, spec.seed_policy
             )
-        else:
-            tasks.extend((spec, (seed,), False) for seed in missing_seeds)
-    outputs = _execute(tasks, jobs)
+            missing = [k for k in range(spec.replications) if k not in cached_reps]
+            slots.append((i, missing, cached_reps))
+            missing_seeds = [seeds[k] for k in missing]
+            runner = (
+                spec.plugin.batch_runner(spec) if batch and missing else None
+            )
+            if runner is None:
+                tasks.extend(("seq", spec, (seed,)) for seed in missing_seeds)
+                continue
+            shared = None
+            if jobs > 1 and len(missing_seeds) > 1:
+                engine = spec.plugin.batch_engine(spec)
+                if engine is not None:
+                    if scratch_dir is None:
+                        scratch_dir = tempfile.mkdtemp(prefix="repro-shm-")
+                    shared = _share_workloads(
+                        spec, missing_seeds, scratch_dir, tag=len(tasks)
+                    )
+            if shared is not None:
+                path, bounds, horizons = shared
+                tasks.extend(
+                    ("shm", spec, path, bounds, horizons, lo, hi)
+                    for lo, hi in _chunk_bounds(len(missing_seeds), jobs)
+                )
+            else:
+                # the resolved runner closure rides along only when no
+                # pool is involved; workers rebuild it from the spec
+                payload = runner if jobs <= 1 else None
+                tasks.extend(
+                    ("batch", spec, chunk, payload)
+                    for chunk in _chunked(missing_seeds, jobs)
+                )
+        outputs = _execute(tasks, jobs)
+    finally:
+        if scratch_dir is not None:
+            shutil.rmtree(scratch_dir, ignore_errors=True)
     cursor = 0
     for i, missing, cached_reps in slots:
         spec = specs[i]

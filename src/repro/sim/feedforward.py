@@ -51,6 +51,8 @@ __all__ = [
     "simulate_butterfly_greedy",
     "simulate_hypercube_greedy_batch",
     "simulate_butterfly_greedy_batch",
+    "simulate_hypercube_greedy_chunked",
+    "simulate_butterfly_greedy_chunked",
     "simulate_markovian",
     "LevelledSpec",
 ]
@@ -114,6 +116,19 @@ class MarkovianResult:
     decisions: Optional[Dict[int, np.ndarray]]
 
 
+def _running_max_inplace(out: np.ndarray, pos: np.ndarray) -> None:
+    """Hillis–Steele doubling scan over one contiguous run, in place."""
+    max_pos = int(pos.max()) if pos.shape[0] else 0
+    shift = 1
+    while shift <= max_pos:
+        # element i's in-segment predecessor at distance `shift` is
+        # i - shift iff pos[i] >= shift (segments are contiguous);
+        # np.where materialises last round's values before the write
+        candidate = np.where(pos[shift:] >= shift, out[:-shift], -np.inf)
+        np.maximum(out[shift:], candidate, out=out[shift:])
+        shift <<= 1
+
+
 def _segmented_running_max(
     values: np.ndarray,
     pos: np.ndarray,
@@ -127,7 +142,9 @@ def _segmented_running_max(
     operands — but with O(log max-segment-length) vectorised rounds
     instead of a Python loop over segments.  ``blocks`` (boundaries of
     independent row runs, as in :func:`serve_level`) keeps each
-    doubling scan cache-resident on large stacked batches.
+    doubling scan cache-resident on large stacked batches; the scans
+    run in place on views of the output, so a block costs no copies
+    beyond the single upfront one.
     """
     out = values.copy()
     n = out.shape[0]
@@ -135,17 +152,10 @@ def _segmented_running_max(
         return out
     if blocks is not None and len(blocks) > 2:
         for lo, hi in zip(blocks[:-1], blocks[1:]):
-            out[lo:hi] = _segmented_running_max(values[lo:hi], pos[lo:hi])
+            if hi > lo:
+                _running_max_inplace(out[lo:hi], pos[lo:hi])
         return out
-    shift = 1
-    max_pos = int(pos.max())
-    while shift <= max_pos:
-        # element i's in-segment predecessor at distance `shift` is
-        # i - shift iff pos[i] >= shift (segments are contiguous);
-        # np.where materialises last round's values before the write
-        candidate = np.where(pos[shift:] >= shift, out[:-shift], -np.inf)
-        np.maximum(out[shift:], candidate, out=out[shift:])
-        shift <<= 1
+    _running_max_inplace(out, pos)
     return out
 
 
@@ -453,6 +463,251 @@ def simulate_butterfly_greedy_batch(
     if n and np.any(rows != dests):  # pragma: no cover - internal invariant
         raise SimulationError("packets did not reach their destination rows")
     return _split_delivery(cur, counts)
+
+
+# ---------------------------------------------------------------------------
+# chunked-horizon packet mode (streaming, bounded memory)
+# ---------------------------------------------------------------------------
+#
+# The one-shot sweeps materialise every packet's every hop at once, so
+# peak memory grows linearly with the horizon.  The chunked mode
+# processes packets in birth-order chunks instead: a chunk's watermark
+# is its last birth epoch, rows whose arrival at a level exceeds the
+# watermark are parked for a later chunk, and each arc carries its
+# FIFO Lindley prefix state (arrival count + running max) between
+# chunks.  Because every future packet is born at or after the
+# watermark (birth times are sorted) and FIFO ties break by packet id
+# (= birth order), the per-arc service order is exactly the one-shot
+# order, and because ``max`` selects one of its operands exactly, the
+# carried closed form reproduces every departure **bit for bit**
+# (validated against the one-shot path in the tests).  Peak memory is
+# O(chunk + in-flight rows + num_arcs) — bounded by the chunk knob and
+# the topology, independent of the horizon.
+#
+# FIFO only: a PS server's departures depend on arrivals after the
+# watermark, so PS sample paths do not decompose across chunks.
+
+
+class _ArcCarry:
+    """Dense per-arc FIFO Lindley state carried across horizon chunks.
+
+    ``counts[a]`` is how many arrivals arc *a* has served so far and
+    ``run[a]`` the running maximum of ``t_j - s*j`` over them — the
+    prefix state of :func:`serve_level`'s closed form.  Memory is
+    O(num_arcs): topology-bounded, independent of the horizon.
+    """
+
+    __slots__ = ("counts", "run")
+
+    def __init__(self, num_arcs: int) -> None:
+        self.counts = np.zeros(num_arcs, dtype=np.int64)
+        self.run = np.full(num_arcs, -np.inf)
+
+
+def _serve_fifo_carry(
+    arcs: np.ndarray,
+    times: np.ndarray,
+    pids: np.ndarray,
+    service: float,
+    carry: _ArcCarry,
+) -> np.ndarray:
+    """One chunk's share of a level's FIFO arrivals, with carry-over.
+
+    Bit-identical continuation of :func:`serve_level`'s closed form:
+    each arc's rows take global positions ``carry.counts[a]...`` and
+    the running maximum seeds from the carried one.  Chunks split an
+    arc's arrival sequence at a boundary that respects the (time, pid)
+    service order, and ``max`` selects one of its operands exactly, so
+    no departure epoch moves by a single bit.
+    """
+    n = arcs.shape[0]
+    dep = np.empty(n)
+    if n == 0:
+        return dep
+    order = np.lexsort((pids, times, arcs))
+    a_s = arcs[order]
+    t_s = times[order]
+    starts = np.flatnonzero(np.r_[True, a_s[1:] != a_s[:-1]])
+    bounds = np.r_[starts, n]
+    counts = np.diff(bounds)
+    pos = np.arange(n, dtype=np.int64) - np.repeat(starts, counts)
+    uniq = a_s[starts]
+    s = float(service)
+    idx = (pos + np.repeat(carry.counts[uniq], counts)).astype(float)
+    run = _segmented_running_max(t_s - s * idx, pos)
+    np.maximum(run, np.repeat(carry.run[uniq], counts), out=run)
+    dep[order] = s * (idx + 1.0) + run
+    carry.counts[uniq] += counts
+    carry.run[uniq] = run[bounds[1:] - 1]
+    return dep
+
+
+def _require_chunkable(discipline: str, chunk_packets: int) -> int:
+    if discipline != "fifo":
+        raise ConfigurationError(
+            "chunked-horizon mode is FIFO-only: a PS server's departures "
+            "depend on arrivals beyond the chunk watermark, so PS sample "
+            "paths do not decompose across chunks"
+        )
+    chunk = int(chunk_packets)
+    if chunk < 1:
+        raise ConfigurationError(
+            f"chunk_packets must be >= 1, got {chunk_packets!r}"
+        )
+    return chunk
+
+
+def simulate_hypercube_greedy_chunked(
+    cube: Hypercube,
+    sample: TrafficSample,
+    *,
+    chunk_packets: int,
+    dim_order: Optional[Sequence[int]] = None,
+    discipline: str = "fifo",
+) -> np.ndarray:
+    """Delivery epochs of :func:`simulate_hypercube_greedy`, computed
+    in birth-ordered chunks of at most ``chunk_packets`` packets.
+
+    Bit-identical to the one-shot sweep (FIFO only), with peak memory
+    bounded by the chunk size and the topology instead of the horizon.
+    """
+    chunk = _require_chunkable(discipline, chunk_packets)
+    d, n_nodes = cube.d, cube.num_nodes
+    if dim_order is None:
+        dim_order = tuple(range(d))
+    elif sorted(dim_order) != list(range(d)):
+        raise ConfigurationError(
+            f"dim_order must be a permutation of range({d}), got {dim_order!r}"
+        )
+    else:
+        dim_order = tuple(int(x) for x in dim_order)
+    origins = np.asarray(sample.origins, dtype=np.int64)
+    dests = np.asarray(sample.destinations, dtype=np.int64)
+    times = np.asarray(sample.times, dtype=float)
+    n = origins.shape[0]
+    diff = origins ^ dests
+    hops = np.bitwise_count(diff).astype(np.int64)
+    delivery = times.copy()  # zero-hop packets are delivered at birth
+    if n == 0 or not hops.any():
+        return delivery
+    #: bits crossed before position di of dim_order
+    cum_mask = [np.int64(0)] * (d + 1)
+    for di, dim in enumerate(dim_order):
+        cum_mask[di + 1] = np.int64(int(cum_mask[di]) | (1 << dim))
+    carry = _ArcCarry(cube.num_arcs)
+    #: per level position: rows parked by an earlier chunk because
+    #: their arrival epoch exceeded its watermark — (pids, arrivals)
+    parked: List[List[Tuple[np.ndarray, np.ndarray]]] = [[] for _ in range(d)]
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        watermark = np.inf if hi >= n else float(times[hi - 1])
+        level_in, parked = parked, [[] for _ in range(d)]
+        fresh = np.arange(lo, hi, dtype=np.int64)
+        fresh = fresh[hops[lo:hi] > 0]
+        if fresh.size:
+            # a packet enters at the first dim_order position it must cross
+            entry = np.empty(fresh.size, dtype=np.int64)
+            fdiff = diff[fresh]
+            for di in range(d - 1, -1, -1):
+                m = ((fdiff >> np.int64(dim_order[di])) & 1).astype(bool)
+                entry[m] = di
+            for di in range(d):
+                m = entry == di
+                if m.any():
+                    level_in[di].append((fresh[m], times[fresh[m]]))
+        for di in range(d):
+            if not level_in[di]:
+                continue
+            pids_l = np.concatenate([c[0] for c in level_in[di]])
+            t_l = np.concatenate([c[1] for c in level_in[di]])
+            ready = t_l <= watermark
+            if not ready.all():
+                wait = ~ready
+                parked[di].append((pids_l[wait], t_l[wait]))
+                pids_l = pids_l[ready]
+                t_l = t_l[ready]
+            if pids_l.size == 0:
+                continue
+            pdiff = diff[pids_l]
+            already = pdiff & cum_mask[di]
+            arc_ids = (
+                np.int64(dim_order[di]) * n_nodes + (origins[pids_l] ^ already)
+            )
+            dep = _serve_fifo_carry(arc_ids, t_l, pids_l, 1.0, carry)
+            done = (
+                np.bitwise_count(already).astype(np.int64) + 1 == hops[pids_l]
+            )
+            delivery[pids_l[done]] = dep[done]
+            cont = ~done
+            if not cont.any():
+                continue
+            crows = pids_l[cont]
+            cdep = dep[cont]
+            cdiff = pdiff[cont]
+            assigned = np.zeros(crows.size, dtype=bool)
+            for dj in range(di + 1, d):
+                m = ((cdiff >> np.int64(dim_order[dj])) & 1).astype(bool)
+                m &= ~assigned
+                if m.any():
+                    level_in[dj].append((crows[m], cdep[m]))
+                    assigned |= m
+                    if assigned.all():
+                        break
+    return delivery
+
+
+def simulate_butterfly_greedy_chunked(
+    bf: Butterfly,
+    sample: TrafficSample,
+    *,
+    chunk_packets: int,
+    discipline: str = "fifo",
+) -> np.ndarray:
+    """Delivery epochs of :func:`simulate_butterfly_greedy`, computed
+    in birth-ordered chunks (the butterfly analogue of
+    :func:`simulate_hypercube_greedy_chunked`)."""
+    chunk = _require_chunkable(discipline, chunk_packets)
+    d, rows_per_level = bf.d, bf.rows
+    origins = np.asarray(sample.origins, dtype=np.int64)
+    dests = np.asarray(sample.destinations, dtype=np.int64)
+    times = np.asarray(sample.times, dtype=float)
+    n = origins.shape[0]
+    diff = origins ^ dests
+    delivery = times.copy()
+    if n == 0 or d == 0:
+        return delivery
+    carry = _ArcCarry(bf.num_arcs)
+    parked: List[List[Tuple[np.ndarray, np.ndarray]]] = [[] for _ in range(d)]
+    for lo in range(0, n, chunk):
+        hi = min(lo + chunk, n)
+        watermark = np.inf if hi >= n else float(times[hi - 1])
+        level_in, parked = parked, [[] for _ in range(d)]
+        fresh = np.arange(lo, hi, dtype=np.int64)
+        level_in[0].append((fresh, times[lo:hi]))
+        for level in range(d):
+            if not level_in[level]:
+                continue
+            pids_l = np.concatenate([c[0] for c in level_in[level]])
+            t_l = np.concatenate([c[1] for c in level_in[level]])
+            ready = t_l <= watermark
+            if not ready.all():
+                wait = ~ready
+                parked[level].append((pids_l[wait], t_l[wait]))
+                pids_l = pids_l[ready]
+                t_l = t_l[ready]
+            if pids_l.size == 0:
+                continue
+            pdiff = diff[pids_l]
+            # row address entering `level`: bits below it already applied
+            rows_addr = origins[pids_l] ^ (pdiff & np.int64((1 << level) - 1))
+            kind = (pdiff >> np.int64(level)) & 1
+            arc_ids = level * 2 * rows_per_level + 2 * rows_addr + kind
+            dep = _serve_fifo_carry(arc_ids, t_l, pids_l, 1.0, carry)
+            if level + 1 == d:
+                delivery[pids_l] = dep
+            else:
+                level_in[level + 1].append((pids_l, dep))
+    return delivery
 
 
 def _merge_logs(

@@ -66,6 +66,7 @@ def simulate_paths_fixed_point(
     discipline: str = "fifo",
     service: float = 1.0,
     max_sweeps: Optional[int] = None,
+    rep_blocks: Optional[np.ndarray] = None,
 ) -> FixedPointResult:
     """Simulate packets following explicit arc paths, vectorised.
 
@@ -76,6 +77,14 @@ def simulate_paths_fixed_point(
     delivered at birth.  FIFO sample paths agree with the event engine
     bit-for-bit (both reduce to the same max-plus arithmetic); PS
     agrees to floating-point round-off.
+
+    ``rep_blocks`` is the replication-batching fast path (mirroring
+    :func:`repro.sim.feedforward.serve_level`'s ``blocks``): boundaries
+    of contiguous *hop-row* runs whose arc-id ranges are disjoint and
+    increasing — how the batch entry point stacks R replications.
+    Every sweep's sort then runs per block (cache-resident, exactly the
+    sorts R standalone solves would do) instead of one large lexsort
+    over the whole stack, with a bit-identical global order.
     """
     if discipline not in ("fifo", "ps"):
         raise ConfigurationError(f"unknown discipline {discipline!r}")
@@ -121,9 +130,21 @@ def simulate_paths_fixed_point(
     # applied to its (unchanged) actual arrivals.
     arc_dirty = np.ones(num_arcs, dtype=bool)
     for sweep in range(1, max_sweeps + 1):
-        rows = arc_dirty[hop_arc]
+        rows = np.flatnonzero(arc_dirty[hop_arc])
+        # dirty rows keep the stacked layout's rep-major order, so the
+        # disjoint-increasing-block structure survives the subsetting
+        blocks = (
+            None
+            if rep_blocks is None
+            else np.searchsorted(rows, rep_blocks)
+        )
         departures[rows], _ = serve_level(
-            hop_arc[rows], arrivals[rows], hop_pid[rows], discipline, service
+            hop_arc[rows],
+            arrivals[rows],
+            hop_pid[rows],
+            discipline,
+            service,
+            blocks=blocks,
         )
         moved = chained_rows[
             departures[chained_rows - 1] != arrivals[chained_rows]
@@ -168,9 +189,12 @@ def simulate_paths_fixed_point_batch(
         return []
     births = np.concatenate([np.asarray(t, dtype=float) for t in birth_times])
     stacked: List[List[int]] = []
+    rep_hops = np.empty(reps, dtype=np.int64)
     for r, rep_paths in enumerate(paths):
         base = r * num_arcs
         stacked.extend([arc + base for arc in path] for path in rep_paths)
+        rep_hops[r] = sum(len(path) for path in rep_paths)
+    rep_blocks = np.concatenate(([0], np.cumsum(rep_hops)))
     result = simulate_paths_fixed_point(
         num_arcs * reps,
         births,
@@ -178,6 +202,7 @@ def simulate_paths_fixed_point_batch(
         discipline=discipline,
         service=service,
         max_sweeps=max_sweeps,
+        rep_blocks=rep_blocks,
     )
     counts = np.cumsum([len(t) for t in birth_times])[:-1]
     return np.split(result.delivery, counts)

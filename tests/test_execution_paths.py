@@ -1,0 +1,268 @@
+"""The three-route equivalence contract of the parallel runner.
+
+One spec, three ways to execute its replications — sequential
+per-replication tasks, the cache-resident sub-batched engine path, and
+the shared-workload parallel composition (``jobs > 1`` with workloads
+generated centrally and published through a memory-mapped file) — plus
+the bounded-memory chunked-horizon mode.  All of them must be
+**bit-identical**: same pooled measurement, and byte-identical
+per-replication cache cells (the cells are how sweeps compose across
+sessions, so even a one-ulp drift would poison every downstream
+pooled estimate).
+"""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import ScenarioSpec, measure
+from repro.runner.store import ResultsStore
+
+#: one small cell per registered network (both native engines: the
+#: level sweep on hypercube/butterfly, the fixed-point solver on
+#: ring/torus), sized so the full matrix stays fast
+CELLS = [
+    ScenarioSpec(
+        name="paths-hc", network="hypercube", scheme="greedy", d=4,
+        rho=0.6, horizon=6.0, replications=5, base_seed=11,
+        seed_policy="sequential",
+    ),
+    ScenarioSpec(
+        name="paths-bf", network="butterfly", scheme="greedy", d=3,
+        rho=0.6, horizon=6.0, replications=5, base_seed=12,
+        seed_policy="sequential",
+    ),
+    ScenarioSpec(
+        name="paths-ring", network="ring", scheme="greedy", d=4,
+        rho=0.5, horizon=5.0, replications=4, base_seed=13,
+        seed_policy="spawn",
+    ),
+    ScenarioSpec(
+        name="paths-torus", network="torus", scheme="greedy", d=2,
+        rho=0.5, horizon=5.0, replications=4, base_seed=14,
+        seed_policy="spawn",
+    ),
+]
+
+#: the two pool widths the shared-workload route is exercised at
+WORKER_COUNTS = (2, 4)
+
+
+def _cell_bytes(store, spec):
+    return [
+        store.replication_path_for(spec, k).read_bytes()
+        for k in range(spec.replications)
+    ]
+
+
+def _cell_numbers(store, spec):
+    """The numeric payload of each per-replication cell (a chunked
+    spec's cell embeds its own spec dict — different content hash, by
+    design — so byte equality only applies within one spec)."""
+    import json
+
+    out = []
+    for k in range(spec.replications):
+        cell = json.loads(store.replication_path_for(spec, k).read_text())
+        out.append((cell["mean_delay"], cell["num_packets"], cell["metrics"]))
+    return out
+
+
+class TestThreeRouteEquivalence:
+    @pytest.mark.parametrize("spec", CELLS, ids=lambda s: s.network)
+    def test_sequential_batched_parallel_identical(self, spec, tmp_path):
+        """Pooled measurements equal and per-replication cache cells
+        byte-identical across every route and worker count."""
+        seq_store = ResultsStore(tmp_path / "seq")
+        m_seq = measure(spec, jobs=1, batch=False, store=seq_store)
+        reference = _cell_bytes(seq_store, spec)
+
+        bat_store = ResultsStore(tmp_path / "bat")
+        m_bat = measure(spec, jobs=1, batch=True, store=bat_store)
+        assert m_bat == m_seq
+        assert _cell_bytes(bat_store, spec) == reference
+
+        for jobs in WORKER_COUNTS:
+            par_store = ResultsStore(tmp_path / f"par{jobs}")
+            m_par = measure(spec, jobs=jobs, batch=True, store=par_store)
+            assert m_par == m_seq, f"jobs={jobs}"
+            assert _cell_bytes(par_store, spec) == reference, f"jobs={jobs}"
+
+    @pytest.mark.parametrize(
+        "spec", [s for s in CELLS if s.network in ("hypercube", "butterfly")],
+        ids=lambda s: s.network,
+    )
+    def test_chunked_horizon_identical(self, spec, tmp_path):
+        """The chunked-horizon mode matches the one-shot sweep bit for
+        bit, in process and across the pool (the chunk size must never
+        leak into the numbers — only into the memory profile)."""
+        seq_store = ResultsStore(tmp_path / "seq")
+        m_seq = measure(spec, jobs=1, batch=False, store=seq_store)
+        reference = _cell_numbers(seq_store, spec)
+        for chunk in (1, 7, 50, 10**6):
+            chunked = spec.replace(extra={"chunk_packets": chunk})
+            chk_store = ResultsStore(tmp_path / f"chk{chunk}")
+            m_chk = measure(chunked, jobs=1, batch=True, store=chk_store)
+            assert m_chk.replication_delays == m_seq.replication_delays
+            assert _cell_numbers(chk_store, chunked) == reference
+        chunked = spec.replace(extra={"chunk_packets": 13})
+        m_par = measure(chunked, jobs=2, batch=True)
+        assert m_par.replication_delays == m_seq.replication_delays
+
+
+class TestChunkedKernels:
+    def test_hypercube_chunked_respects_dim_order(self):
+        """Chunk composition commutes with a permuted global crossing
+        order (the carry is per *arc*, and arcs are dimension-scoped)."""
+        base = ScenarioSpec(
+            name="chk-order", network="hypercube", scheme="greedy", d=6,
+            rho=0.6, horizon=6.0, replications=2, base_seed=5,
+            extra={"dim_order": (3, 0, 5, 1, 4, 2)},
+        )
+        m_one = measure(base, jobs=1, batch=False)
+        m_chk = measure(
+            base.replace(extra={"dim_order": (3, 0, 5, 1, 4, 2),
+                                "chunk_packets": 19}),
+            jobs=1, batch=True,
+        )
+        assert m_chk.replication_delays == m_one.replication_delays
+
+    def test_chunked_rejects_ps(self):
+        spec = ScenarioSpec(
+            name="chk-ps", network="hypercube", scheme="greedy", d=4,
+            rho=0.5, horizon=4.0, replications=1, discipline="ps",
+            extra={"chunk_packets": 16},
+        )
+        with pytest.raises(ConfigurationError, match="FIFO"):
+            measure(spec, jobs=1)
+
+    def test_chunked_rejects_nonpositive_chunk(self):
+        from repro.sim.feedforward import simulate_hypercube_greedy_chunked
+        from repro.topology.hypercube import Hypercube
+        from repro.traffic.workload import HypercubeWorkload
+        from repro.traffic.destinations import UniformLaw
+
+        cube = Hypercube(4)
+        sample = HypercubeWorkload(cube, 1.0, UniformLaw(4)).generate(
+            2.0, np.random.default_rng(0)
+        )
+        with pytest.raises(ConfigurationError, match="chunk_packets"):
+            simulate_hypercube_greedy_chunked(cube, sample, chunk_packets=0)
+
+    def test_chunked_rejects_unchunkable_network(self):
+        """Networks without a chunk-composable kernel reject the option
+        at validation time (fixedpoint declares no such option)."""
+        with pytest.raises(ConfigurationError, match="chunk_packets"):
+            spec = ScenarioSpec(
+                name="chk-ring", network="ring", scheme="greedy", d=4,
+                rho=0.5, horizon=4.0, replications=1,
+                extra={"chunk_packets": 16},
+            )
+            measure(spec, jobs=1)
+
+
+class TestBoundedMemory:
+    def test_long_horizon_peak_is_chunk_bounded_not_horizon_bounded(self):
+        """On a long-horizon cell the one-shot sweep's transient
+        footprint scales with the horizon; the chunked sweep's scales
+        with the chunk + the topology.  The gap is the whole point of
+        the mode."""
+        spec = ScenarioSpec(
+            name="mem-long", network="hypercube", scheme="greedy", d=8,
+            rho=0.7, horizon=150.0, replications=1, base_seed=2,
+        )
+        net = spec.network_plugin
+        topology = net.build_topology(spec)
+        from repro.rng import as_generator, replication_seeds
+
+        seeds = replication_seeds(spec.base_seed, 1, spec.seed_policy)
+        sample = net.build_workload(spec).generate(
+            spec.horizon, as_generator(seeds[0])
+        )
+        tracemalloc.start()
+        one_shot = net.simulate_greedy(topology, spec, sample)
+        _, peak_one = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        tracemalloc.start()
+        chunked = net.simulate_greedy_chunked(topology, spec, sample, 2048)
+        _, peak_chunk = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert np.array_equal(one_shot, chunked)
+        assert peak_chunk < peak_one / 2
+
+    def test_d20_cell_completes_in_carry_bounded_memory(self):
+        """A d=20 hypercube cell (1M nodes, 21M arcs) streams through
+        the chunked kernel with peak *additional* memory bounded by the
+        dense per-arc carry plus a chunk-sized working set — not by the
+        horizon — and stays bit-identical to the one-shot sweep."""
+        spec = ScenarioSpec(
+            name="mem-d20", network="hypercube", scheme="greedy", d=20,
+            rho=0.6, horizon=0.05, replications=1, base_seed=3,
+        )
+        net = spec.network_plugin
+        topology = net.build_topology(spec)
+        from repro.rng import as_generator, replication_seeds
+
+        seeds = replication_seeds(spec.base_seed, 1, spec.seed_policy)
+        sample = net.build_workload(spec).generate(
+            spec.horizon, as_generator(seeds[0])
+        )
+        assert sample.num_packets > 20_000  # a real cell, not a toy
+        chunk = 8192
+        tracemalloc.start()
+        chunked = net.simulate_greedy_chunked(topology, spec, sample, chunk)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # dense carry: int64 counts + float64 running max per arc
+        carry_bytes = topology.num_arcs * 16
+        # plus a chunk-scaled transient working set and ~a few hundred
+        # bytes of in-flight bookkeeping per packet (delivery/hops/
+        # entry plus the parked (pid, arrival) rows) — crucially, NOT
+        # the one-shot sweep's multiple-arrays-per-(packet, level)
+        # footprint, which is what the horizon multiplies
+        budget = carry_bytes + 64 * 8 * chunk + 400 * sample.num_packets
+        assert peak < budget
+        one_shot = net.simulate_greedy(topology, spec, sample)
+        assert np.array_equal(one_shot, chunked)
+
+
+class TestRunnerResolution:
+    def test_batch_runner_resolved_once_per_spec(self, monkeypatch):
+        """measure_many must resolve the scheme's batch runner once per
+        spec — never again at task-execution time in the same process."""
+        from repro.plugins.greedy import GreedyPlugin
+
+        calls = []
+        original = GreedyPlugin.batch_runner
+
+        def counting(self, spec):
+            calls.append(spec.name)
+            return original(self, spec)
+
+        monkeypatch.setattr(GreedyPlugin, "batch_runner", counting)
+        spec = CELLS[0]
+        measure(spec, jobs=1, batch=True)
+        assert calls == [spec.name]
+
+    def test_shared_workload_scratch_is_cleaned_up(self, tmp_path, monkeypatch):
+        """The memory-mapped scratch directory must not outlive the
+        measure_many call."""
+        import tempfile
+
+        created = []
+        real = tempfile.mkdtemp
+
+        def tracking(*args, **kwargs):
+            path = real(*args, **kwargs)
+            created.append(path)
+            return path
+
+        monkeypatch.setattr(tempfile, "mkdtemp", tracking)
+        measure(CELLS[0], jobs=2, batch=True)
+        import os
+
+        scratch = [p for p in created if "repro-shm-" in p]
+        assert scratch, "the jobs>1 batched route should share workloads"
+        assert not any(os.path.exists(p) for p in scratch)

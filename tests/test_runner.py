@@ -351,9 +351,10 @@ class TestResultsStore:
 
         monkeypatch.setattr(engine_mod, "_run_task", counting)
         grown = measure(small.replace(replications=5), store=store)
-        # replications 2, 3, 4 only (a task may carry several seeds —
-        # the batched route stacks them into one computation)
-        assert sum(len(t[1]) for t in executed) == 3
+        # replications 2, 3, 4 only (a "seq"/"batch" task's third slot
+        # is its seed tuple — the batched route stacks several seeds
+        # into one computation)
+        assert sum(len(t[2]) for t in executed) == 3
         # the first two pooled estimates are the cached ones, bit for bit
         assert grown.replication_delays[:2] == first.replication_delays
         # and the pooled result equals a from-scratch computation
