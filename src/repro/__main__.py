@@ -18,7 +18,12 @@ Subcommands:
 * ``describe``        — one scenario in full: spec fields + plugin capabilities;
 * ``run``             — execute a registered scenario: parallel replications,
   pooled confidence interval, content-hash results cache;
-* ``cache``           — inspect or clear the content-hash results store.
+* ``cache``           — inspect (``info [--json]``), clear, or evict
+  (``prune --older-than/--max-bytes``) the content-hash results store,
+  under any backend (``file``/``locked``/``sqlite``);
+* ``serve``           — the measurement server: an asyncio HTTP API over the
+  results cache (POST specs, instant cache hits, queued jobs with SSE
+  progress, cooperative cancel).
 
 Examples::
 
@@ -34,7 +39,9 @@ Examples::
     python -m repro traffics
     python -m repro describe butterfly-greedy-event
     python -m repro run hypercube-greedy-mid --replications 8 --jobs 4
-    python -m repro cache info
+    python -m repro cache info --json
+    python -m repro cache prune --older-than 30d --max-bytes 100mb
+    python -m repro serve --port 8765 --workers 4
 """
 
 from __future__ import annotations
@@ -289,7 +296,12 @@ def _cmd_traffics(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    store = ResultsStore(args.cache_dir)
+    import json as _json
+
+    from repro.runner import make_store
+    from repro.runner.store import parse_duration, parse_size
+
+    store = make_store(args.cache_dir, args.backend)
     if args.action == "clear":
         removed = store.clear()
         print(
@@ -298,15 +310,90 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             f"{store.root}"
         )
         return 0
-    stats = store.stats()
+    if args.action == "prune":
+        older_than = (
+            parse_duration(args.older_than) if args.older_than else None
+        )
+        max_bytes = parse_size(args.max_bytes) if args.max_bytes else None
+        if older_than is None and max_bytes is None:
+            print(
+                "nothing to prune: give --older-than and/or --max-bytes",
+                file=sys.stderr,
+            )
+            return 2
+        removed = store.prune(older_than=older_than, max_bytes=max_bytes)
+        payload = {
+            "root": str(store.root),
+            "action": "prune",
+            "removed": removed.to_dict(),
+            "remaining": store.stats().to_dict(),
+        }
+        if args.json:
+            print(_json.dumps(payload, indent=1, sort_keys=True))
+        else:
+            print(
+                f"pruned {removed.pooled} pooled and {removed.replications} "
+                f"per-replication cells ({removed.total_bytes} bytes) from "
+                f"{store.root}"
+            )
+        return 0
+    # info: verify every cell so silent-miss rot (corrupt cells) is visible
+    stats = store.stats(verify=True)
+    if args.json:
+        payload = {
+            "root": str(store.root),
+            "backend": args.backend or "file",
+            "exists": store.root.is_dir(),
+            "pooled": stats.pooled,
+            "replications": stats.replications,
+            "total_bytes": stats.total_bytes,
+            "corrupt": stats.corrupt,
+        }
+        print(_json.dumps(payload, indent=1, sort_keys=True))
+        return 0
     rows = [
         ("root", str(store.root)),
         ("exists", store.root.is_dir()),
         ("pooled cells", stats.pooled),
         ("per-replication cells", stats.replications),
         ("total bytes", stats.total_bytes),
+        ("corrupt cells", stats.corrupt),
     ]
     print(format_table(["quantity", "value"], rows, title="results store"))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import ReproServer
+
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        backend=args.backend,
+        wave_reps=args.wave_reps,
+    )
+
+    async def _main() -> None:
+        await server.start()
+        print(
+            f"serving on http://{server.host}:{server.port} "
+            f"(workers={server.manager.workers}, "
+            f"cache={server.store_root}, backend={server.backend})",
+            flush=True,
+        )
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -526,14 +613,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     sp = sub.add_parser(
         "cache",
-        help="inspect or clear the content-hash results store",
+        help="inspect, clear, or prune the content-hash results store",
     )
-    sp.add_argument("action", choices=("info", "clear"),
-                    help="info = cell counts and size; clear = delete "
-                    "the store's cells (foreign files are left alone)")
+    sp.add_argument("action", choices=("info", "clear", "prune"),
+                    help="info = cell counts, size, and corrupt-cell rot; "
+                    "clear = delete the store's cells (foreign files are "
+                    "left alone); prune = TTL/LRU eviction")
     sp.add_argument("--cache-dir", default=None,
                     help="results store root (default: $REPRO_CACHE_DIR or .repro-cache)")
+    sp.add_argument("--backend", default=None,
+                    choices=("file", "locked", "sqlite"),
+                    help="store backend (default: $REPRO_CACHE_BACKEND or file)")
+    sp.add_argument("--json", action="store_true",
+                    help="machine-readable output (info and prune)")
+    sp.add_argument("--older-than", default=None, metavar="AGE",
+                    help="prune: drop cells older than AGE (e.g. 90, 12h, 30d)")
+    sp.add_argument("--max-bytes", default=None, metavar="SIZE",
+                    help="prune: evict LRU cells until the store fits SIZE "
+                    "(e.g. 4096, 512kb, 100mb)")
     sp.set_defaults(func=_cmd_cache)
+
+    sp = sub.add_parser(
+        "serve",
+        help="measurement server: HTTP API over the results cache",
+    )
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=8765,
+                    help="TCP port (0 picks a free one)")
+    sp.add_argument("--workers", type=int, default=2,
+                    help="measurement worker processes")
+    sp.add_argument("--cache-dir", default=None,
+                    help="results store root, pinned at startup "
+                    "(default: $REPRO_CACHE_DIR or .repro-cache)")
+    sp.add_argument("--backend", default="locked",
+                    choices=("file", "locked", "sqlite"),
+                    help="store backend; 'locked' adds cross-process "
+                    "fcntl locking to the plain file layout")
+    sp.add_argument("--wave-reps", type=int, default=1,
+                    help="replications per task wave: the progress/"
+                    "cancellation granularity of a job (larger = more "
+                    "batching throughput, chunkier progress)")
+    sp.set_defaults(func=_cmd_serve)
 
     sp = sub.add_parser(
         "describe",

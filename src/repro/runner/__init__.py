@@ -36,7 +36,14 @@ from repro.plugins.registry import (
     get_plugin,
     iter_plugins,
 )
+from repro.runner.backends import (
+    LockedResultsStore,
+    SqliteResultsStore,
+    make_store,
+)
 from repro.runner.engine import (
+    MeasureProgress,
+    MeasurementCancelled,
     measure,
     measure_many,
     run_replication,
@@ -56,6 +63,11 @@ __all__ = [
     "ScenarioSpec",
     "DelayMeasurement",
     "ResultsStore",
+    "LockedResultsStore",
+    "SqliteResultsStore",
+    "make_store",
+    "MeasureProgress",
+    "MeasurementCancelled",
     "available_networks",
     "available_schemes",
     "get_plugin",

@@ -38,11 +38,13 @@ and identical to calling :func:`repro.sim.run_spec.run_spec` by hand
 
 from __future__ import annotations
 
+import math
 import os
 import shutil
 import tempfile
+from dataclasses import dataclass
 from multiprocessing import get_context
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,11 +56,50 @@ from repro.sim.run_spec import ReplicationOutput, run_spec
 from repro.stats import mean_confidence_interval
 
 __all__ = [
+    "MeasureProgress",
+    "MeasurementCancelled",
     "measure",
     "measure_many",
     "run_replication",
     "theory_bounds",
 ]
+
+
+class MeasurementCancelled(RuntimeError):
+    """A cooperative cancel fired between task waves.
+
+    Every replication completed before the cancel is already persisted
+    (when a store was given), so re-issuing the same call resumes from
+    those per-replication cells instead of recomputing them.
+    ``completed`` counts the replications this call finished before
+    stopping.
+    """
+
+    def __init__(self, completed: int = 0) -> None:
+        super().__init__(
+            f"measurement cancelled after {completed} replication(s)"
+        )
+        self.completed = completed
+
+
+@dataclass(frozen=True)
+class MeasureProgress:
+    """One progress beat from :func:`measure_many`.
+
+    Emitted per spec when its cached replications are counted, then
+    after every completed task wave.  ``completed`` counts
+    replications newly simulated by this call, ``cached`` those served
+    from per-replication cells; ``remaining`` is what is still queued.
+    """
+
+    spec_index: int
+    completed: int
+    cached: int
+    total: int
+
+    @property
+    def remaining(self) -> int:
+        return self.total - self.completed - self.cached
 
 
 
@@ -151,22 +192,33 @@ def _run_task(task: _Task) -> List[ReplicationOutput]:
     return [run_spec(spec, seed) for seed in seeds]
 
 
-def _chunk_bounds(n: int, jobs: int) -> List[Tuple[int, int]]:
+def _chunk_bounds(
+    n: int, jobs: int, wave_reps: Optional[int] = None
+) -> List[Tuple[int, int]]:
     """Contiguous near-equal index ranges: one per worker (a 1-item
     range degenerates gracefully, so keeping every worker busy always
-    beats a bigger batch)."""
-    chunks = min(jobs, n)
+    beats a bigger batch).  ``wave_reps`` additionally caps every
+    range at that many replications — the cancellation/progress
+    granularity: cancel fires and cells persist between ranges, so a
+    smaller cap trades batching throughput for responsiveness."""
+    chunks = min(max(jobs, 1), n)
+    if wave_reps is not None and wave_reps >= 1:
+        chunks = max(chunks, math.ceil(n / wave_reps))
+    chunks = min(chunks, n)
     bounds = np.linspace(0, n, chunks + 1).astype(int)
     return [(int(lo), int(hi)) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo]
 
 
-def _chunked(seeds: Sequence[object], jobs: int) -> List[Tuple[object, ...]]:
+def _chunked(
+    seeds: Sequence[object], jobs: int, wave_reps: Optional[int] = None
+) -> List[Tuple[object, ...]]:
     """Split a batched spec's seeds into contiguous chunks: one
     in-process batch at ``jobs <= 1``, otherwise one chunk per
-    worker."""
-    if jobs <= 1 or len(seeds) <= 1:
+    worker (both further split when ``wave_reps`` caps the wave)."""
+    if len(seeds) <= 1:
         return [tuple(seeds)]
-    return [tuple(seeds[lo:hi]) for lo, hi in _chunk_bounds(len(seeds), jobs)]
+    bounds = _chunk_bounds(len(seeds), 1 if jobs <= 1 else jobs, wave_reps)
+    return [tuple(seeds[lo:hi]) for lo, hi in bounds]
 
 
 def _share_workloads(
@@ -213,17 +265,40 @@ def _share_workloads(
     return path, bounds, horizons
 
 
-def _execute(tasks: Sequence[_Task], jobs: int) -> List[ReplicationOutput]:
+def _execute(
+    tasks: Sequence[_Task],
+    jobs: int,
+    on_task_done: Optional[Callable[[int, List[ReplicationOutput]], None]] = None,
+) -> List[ReplicationOutput]:
     """Run every task (in parallel when ``jobs > 1``) and concatenate
-    their outputs in task order."""
+    their outputs in task order.
+
+    *on_task_done* fires after each task completes, in task order —
+    the hook :func:`measure_many` uses to persist cells incrementally,
+    report progress, and check for cancellation.  A callback that
+    raises aborts the run (in-flight pool workers are terminated by
+    the pool's context manager); results streamed so far have already
+    been handed to the callback.
+    """
+    chunks: List[List[ReplicationOutput]] = []
+
+    def _done(i: int, outs: List[ReplicationOutput]) -> None:
+        chunks.append(outs)
+        if on_task_done is not None:
+            on_task_done(i, outs)
+
     if jobs <= 1 or len(tasks) <= 1:
-        chunks = [_run_task(t) for t in tasks]
+        for i, t in enumerate(tasks):
+            _done(i, _run_task(t))
     else:
         workers = min(jobs, len(tasks))
         # amortise per-task IPC: aim for ~4 waves of tasks per worker
         chunksize = max(1, len(tasks) // (workers * 4))
         with get_context().Pool(processes=workers) as pool:
-            chunks = pool.map(_run_task, tasks, chunksize=chunksize)
+            for i, outs in enumerate(
+                pool.imap(_run_task, tasks, chunksize=chunksize)
+            ):
+                _done(i, outs)
     return [out for chunk in chunks for out in chunk]
 
 
@@ -277,6 +352,9 @@ def measure(
     store: Optional[ResultsStore] = None,
     refresh: bool = False,
     batch: bool = True,
+    cancel: Optional[Callable[[], bool]] = None,
+    progress: Optional[Callable[[MeasureProgress], None]] = None,
+    wave_reps: Optional[int] = None,
 ) -> DelayMeasurement:
     """Run every replication of *spec* (in parallel when ``jobs > 1``)
     and pool them into one :class:`DelayMeasurement`.
@@ -286,9 +364,19 @@ def measure(
     recomputation (and overwrites the cache cell).  ``batch=False``
     forces the one-replication-per-task route even when the spec's
     engine could batch (benchmarking and cross-validation).
+    ``cancel``/``progress``/``wave_reps`` are forwarded to
+    :func:`measure_many` — see there for the cooperative-cancellation
+    and resumability contract.
     """
     return measure_many(
-        [spec], jobs=jobs, store=store, refresh=refresh, batch=batch
+        [spec],
+        jobs=jobs,
+        store=store,
+        refresh=refresh,
+        batch=batch,
+        cancel=cancel,
+        progress=progress,
+        wave_reps=wave_reps,
     )[0]
 
 
@@ -298,6 +386,9 @@ def measure_many(
     store: Optional[ResultsStore] = None,
     refresh: bool = False,
     batch: bool = True,
+    cancel: Optional[Callable[[], bool]] = None,
+    progress: Optional[Callable[[MeasureProgress], None]] = None,
+    wave_reps: Optional[int] = None,
 ) -> List[DelayMeasurement]:
     """Batched :func:`measure`: one flat task list across all *specs*.
 
@@ -320,12 +411,27 @@ def measure_many(
     and pools them with the cached ones.  All routes preserve the
     cells: a batched or shared-workload replication's output is
     bit-identical to its pooled twin.
+
+    **Cancellation and resumability.**  *cancel* is polled between
+    task waves (and once up front); when it returns true the run stops
+    with :class:`MeasurementCancelled`.  Each wave's per-replication
+    cells are persisted the moment the wave completes — not at the end
+    of the whole run — so a cancelled (or crashed) call re-issued with
+    the same store resumes from every finished replication.
+    *wave_reps* caps how many replications one wave stacks (the
+    cancel/persist granularity); *progress* receives a
+    :class:`MeasureProgress` per spec up front (its cached count) and
+    after every wave.
     """
     results: List[Optional[DelayMeasurement]] = [None] * len(specs)
     tasks: List[_Task] = []
+    #: per task: (slot index, replication indices the task covers)
+    meta: List[Tuple[int, Tuple[int, ...]]] = []
     #: per pending spec: (spec index, missing rep indices, cached outputs by rep)
     slots: List[Tuple[int, List[int], Dict[int, ReplicationOutput]]] = []
     scratch_dir: Optional[str] = None
+    if cancel is not None and cancel():
+        raise MeasurementCancelled(0)
     try:
         for i, spec in enumerate(specs):
             cached_reps: Dict[int, ReplicationOutput] = {}
@@ -333,6 +439,12 @@ def measure_many(
                 cached = store.load(spec)
                 if cached is not None:
                     results[i] = cached
+                    if progress is not None:
+                        progress(
+                            MeasureProgress(
+                                i, 0, spec.replications, spec.replications
+                            )
+                        )
                     continue
                 cached_reps = {
                     k: out
@@ -343,13 +455,20 @@ def measure_many(
                 spec.base_seed, spec.replications, spec.seed_policy
             )
             missing = [k for k in range(spec.replications) if k not in cached_reps]
+            slot_idx = len(slots)
             slots.append((i, missing, cached_reps))
+            if progress is not None:
+                progress(
+                    MeasureProgress(i, 0, len(cached_reps), spec.replications)
+                )
             missing_seeds = [seeds[k] for k in missing]
             runner = (
                 spec.plugin.batch_runner(spec) if batch and missing else None
             )
             if runner is None:
-                tasks.extend(("seq", spec, (seed,)) for seed in missing_seeds)
+                for k, seed in zip(missing, missing_seeds):
+                    tasks.append(("seq", spec, (seed,)))
+                    meta.append((slot_idx, (k,)))
                 continue
             shared = None
             if jobs > 1 and len(missing_seeds) > 1:
@@ -362,19 +481,47 @@ def measure_many(
                     )
             if shared is not None:
                 path, bounds, horizons = shared
-                tasks.extend(
-                    ("shm", spec, path, bounds, horizons, lo, hi)
-                    for lo, hi in _chunk_bounds(len(missing_seeds), jobs)
-                )
+                for lo, hi in _chunk_bounds(len(missing_seeds), jobs, wave_reps):
+                    tasks.append(("shm", spec, path, bounds, horizons, lo, hi))
+                    meta.append((slot_idx, tuple(missing[lo:hi])))
             else:
                 # the resolved runner closure rides along only when no
                 # pool is involved; workers rebuild it from the spec
                 payload = runner if jobs <= 1 else None
-                tasks.extend(
-                    ("batch", spec, chunk, payload)
-                    for chunk in _chunked(missing_seeds, jobs)
+                for lo, hi in _chunk_bounds(
+                    len(missing_seeds), 1 if jobs <= 1 else jobs, wave_reps
+                ):
+                    tasks.append(
+                        ("batch", spec, tuple(missing_seeds[lo:hi]), payload)
+                    )
+                    meta.append((slot_idx, tuple(missing[lo:hi])))
+
+        completed_total = 0
+        completed_by_slot = [0] * len(slots)
+
+        def _on_task_done(t_idx: int, outs: List[ReplicationOutput]) -> None:
+            nonlocal completed_total
+            slot_idx, reps = meta[t_idx]
+            i, _, cached_reps = slots[slot_idx]
+            spec = specs[i]
+            if store is not None:
+                for k, out in zip(reps, outs):
+                    store.save_replication(spec, k, out)
+            completed_by_slot[slot_idx] += len(reps)
+            completed_total += len(reps)
+            if progress is not None:
+                progress(
+                    MeasureProgress(
+                        i,
+                        completed_by_slot[slot_idx],
+                        len(cached_reps),
+                        spec.replications,
+                    )
                 )
-        outputs = _execute(tasks, jobs)
+            if cancel is not None and cancel():
+                raise MeasurementCancelled(completed_total)
+
+        outputs = _execute(tasks, jobs, _on_task_done)
     finally:
         if scratch_dir is not None:
             shutil.rmtree(scratch_dir, ignore_errors=True)
@@ -388,8 +535,6 @@ def measure_many(
         ordered = [by_rep[k] for k in range(spec.replications)]
         m = _pool_measurement(spec, ordered)
         if store is not None:
-            for k, out in zip(missing, chunk):
-                store.save_replication(spec, k, out)
             store.save(spec, m)
         results[i] = m
     return results  # type: ignore[return-value]

@@ -18,6 +18,16 @@ replication and simulates only the new ones.
 The default root is ``$REPRO_CACHE_DIR`` or ``.repro-cache`` under the
 current directory; writes are atomic (temp file + rename) so parallel
 sweeps never leave a torn cell behind.
+
+:func:`default_cache_dir` re-reads the environment on **every**
+``ResultsStore()`` construction — deliberate for short-lived CLI
+invocations, but a long-lived process (the ``repro serve`` server, a
+worker pool) must resolve the root **once** at startup and pass it
+explicitly to every store it constructs, or a mid-run environment
+change silently splits the cache across two roots.
+
+Concurrent-safe backends (cross-process ``fcntl`` locking, sqlite)
+behind this same interface live in :mod:`repro.runner.backends`.
 """
 
 from __future__ import annotations
@@ -26,9 +36,10 @@ import json
 import os
 import re
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.runner.results import (
     DelayMeasurement,
@@ -40,7 +51,42 @@ from repro.runner.results import (
 from repro.runner.spec import ScenarioSpec
 from repro.sim.run_spec import ReplicationOutput
 
-__all__ = ["ResultsStore", "StoreStats", "default_cache_dir"]
+__all__ = [
+    "ResultsStore",
+    "StoreStats",
+    "default_cache_dir",
+    "parse_duration",
+    "parse_size",
+]
+
+#: 1024-based size suffixes accepted by ``repro cache prune --max-bytes``.
+_SIZE_UNITS = {"": 1, "b": 1, "kb": 1024, "mb": 1024**2, "gb": 1024**3}
+#: duration suffixes accepted by ``repro cache prune --older-than``.
+_DURATION_UNITS = {"": 1, "s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+
+
+def parse_duration(text: Union[str, float, int]) -> float:
+    """``"30d"``/``"12h"``/``"45m"``/``"90"`` -> seconds."""
+    if isinstance(text, (int, float)):
+        return float(text)
+    m = re.fullmatch(r"\s*([0-9.]+)\s*([a-z]*)\s*", text.lower())
+    if not m or m.group(2) not in _DURATION_UNITS:
+        raise ValueError(
+            f"unparseable duration {text!r} (use e.g. 90, 45m, 12h, 30d)"
+        )
+    return float(m.group(1)) * _DURATION_UNITS[m.group(2)]
+
+
+def parse_size(text: Union[str, float, int]) -> int:
+    """``"100mb"``/``"2gb"``/``"4096"`` -> bytes (1024-based units)."""
+    if isinstance(text, (int, float)):
+        return int(text)
+    m = re.fullmatch(r"\s*([0-9.]+)\s*([a-z]*)\s*", text.lower())
+    if not m or m.group(2) not in _SIZE_UNITS:
+        raise ValueError(
+            f"unparseable size {text!r} (use e.g. 4096, 512kb, 100mb, 2gb)"
+        )
+    return int(float(m.group(1)) * _SIZE_UNITS[m.group(2)])
 
 _ENV_VAR = "REPRO_CACHE_DIR"
 
@@ -57,11 +103,26 @@ def default_cache_dir() -> Path:
 
 @dataclass(frozen=True)
 class StoreStats:
-    """Cell counts and on-disk size of a results store."""
+    """Cell counts and on-disk size of a results store.
+
+    Doubles as the report of a maintenance pass (``clear``/``prune``),
+    where the fields count what was *removed*.  ``corrupt`` counts
+    unparseable cells — silent misses from torn writes or hand edits —
+    and is only populated by ``stats(verify=True)``.
+    """
 
     pooled: int
     replications: int
     total_bytes: int
+    corrupt: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "pooled": self.pooled,
+            "replications": self.replications,
+            "total_bytes": self.total_bytes,
+            "corrupt": self.corrupt,
+        }
 
 
 class ResultsStore:
@@ -181,13 +242,67 @@ class ResultsStore:
             if path.is_file() and _REPLICATION_CELL.match(path.name):
                 yield path
 
-    def stats(self) -> StoreStats:
+    @staticmethod
+    def _survey(paths: Iterable[Path]) -> List[Tuple[Path, float, int]]:
+        """``(path, mtime, size)`` for each cell that still exists.
+
+        Another process may delete any cell between ``iterdir()`` and
+        ``stat()`` (a concurrent ``clear``/``prune``, a parallel
+        sweep's eviction) — a vanished file is simply skipped, never
+        an error.
+        """
+        out = []
+        for path in paths:
+            try:
+                st = path.stat()
+            except FileNotFoundError:
+                continue
+            out.append((path, st.st_mtime, st.st_size))
+        return out
+
+    @staticmethod
+    def _unlink_surveyed(cells: Iterable[Tuple[Path, float, int]]) -> Tuple[int, int]:
+        """Remove surveyed cells, tolerating concurrent deletion;
+        returns ``(count_removed, bytes_freed)``."""
+        count = freed = 0
+        for path, _, size in cells:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            count += 1
+            freed += size
+        return count, freed
+
+    def _is_corrupt(self, path: Path) -> bool:
+        """Unparseable (or vanished-mid-read) cells read as corrupt is
+        wrong for the vanished case — a file deleted under us is just
+        gone, not rot — so missing files report healthy."""
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            return False
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return True
+        return not isinstance(payload, dict)
+
+    def stats(self, verify: bool = False) -> StoreStats:
         """Cell counts and total size — only the store's own cells
-        (content-hash-named JSON) are counted, never foreign files."""
-        pooled = list(self._pooled_cells())
-        reps = list(self._replication_cells())
-        total = sum(p.stat().st_size for p in pooled + reps)
-        return StoreStats(len(pooled), len(reps), total)
+        (content-hash-named JSON) are counted, never foreign files.
+
+        ``verify=True`` additionally parses every cell and counts the
+        corrupt ones (torn writes, hand edits): each is a silent cache
+        miss the operator would otherwise never see.
+        """
+        pooled = self._survey(self._pooled_cells())
+        reps = self._survey(self._replication_cells())
+        total = sum(size for _, _, size in pooled + reps)
+        corrupt = (
+            sum(1 for p, _, _ in pooled + reps if self._is_corrupt(p))
+            if verify
+            else 0
+        )
+        return StoreStats(len(pooled), len(reps), total, corrupt)
 
     def clear(self) -> StoreStats:
         """Delete every cell the store owns; returns what was removed.
@@ -198,18 +313,65 @@ class ResultsStore:
         files a user parked in the directory — notes, plots, a stray
         ``.gitignore`` — are left untouched, as is the directory
         itself (unless ``replications/`` ends up empty, which is then
-        removed as it is store-owned).
+        removed as it is store-owned).  Cells deleted concurrently by
+        another process are skipped, not errors.
         """
-        pooled = replications = freed = 0
-        for path in self._pooled_cells():
-            freed += path.stat().st_size
-            path.unlink()
-            pooled += 1
-        for path in self._replication_cells():
-            freed += path.stat().st_size
-            path.unlink()
-            replications += 1
+        pooled, freed_p = self._unlink_surveyed(self._survey(self._pooled_cells()))
+        replications, freed_r = self._unlink_surveyed(
+            self._survey(self._replication_cells())
+        )
+        self._rmdir_empty_replications()
+        return StoreStats(pooled, replications, freed_p + freed_r)
+
+    def _rmdir_empty_replications(self) -> None:
         reps_dir = self.root / "replications"
-        if reps_dir.is_dir() and not any(reps_dir.iterdir()):
-            reps_dir.rmdir()
-        return StoreStats(pooled, replications, freed)
+        try:
+            if reps_dir.is_dir() and not any(reps_dir.iterdir()):
+                reps_dir.rmdir()
+        except (FileNotFoundError, OSError):
+            pass  # a concurrent writer repopulated (or removed) it
+
+    def prune(
+        self,
+        older_than: Optional[float] = None,
+        max_bytes: Optional[int] = None,
+        now: Optional[float] = None,
+    ) -> StoreStats:
+        """TTL/LRU eviction; returns what was removed.
+
+        ``older_than`` (seconds) drops every cell whose mtime predates
+        ``now - older_than``.  ``max_bytes`` then evicts
+        least-recently-written cells (LRU by mtime, pooled and
+        per-replication together) until the store fits the budget.
+        Either knob may be ``None``; with both ``None`` this is a
+        no-op.  Vanished files are tolerated exactly as in
+        :meth:`clear`.
+        """
+        now = time.time() if now is None else now
+        pooled = self._survey(self._pooled_cells())
+        reps = self._survey(self._replication_cells())
+        doomed_p: List[Tuple[Path, float, int]] = []
+        doomed_r: List[Tuple[Path, float, int]] = []
+
+        def _doom(cell: Tuple[Path, float, int]) -> None:
+            is_rep = _REPLICATION_CELL.match(cell[0].name) is not None
+            (doomed_r if is_rep else doomed_p).append(cell)
+
+        survivors = pooled + reps
+        if older_than is not None:
+            cutoff = now - older_than
+            for cell in survivors:
+                if cell[1] < cutoff:
+                    _doom(cell)
+            survivors = [c for c in survivors if c[1] >= cutoff]
+        if max_bytes is not None:
+            survivors.sort(key=lambda c: c[1])  # oldest mtime first
+            total = sum(size for _, _, size in survivors)
+            while survivors and total > max_bytes:
+                cell = survivors.pop(0)
+                total -= cell[2]
+                _doom(cell)
+        removed_p, freed_p = self._unlink_surveyed(doomed_p)
+        removed_r, freed_r = self._unlink_surveyed(doomed_r)
+        self._rmdir_empty_replications()
+        return StoreStats(removed_p, removed_r, freed_p + freed_r)

@@ -1,0 +1,23 @@
+"""Simulation-as-a-service over the results cache.
+
+``repro serve`` turns the content-hash cache plus the scenario
+registry into a long-lived measurement service: POST a ScenarioSpec,
+get an instant answer when any previous run (CLI or HTTP, any alias
+spelling) already computed it, or a queued job with streamed
+per-replication progress when it must be simulated.
+
+Layers:
+
+* :mod:`repro.serve.http` — minimal stdlib HTTP/1.1 over asyncio
+  streams (request parsing, JSON responses, server-sent events);
+* :mod:`repro.serve.jobs` — the job table and process worker pool,
+  with file-based cancel/progress so jobs survive across N workers;
+* :mod:`repro.serve.app`  — the routes and server lifecycle
+  (:class:`~repro.serve.app.ReproServer`), plus the threaded harness
+  (:class:`~repro.serve.app.ServerThread`) tests and benchmarks use.
+"""
+
+from repro.serve.app import ReproServer, ServerThread
+from repro.serve.jobs import JobManager
+
+__all__ = ["ReproServer", "ServerThread", "JobManager"]

@@ -1,0 +1,176 @@
+"""A hand-rolled HTTP/1.1 layer over :mod:`asyncio` streams.
+
+The repository's offline-install posture (stdlib + numpy/scipy only)
+rules out aiohttp/uvicorn, and the serving surface is small enough —
+five JSON endpoints and one server-sent-event stream — that a minimal,
+well-tested HTTP/1.1 subset beats a dependency: request-line + headers
++ ``Content-Length`` bodies in, ``Connection: close`` responses out.
+
+Nothing here knows about scenarios or jobs; the routing lives in
+:mod:`repro.serve.app`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+__all__ = [
+    "HTTPError",
+    "Request",
+    "read_request",
+    "send_json",
+    "send_response",
+    "start_sse",
+    "send_sse_event",
+]
+
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HTTPError(Exception):
+    """Maps straight to an error response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed request: method, split target, headers, raw body."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body decoded as JSON (400 on anything unparseable)."""
+        if not self.body:
+            raise HTTPError(400, "expected a JSON body")
+        try:
+            return json.loads(self.body)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise HTTPError(400, f"unparseable JSON body: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; ``None`` on a clean EOF
+    (client closed without sending), :class:`HTTPError` on garbage."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HTTPError(400, "truncated request head") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise HTTPError(413, "request head too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise HTTPError(413, "request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HTTPError(400, f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HTTPError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError as exc:
+            raise HTTPError(400, "bad Content-Length") from exc
+        if length > MAX_BODY_BYTES:
+            raise HTTPError(413, "body too large")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise HTTPError(400, "truncated body") from exc
+    elif headers.get("transfer-encoding", "").lower() == "chunked":
+        raise HTTPError(400, "chunked request bodies are not supported")
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path),
+        query={k: v for k, v in parse_qsl(split.query)},
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(
+    status: int, content_type: str, length: Optional[int], extra: Tuple[str, ...]
+) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Connection: close",
+        "Cache-Control: no-store",
+    ]
+    if length is not None:
+        lines.append(f"Content-Length: {length}")
+    lines.extend(extra)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def send_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Tuple[str, ...] = (),
+) -> None:
+    writer.write(_head(status, content_type, len(body), extra_headers) + body)
+    await writer.drain()
+
+
+async def send_json(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Any,
+    extra_headers: Tuple[str, ...] = (),
+) -> None:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    await send_response(writer, status, body, "application/json", extra_headers)
+
+
+async def start_sse(writer: asyncio.StreamWriter) -> None:
+    """Open a server-sent-event stream (chunking-free: the connection
+    closes when the stream ends, as announced by ``Connection: close``)."""
+    writer.write(_head(200, "text/event-stream", None, ()))
+    await writer.drain()
+
+
+async def send_sse_event(
+    writer: asyncio.StreamWriter, event: str, payload: Any
+) -> None:
+    data = json.dumps(payload, sort_keys=True)
+    writer.write(f"event: {event}\ndata: {data}\n\n".encode())
+    await writer.drain()

@@ -1,0 +1,162 @@
+"""Cooperative cancellation and resumability of the parallel engine.
+
+The serving contract :mod:`repro.serve` builds on: *cancel* is polled
+between task waves; every wave's per-replication cells persist the
+moment the wave completes; a cancelled call re-issued against the same
+store resumes from those cells and pools a result identical to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner import (
+    MeasurementCancelled,
+    MeasureProgress,
+    ResultsStore,
+    ScenarioSpec,
+    measure,
+    measure_many,
+)
+
+SPEC = dict(name="cancel-t", d=3, rho=0.5, horizon=60.0, replications=8)
+
+
+@pytest.fixture
+def spec() -> ScenarioSpec:
+    return ScenarioSpec(**SPEC)
+
+
+@pytest.fixture
+def reference(spec, tmp_path_factory):
+    store = ResultsStore(tmp_path_factory.mktemp("ref"))
+    return measure(spec, store=store)
+
+
+class TestProgress:
+    def test_progress_beats_cover_every_wave(self, spec):
+        events = []
+        measure(spec, progress=events.append, wave_reps=1)
+        assert events[0] == MeasureProgress(0, 0, 0, spec.replications)
+        assert [e.completed for e in events] == list(
+            range(spec.replications + 1)
+        )
+        assert events[-1].remaining == 0
+
+    def test_wave_reps_caps_wave_size(self, spec):
+        events = []
+        measure(spec, progress=events.append, wave_reps=3)
+        deltas = [
+            b.completed - a.completed for a, b in zip(events, events[1:])
+        ]
+        assert max(deltas) <= 3
+        assert sum(deltas) == spec.replications
+
+    def test_cache_hit_reports_all_cached(self, spec, tmp_path):
+        store = ResultsStore(tmp_path)
+        measure(spec, store=store)
+        events = []
+        m = measure(spec, store=store, progress=events.append)
+        assert events == [
+            MeasureProgress(0, 0, spec.replications, spec.replications)
+        ]
+        assert m == store.load(spec)
+
+    def test_spec_index_tracks_position(self, spec):
+        other = spec.replace(rho=0.4)
+        events = []
+        measure_many([spec, other], progress=events.append, wave_reps=4)
+        assert {e.spec_index for e in events} == {0, 1}
+
+
+class TestCancelResume:
+    def test_cancel_preserves_completed_cells(self, spec, reference, tmp_path):
+        store = ResultsStore(tmp_path)
+        state = {"completed": 0}
+
+        def progress(ev: MeasureProgress) -> None:
+            state["completed"] = ev.completed
+
+        with pytest.raises(MeasurementCancelled) as err:
+            measure(
+                spec,
+                store=store,
+                progress=progress,
+                cancel=lambda: state["completed"] >= 3,
+                wave_reps=1,
+            )
+        assert err.value.completed == 3
+        stats = store.stats()
+        assert stats.pooled == 0  # no pooled cell for a half-done spec
+        assert stats.replications == 3
+
+        # resume: the 3 persisted cells are loaded, only 5 are simulated
+        events = []
+        resumed = measure(spec, store=store, progress=events.append)
+        assert events[0].cached == 3
+        assert events[-1].completed == spec.replications - 3
+        assert resumed == reference
+        # and the pooled cell now exists for an instant third call
+        assert store.load(spec) == reference
+
+    def test_cancel_before_any_wave(self, spec, tmp_path):
+        store = ResultsStore(tmp_path)
+        with pytest.raises(MeasurementCancelled) as err:
+            measure(spec, store=store, cancel=lambda: True)
+        assert err.value.completed == 0
+        assert store.stats().replications == 0
+
+    def test_cancel_never_fires_runs_to_completion(self, spec, reference):
+        assert measure(spec, cancel=lambda: False, wave_reps=2) == reference
+
+    def test_resumed_cells_byte_identical(self, spec, tmp_path):
+        """A cancelled-then-resumed run leaves exactly the cells an
+        uninterrupted run writes, byte for byte."""
+        whole_root, resumed_root = tmp_path / "whole", tmp_path / "resumed"
+        measure(spec, store=ResultsStore(whole_root))
+        store = ResultsStore(resumed_root)
+        state = {"completed": 0}
+
+        def progress(ev: MeasureProgress) -> None:
+            state["completed"] = ev.completed
+
+        with pytest.raises(MeasurementCancelled):
+            measure(
+                spec,
+                store=store,
+                progress=progress,
+                cancel=lambda: state["completed"] >= 2,
+                wave_reps=1,
+            )
+        measure(spec, store=store)
+        whole = sorted(whole_root.rglob("*.json"))
+        resumed = sorted(resumed_root.rglob("*.json"))
+        assert [p.name for p in whole] == [p.name for p in resumed]
+        assert all(
+            a.read_bytes() == b.read_bytes() for a, b in zip(whole, resumed)
+        )
+
+    def test_parallel_jobs_cancel_between_waves(self, spec, tmp_path):
+        """jobs > 1 routes through the pool; cancel still fires between
+        completed waves and persists what finished."""
+        store = ResultsStore(tmp_path)
+        state = {"completed": 0}
+
+        def progress(ev: MeasureProgress) -> None:
+            state["completed"] = ev.completed
+
+        with pytest.raises(MeasurementCancelled):
+            measure(
+                spec,
+                jobs=2,
+                store=store,
+                progress=progress,
+                cancel=lambda: state["completed"] >= 2,
+                wave_reps=1,
+            )
+        persisted = store.stats().replications
+        assert 2 <= persisted < spec.replications
+        resumed = measure(spec, store=store)
+        fresh = measure(spec, store=ResultsStore(tmp_path / "fresh"))
+        assert resumed == fresh

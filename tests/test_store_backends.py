@@ -1,0 +1,314 @@
+"""Store backends: concurrency safety, TTL/LRU pruning, corrupt-cell
+accounting, and the TOCTOU tolerance of the maintenance passes.
+
+The contracts under test:
+
+* ``stats``/``clear``/``prune`` never crash when another process
+  deletes a cell mid-iteration (the ``FileNotFoundError`` TOCTOU);
+* two processes measuring the same spec simultaneously leave exactly
+  one valid pooled cell and one valid cell per replication — no torn
+  or duplicated writes — under both the locked-file and sqlite
+  backends;
+* the locked backend writes byte-identical cells to the plain store;
+* ``prune`` evicts by TTL then LRU-by-mtime, reporting what it
+  removed in the same shape as ``stats``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import (
+    LockedResultsStore,
+    ResultsStore,
+    ScenarioSpec,
+    SqliteResultsStore,
+    make_store,
+    measure,
+)
+from repro.runner.store import parse_duration, parse_size
+
+SPEC = dict(name="backend-t", d=3, rho=0.5, horizon=60.0, replications=3)
+
+
+def _cell(root, name: str, text: str = "{}"):
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"{name}.json"
+    path.write_text(text)
+    return path
+
+
+class TestParseHelpers:
+    def test_durations(self):
+        assert parse_duration("90") == 90.0
+        assert parse_duration("45m") == 2700.0
+        assert parse_duration("12h") == 43200.0
+        assert parse_duration("30d") == 30 * 86400.0
+        assert parse_duration(7.5) == 7.5
+
+    def test_sizes(self):
+        assert parse_size("4096") == 4096
+        assert parse_size("512kb") == 512 * 1024
+        assert parse_size("100mb") == 100 * 1024**2
+        assert parse_size(10) == 10
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_duration("soon")
+        with pytest.raises(ValueError):
+            parse_size("plenty")
+
+
+class TestToctouTolerance:
+    """A cell deleted between ``iterdir()`` and ``stat()``/``unlink()``
+    is a vanished file, never an error."""
+
+    def test_stats_with_cell_deleted_mid_iteration(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        _cell(tmp_path, "a" * 20)
+        doomed = _cell(tmp_path, "b" * 20)
+        original = store._pooled_cells
+
+        def vanishing():
+            for path in original():
+                # a concurrent process clears the other cell mid-walk
+                doomed.unlink(missing_ok=True)
+                yield path
+
+        store._pooled_cells = vanishing
+        stats = store.stats()  # must not raise FileNotFoundError
+        assert stats.pooled == 1
+
+    def test_clear_with_cell_deleted_mid_iteration(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        _cell(tmp_path, "a" * 20)
+        doomed = _cell(tmp_path, "b" * 20)
+        original = store._pooled_cells
+
+        def vanishing():
+            for path in original():
+                doomed.unlink(missing_ok=True)
+                yield path
+
+        store._pooled_cells = vanishing
+        removed = store.clear()
+        assert removed.pooled == 1
+        assert not any(tmp_path.glob("*.json"))
+
+    def test_unlink_surveyed_tolerates_ghosts(self, tmp_path):
+        ghost = (tmp_path / ("f" * 20 + ".json"), 0.0, 64)
+        count, freed = ResultsStore._unlink_surveyed([ghost])
+        assert (count, freed) == (0, 0)
+
+
+class TestCorruptCells:
+    def test_corrupt_counted_only_under_verify(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        measure(ScenarioSpec(**SPEC), store=store)
+        bad = _cell(tmp_path, "0" * 20, "{ torn write")
+        assert store.stats().corrupt == 0
+        verified = store.stats(verify=True)
+        assert verified.corrupt == 1
+        assert verified.pooled == 2  # corrupt cells still count as cells
+        bad.write_text('"not a cell object"')
+        assert store.stats(verify=True).corrupt == 1
+
+    def test_cache_info_json_reports_corrupt(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        store = ResultsStore(tmp_path)
+        measure(ScenarioSpec(**SPEC), store=store)
+        _cell(tmp_path, "0" * 20, "{ torn write")
+        assert main(["cache", "info", "--json", "--cache-dir", str(tmp_path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["corrupt"] == 1
+        assert payload["pooled"] == 2
+        assert payload["replications"] == SPEC["replications"]
+        assert payload["root"] == str(tmp_path)
+
+
+class TestPrune:
+    def test_ttl_drops_only_old_cells(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        old = _cell(tmp_path, "a" * 20)
+        young = _cell(tmp_path, "b" * 20)
+        os.utime(old, (1_000, 1_000))
+        os.utime(young, (9_000, 9_000))
+        removed = store.prune(older_than=5_000, now=10_000)
+        assert (removed.pooled, removed.replications) == (1, 0)
+        assert not old.exists() and young.exists()
+
+    def test_lru_evicts_oldest_until_budget(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        paths = []
+        for i, name in enumerate(["a", "b", "c"]):
+            p = _cell(tmp_path, name * 20, json.dumps({"pad": "x" * 100}))
+            os.utime(p, (1_000 * (i + 1),) * 2)
+            paths.append(p)
+        size = paths[0].stat().st_size
+        removed = store.prune(max_bytes=2 * size, now=10_000)
+        assert removed.pooled == 1
+        assert not paths[0].exists()  # oldest mtime went first
+        assert paths[1].exists() and paths[2].exists()
+
+    def test_prune_covers_replication_cells(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        spec = ScenarioSpec(**SPEC)
+        measure(spec, store=store)
+        rep = store.replication_path_for(spec, 0)
+        os.utime(rep, (1_000, 1_000))
+        removed = store.prune(older_than=5_000, now=10_000)
+        assert (removed.pooled, removed.replications) == (0, 1)
+        assert store.load_replication(spec, 0) is None
+        assert store.load_replication(spec, 1) is not None
+
+    def test_noop_without_knobs(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        _cell(tmp_path, "a" * 20)
+        removed = store.prune()
+        assert (removed.pooled, removed.replications) == (0, 0)
+        assert store.stats().pooled == 1
+
+    def test_cache_prune_cli_reports_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        store = ResultsStore(tmp_path)
+        measure(ScenarioSpec(**SPEC), store=store)
+        for path in store._pooled_cells():
+            os.utime(path, (1_000, 1_000))
+        code = main(
+            ["cache", "prune", "--older-than", "30d", "--json",
+             "--cache-dir", str(tmp_path)]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["removed"]["pooled"] == 1
+        assert payload["remaining"]["pooled"] == 0
+        assert payload["remaining"]["replications"] == SPEC["replications"]
+
+    def test_cache_prune_cli_requires_a_knob(self, tmp_path):
+        from repro.__main__ import main
+
+        assert main(["cache", "prune", "--cache-dir", str(tmp_path)]) == 2
+
+
+class TestLockedBackend:
+    def test_cells_byte_identical_to_plain_store(self, tmp_path):
+        spec = ScenarioSpec(**SPEC)
+        plain_root, locked_root = tmp_path / "plain", tmp_path / "locked"
+        measure(spec, store=ResultsStore(plain_root))
+        measure(spec, store=LockedResultsStore(locked_root))
+        plain = sorted(p for p in plain_root.rglob("*.json"))
+        locked = sorted(p for p in locked_root.rglob("*.json"))
+        assert [p.name for p in plain] == [p.name for p in locked]
+        assert all(
+            a.read_bytes() == b.read_bytes() for a, b in zip(plain, locked)
+        )
+
+    def test_clear_spares_the_lock_file(self, tmp_path):
+        store = LockedResultsStore(tmp_path)
+        measure(ScenarioSpec(**SPEC), store=store)
+        assert (tmp_path / ".lock").exists()
+        store.clear()
+        assert (tmp_path / ".lock").exists()
+        assert store.stats().pooled == 0
+
+
+class TestSqliteBackend:
+    def test_round_trip_matches_file_backend(self, tmp_path):
+        spec = ScenarioSpec(**SPEC)
+        file_m = measure(spec, store=ResultsStore(tmp_path / "f"))
+        store = SqliteResultsStore(tmp_path / "s")
+        sqlite_m = measure(spec, store=store)
+        assert sqlite_m == file_m
+        assert store.load(spec) == file_m
+        assert store.contains(spec)
+        for k in range(spec.replications):
+            assert store.load_replication(spec, k) is not None
+
+    def test_replication_cells_resume_growth(self, tmp_path):
+        store = SqliteResultsStore(tmp_path)
+        spec = ScenarioSpec(**SPEC)
+        measure(spec, store=store)
+        grown = spec.replace(replications=spec.replications + 2)
+        measure(grown, store=store)
+        stats = store.stats()
+        assert stats.pooled == 2  # one cell per replication count
+        assert stats.replications == grown.replications
+
+    def test_stats_clear_prune(self, tmp_path):
+        store = SqliteResultsStore(tmp_path)
+        spec = ScenarioSpec(**SPEC)
+        measure(spec, store=store)
+        stats = store.stats(verify=True)
+        assert stats.pooled == 1
+        assert stats.replications == spec.replications
+        assert stats.total_bytes > 0 and stats.corrupt == 0
+        removed = store.prune(max_bytes=0)
+        assert removed.pooled == 1
+        assert removed.replications == spec.replications
+        assert store.stats().pooled == 0
+        measure(spec, store=store)
+        cleared = store.clear()
+        assert cleared.pooled == 1
+        assert store.load(spec) is None
+
+    def test_empty_store_paths(self, tmp_path):
+        store = SqliteResultsStore(tmp_path / "never")
+        assert store.load(ScenarioSpec(**SPEC)) is None
+        assert store.stats().pooled == 0
+        assert store.prune(older_than=1.0).pooled == 0
+        assert len(store) == 0
+
+
+class TestMakeStore:
+    def test_backend_selection(self, tmp_path):
+        assert type(make_store(tmp_path)) is ResultsStore
+        assert type(make_store(tmp_path, "locked")) is LockedResultsStore
+        assert type(make_store(tmp_path, "sqlite")) is SqliteResultsStore
+
+    def test_env_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_BACKEND", "locked")
+        assert type(make_store(tmp_path)) is LockedResultsStore
+
+    def test_unknown_backend_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="unknown store backend"):
+            make_store(tmp_path, "redis")
+
+
+def _measure_into(root: str, backend: str) -> None:
+    store = make_store(root, backend)
+    measure(ScenarioSpec(**SPEC), store=store, wave_reps=1)
+
+
+@pytest.mark.parametrize("backend", ["locked", "sqlite"])
+class TestConcurrentAccess:
+    def test_two_processes_one_valid_cell(self, tmp_path, backend):
+        """Two processes measuring the same spec simultaneously must
+        leave exactly one valid pooled cell and one valid cell per
+        replication — no torn or duplicated writes."""
+        root = str(tmp_path / "shared")
+        procs = [
+            multiprocessing.Process(target=_measure_into, args=(root, backend))
+            for _ in range(2)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+        assert all(p.exitcode == 0 for p in procs)
+        store = make_store(root, backend)
+        spec = ScenarioSpec(**SPEC)
+        stats = store.stats(verify=True)
+        assert stats.pooled == 1
+        assert stats.replications == spec.replications
+        assert stats.corrupt == 0
+        reference = measure(spec, store=ResultsStore(tmp_path / "ref"))
+        assert store.load(spec) == reference
+        for k in range(spec.replications):
+            assert store.load_replication(spec, k) is not None
