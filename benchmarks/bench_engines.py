@@ -17,13 +17,17 @@ wall-clock and memory profile of the replication fan-out for one
   ``batched_vs_sequential = sequential_s / batched_s``.
 * ``batched_jobs4_s`` — the batched path composed with ``jobs=4``: the
   shared-workload route (workloads generated once in the parent,
-  published to workers via a memory-mapped file).  On a single-core
-  host this *loses* to jobs=1 — the pool is pure overhead — so the
-  JSON also records ``host_cpu_cores``; read the ratio against it.
+  published to workers via a memory-mapped file, workers pinned to
+  cores with ``pin_workers``).  On a host with fewer than 4 cores the
+  column records ``"skipped_single_core"`` instead of timing pure pool
+  overhead — the ratio is only honest when ``host_cpu_cores >= 4``.
 * ``chunked_s`` + ``memory`` — the bounded-memory chunked-horizon mode
   (``chunk_packets``): wall-clock on the pinned cell, plus tracemalloc
   peaks of the one-shot vs chunked kernel on a long-horizon cell where
   the horizon (not the topology) dominates the one-shot footprint.
+* ``chunked_ps`` — the PS chunk carry on the same cell (one
+  replication): max abs deviation of the chunked fair-share
+  construction from the one-shot PS sweep, pinned ≤ 1e-9.
 
 Every path produces **bit-identical** measurements (asserted — the
 golden-pinned contract), so the comparison is pure wall clock.  The
@@ -141,6 +145,35 @@ def _memory_peaks(params):
     }
 
 
+def _chunked_ps_agreement(params, chunk):
+    """Max abs deviation of the chunked PS carry from the one-shot PS
+    sweep on one replication of the timing cell (contract: <= 1e-9)."""
+    spec = ScenarioSpec(
+        name="bench-engines-ps", base_seed=0, seed_policy="spawn",
+        replications=1, discipline="ps",
+        **{k: v for k, v in params.items() if k != "replications"},
+    )
+    net = spec.network_plugin
+    topology = net.build_topology(spec)
+    seeds = replication_seeds(spec.base_seed, 1, spec.seed_policy)
+    sample = net.build_workload(spec).generate(
+        spec.horizon, as_generator(seeds[0])
+    )
+    one_shot = net.simulate_greedy(topology, spec, sample)
+    chunked = net.simulate_greedy_chunked(topology, spec, sample, chunk)
+    err = (
+        float(np.max(np.abs(one_shot - chunked)))
+        if sample.num_packets
+        else 0.0
+    )
+    return {
+        "cell": {k: v for k, v in params.items() if k != "replications"},
+        "chunk_packets": chunk,
+        "max_abs_diff": err,
+        "within_tolerance": bool(err <= 1e-9),
+    }
+
+
 def run_experiment(quick=False):
     params = QUICK_SPEC if quick else FULL_SPEC
     spec = ScenarioSpec(
@@ -154,11 +187,22 @@ def run_experiment(quick=False):
         _ff.serve_level = modern
     seq_s, seq_m = _best_of(lambda: measure(spec, jobs=1, batch=False))
     bat_s, bat_m = _best_of(lambda: measure(spec, jobs=1, batch=True))
-    par_s, par_m = _best_of(lambda: measure(spec, jobs=4, batch=True))
+    # timing the pool route on < 4 cores would measure pure pool
+    # overhead, not parallelism — skip it honestly instead
+    cores = os.cpu_count() or 1
+    jobs4_skipped = cores < 4
+    if jobs4_skipped:
+        par_s, par_m = None, None
+    else:
+        par_s, par_m = _best_of(
+            lambda: measure(spec, jobs=4, batch=True, pin_workers=True)
+        )
     chunk_spec = spec.replace(extra={"chunk_packets": TIMING_CHUNK})
     chk_s, chk_m = _best_of(lambda: measure(chunk_spec, jobs=1, batch=True))
 
-    bit_identical = seed_m == seq_m == bat_m == par_m
+    bit_identical = seed_m == seq_m == bat_m and (
+        par_m is None or par_m == bat_m
+    )
     chunked_identical = (
         chk_m.replication_delays == seq_m.replication_delays
     )
@@ -173,7 +217,7 @@ def run_experiment(quick=False):
 
     return {
         "mode": "quick" if quick else "full",
-        "host_cpu_cores": os.cpu_count(),
+        "host_cpu_cores": cores,
         "spec": {
             "network": spec.network,
             "scheme": spec.scheme,
@@ -190,18 +234,24 @@ def run_experiment(quick=False):
         "seed_fanout_s": round(seed_s, 4),
         "sequential_s": round(seq_s, 4),
         "batched_s": round(bat_s, 4),
-        "batched_jobs4_s": round(par_s, 4),
+        "batched_jobs4_s": (
+            "skipped_single_core" if jobs4_skipped else round(par_s, 4)
+        ),
+        "batched_jobs4_pin_workers": not jobs4_skipped,
         "chunked_s": round(chk_s, 4),
         "chunked_chunk_packets": TIMING_CHUNK,
         "speedup_vs_seed": round(seed_s / bat_s, 2),
         "speedup_sequential_vs_seed": round(seed_s / seq_s, 2),
         "batched_vs_sequential": round(seq_s / bat_s, 2),
-        "batched_jobs4_vs_batched": round(bat_s / par_s, 2),
+        "batched_jobs4_vs_batched": (
+            "skipped_single_core" if jobs4_skipped else round(bat_s / par_s, 2)
+        ),
         "chunked_vs_sequential": round(seq_s / chk_s, 2),
         "bit_identical": bool(bit_identical),
         "chunked_bit_identical": bool(chunked_identical),
         "per_replication_bit_identical": bool(per_rep_identical),
         "memory": _memory_peaks(QUICK_MEM if quick else FULL_MEM),
+        "chunked_ps": _chunked_ps_agreement(params, TIMING_CHUNK),
     }
 
 
@@ -229,6 +279,7 @@ def test_engines_benchmark():
     assert results["chunked_bit_identical"]
     assert results["per_replication_bit_identical"]
     assert results["memory"]["bit_identical"]
+    assert results["chunked_ps"]["within_tolerance"]
     assert results["speedup_vs_seed"] > 1.0
     print(f"\n[written to {path}]")
 
@@ -246,7 +297,11 @@ if __name__ == "__main__":
         and results["memory"]["bit_identical"]
     ):
         sys.exit("FAIL: execution paths are not bit-identical")
+    if not results["chunked_ps"]["within_tolerance"]:
+        sys.exit("FAIL: chunked PS deviates > 1e-9 from the one-shot sweep")
     if not quick and results["speedup_vs_seed"] < 3.0:
         sys.exit("FAIL: batched path is not >= 3x the seed fan-out")
     if not quick and results["batched_vs_sequential"] < 1.0:
         sys.exit("FAIL: batched path is slower than sequential fan-out")
+    if not quick and results["chunked_vs_sequential"] < 0.6:
+        sys.exit("FAIL: chunked-horizon overhead regressed below 0.6x")

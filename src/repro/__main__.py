@@ -133,7 +133,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     specs = [
         _legacy_spec(args, rho, args.seed + i) for i, rho in enumerate(rhos)
     ]
-    measurements = measure_many(specs, jobs=args.jobs)
+    measurements = measure_many(
+        specs, jobs=args.jobs, pin_workers=args.pin_workers
+    )
     xs = [m.rho for m in measurements]
     ys = [m.mean_delay for m in measurements]
     rows = [
@@ -366,6 +368,7 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
+    from repro.runner.store import parse_duration
     from repro.serve import ReproServer
 
     server = ReproServer(
@@ -375,6 +378,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         backend=args.backend,
         wave_reps=args.wave_reps,
+        job_ttl=parse_duration(args.job_ttl),
     )
 
     async def _main() -> None:
@@ -476,6 +480,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["d"] = args.d
     if args.seed is not None:
         overrides["base_seed"] = args.seed
+    if args.discipline is not None:
+        overrides["discipline"] = args.discipline
+    if args.options:
+        import json as _json
+
+        extra = spec.to_dict()["extra"]
+        for item in args.options:
+            key, sep, raw = item.partition("=")
+            if not sep or not key:
+                raise SystemExit(f"--set expects KEY=VALUE, got {item!r}")
+            try:
+                extra[key] = _json.loads(raw)
+            except _json.JSONDecodeError:
+                extra[key] = raw
+        overrides["extra"] = extra
     if overrides:
         spec = spec.replace(**overrides)
     store = None if args.no_cache else ResultsStore(args.cache_dir)
@@ -496,7 +515,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             profiler = cProfile.Profile()
             profiler.enable()
             try:
-                m = measure(spec, jobs=args.jobs, store=store, refresh=True)
+                m = measure(spec, jobs=args.jobs, store=store, refresh=True,
+                            pin_workers=args.pin_workers)
             finally:
                 profiler.disable()
                 stats = pstats.Stats(profiler, stream=sys.stderr)
@@ -504,7 +524,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 if args.profile_out is not None:
                     stats.dump_stats(args.profile_out)
         else:
-            m = measure(spec, jobs=args.jobs, store=store, refresh=args.refresh)
+            m = measure(spec, jobs=args.jobs, store=store,
+                        refresh=args.refresh, pin_workers=args.pin_workers)
     rows = [
         ("network / scheme", f"{m.network} / {m.scheme} ({m.discipline})"),
         ("traffic", m.traffic),
@@ -583,6 +604,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--seed", type=int, default=0)
     sp.add_argument("--jobs", type=int, default=1,
                     help="parallel worker processes")
+    sp.add_argument("--pin-workers", action="store_true",
+                    help="pin shared-workload pool workers to cores "
+                    "(os.sched_setaffinity; no-op where unsupported)")
     sp.set_defaults(func=_cmd_sweep)
 
     sp = sub.add_parser("list-scenarios", help="the registered scenario catalog")
@@ -653,6 +677,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="replications per task wave: the progress/"
                     "cancellation granularity of a job (larger = more "
                     "batching throughput, chunkier progress)")
+    sp.add_argument("--job-ttl", default="1h", metavar="AGE",
+                    help="retain terminal jobs this long before "
+                    "evicting them from the job table (e.g. 90, 12h, "
+                    "30d; default 1h). Active jobs are never evicted")
     sp.set_defaults(func=_cmd_serve)
 
     sp = sub.add_parser(
@@ -673,6 +701,15 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--horizon", type=float, default=None)
     sp.add_argument("--d", type=int, default=None)
     sp.add_argument("--seed", type=int, default=None, help="base seed")
+    sp.add_argument("--discipline", default=None, choices=("fifo", "ps"),
+                    help="override the scenario's queueing discipline")
+    sp.add_argument("--set", action="append", default=[], dest="options",
+                    metavar="KEY=VALUE",
+                    help="override a typed engine/network/traffic option "
+                    "(e.g. --set chunk_packets=32768); repeatable")
+    sp.add_argument("--pin-workers", action="store_true",
+                    help="pin shared-workload pool workers to cores "
+                    "(os.sched_setaffinity; no-op where unsupported)")
     sp.add_argument("--cache-dir", default=None,
                     help="results store root (default: $REPRO_CACHE_DIR or .repro-cache)")
     sp.add_argument("--no-cache", action="store_true",

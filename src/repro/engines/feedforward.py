@@ -35,7 +35,10 @@ replication through the network's chunk-composable kernel
 packets are processed in birth-ordered chunks with per-arc queue state
 carried between chunks, so peak memory is bounded by the chunk size
 and the topology instead of the horizon — the d ≥ 20 regime.  FIFO
-only, and bit-identical to the one-shot path (tested).
+carries (count, running-Lindley-max) per arc and is bit-identical to
+the one-shot path (tested); PS carries the in-service packets of each
+busy arc and agrees with the one-shot fair-share construction to
+≤ 1e-9 at every chunk size (tested).
 """
 
 from __future__ import annotations
@@ -82,7 +85,8 @@ class FeedForwardEngine(EnginePlugin):
                 "chunks of this many packets with per-arc queue state "
                 "carried between chunks: peak memory bounded by the "
                 "chunk and the topology instead of the horizon "
-                "(FIFO only; bit-identical to the one-shot sweep)",
+                "(FIFO is bit-identical to the one-shot sweep; PS "
+                "carries in-service packets and agrees to <=1e-9)",
             ),
             OptionSpec(
                 "batch_reps",
@@ -103,12 +107,6 @@ class FeedForwardEngine(EnginePlugin):
                 f"network {spec.network!r} provides no levelled "
                 "level-sweep kernel (its native vectorised engine is "
                 f"{spec.network_plugin.native_engine()!r})"
-            )
-        if spec.option("chunk_packets") is not None and spec.discipline != "fifo":
-            return (
-                "chunked-horizon mode (chunk_packets) is FIFO-only: a PS "
-                "server's departures depend on arrivals beyond the chunk "
-                "watermark"
             )
         return None
 

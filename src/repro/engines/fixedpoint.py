@@ -19,7 +19,9 @@ offset by ``replication * num_arcs``, so one fixed-point solve settles
 R disjoint sub-systems at once.  A replication's sub-system iterates
 independently of the others (its chained rows and dirty arcs never
 cross the offset boundary), so each converged sub-path is bit-identical
-to its sequential run.
+to its sequential run — and once a replication converges its rows drop
+out of the remaining sweeps entirely (rep-blocked convergence, made
+observable by ``FixedPointResult.sweep_rows``).
 """
 
 from __future__ import annotations

@@ -138,10 +138,24 @@ def run_replication(
 #: * ``("batch", spec, seeds, runner_or_None)`` — one stacked engine
 #:   computation; the resolved runner rides along only in process
 #:   (closures do not cross the pool — workers rebuild from the spec)
-#: * ``("shm", spec, path, bounds, horizons, lo, hi)`` — replications
-#:   ``lo:hi`` of a shared pre-generated workload file (see
-#:   :func:`_share_workloads` for the layout)
+#: * ``("shm", spec, path, bounds, horizons, lo, hi, cpu)`` —
+#:   replications ``lo:hi`` of a shared pre-generated workload file
+#:   (see :func:`_share_workloads` for the layout); ``cpu`` is the
+#:   core the executing worker pins itself to (``pin_workers``), or
+#:   ``None``
 _Task = Tuple[Any, ...]
+
+
+def _worker_cpus(pin_workers: bool) -> Optional[List[int]]:
+    """Cores available for round-robin worker pinning, or ``None``
+    when pinning is off or the platform has no CPU affinity API."""
+    if not pin_workers:
+        return None
+    try:
+        cpus = sorted(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return None
+    return cpus or None
 
 
 def _run_shm_task(task: _Task) -> List[ReplicationOutput]:
@@ -150,7 +164,12 @@ def _run_shm_task(task: _Task) -> List[ReplicationOutput]:
     from repro.engines.api import batch_output
     from repro.traffic.workload import TrafficSample
 
-    _, spec, path, bounds, horizons, lo, hi = task
+    _, spec, path, bounds, horizons, lo, hi, cpu = task
+    if cpu is not None:
+        try:
+            os.sched_setaffinity(0, {int(cpu)})
+        except (AttributeError, OSError):  # pragma: no cover - no-op
+            pass
     total = bounds[-1]
     times = np.memmap(path, dtype=np.float64, mode="r", shape=(total,))
     origins = np.memmap(
@@ -355,6 +374,7 @@ def measure(
     cancel: Optional[Callable[[], bool]] = None,
     progress: Optional[Callable[[MeasureProgress], None]] = None,
     wave_reps: Optional[int] = None,
+    pin_workers: bool = False,
 ) -> DelayMeasurement:
     """Run every replication of *spec* (in parallel when ``jobs > 1``)
     and pool them into one :class:`DelayMeasurement`.
@@ -364,9 +384,9 @@ def measure(
     recomputation (and overwrites the cache cell).  ``batch=False``
     forces the one-replication-per-task route even when the spec's
     engine could batch (benchmarking and cross-validation).
-    ``cancel``/``progress``/``wave_reps`` are forwarded to
-    :func:`measure_many` — see there for the cooperative-cancellation
-    and resumability contract.
+    ``cancel``/``progress``/``wave_reps``/``pin_workers`` are forwarded
+    to :func:`measure_many` — see there for the
+    cooperative-cancellation and resumability contract.
     """
     return measure_many(
         [spec],
@@ -377,6 +397,7 @@ def measure(
         cancel=cancel,
         progress=progress,
         wave_reps=wave_reps,
+        pin_workers=pin_workers,
     )[0]
 
 
@@ -389,6 +410,7 @@ def measure_many(
     cancel: Optional[Callable[[], bool]] = None,
     progress: Optional[Callable[[MeasureProgress], None]] = None,
     wave_reps: Optional[int] = None,
+    pin_workers: bool = False,
 ) -> List[DelayMeasurement]:
     """Batched :func:`measure`: one flat task list across all *specs*.
 
@@ -422,6 +444,13 @@ def measure_many(
     cancel/persist granularity); *progress* receives a
     :class:`MeasureProgress` per spec up front (its cached count) and
     after every wave.
+
+    *pin_workers* gives each shared-workload task a core (round-robin
+    over the process's CPU affinity set) that the executing worker
+    pins itself to with :func:`os.sched_setaffinity` — steadier cache
+    residency for the zero-copy memmap slices on multi-core hosts.  A
+    runner-level knob, not a spec option: it cannot change a content
+    hash or a cache cell, and it is a no-op where unsupported.
     """
     results: List[Optional[DelayMeasurement]] = [None] * len(specs)
     tasks: List[_Task] = []
@@ -430,6 +459,7 @@ def measure_many(
     #: per pending spec: (spec index, missing rep indices, cached outputs by rep)
     slots: List[Tuple[int, List[int], Dict[int, ReplicationOutput]]] = []
     scratch_dir: Optional[str] = None
+    cpus = _worker_cpus(pin_workers)
     if cancel is not None and cancel():
         raise MeasurementCancelled(0)
     try:
@@ -482,7 +512,10 @@ def measure_many(
             if shared is not None:
                 path, bounds, horizons = shared
                 for lo, hi in _chunk_bounds(len(missing_seeds), jobs, wave_reps):
-                    tasks.append(("shm", spec, path, bounds, horizons, lo, hi))
+                    cpu = None if cpus is None else cpus[len(tasks) % len(cpus)]
+                    tasks.append(
+                        ("shm", spec, path, bounds, horizons, lo, hi, cpu)
+                    )
                     meta.append((slot_idx, tuple(missing[lo:hi])))
             else:
                 # the resolved runner closure rides along only when no

@@ -81,6 +81,7 @@ class ReproServer:
         backend: str = "locked",
         wave_reps: Optional[int] = 1,
         poll_interval: float = 0.1,
+        job_ttl: float = 3600.0,
     ) -> None:
         # pin the root once, up front; workers receive it explicitly
         self.store_root = Path(cache_dir or default_cache_dir()).resolve()
@@ -91,7 +92,8 @@ class ReproServer:
         self.started = time.time()
         self.store = make_store(self.store_root, backend)
         self.manager = JobManager(
-            self.store_root, backend, workers, wave_reps=wave_reps
+            self.store_root, backend, workers,
+            wave_reps=wave_reps, job_ttl=job_ttl,
         )
         self._server: Optional[asyncio.AbstractServer] = None
 

@@ -20,6 +20,11 @@ be any of N pool processes, and the pool survives across jobs):
 
 Jobs are coalesced by content hash: a second POST of a spec whose job
 is still active returns the same job instead of queueing twice.
+
+Terminal jobs are retained for ``job_ttl`` seconds after they finish
+(default one hour) so clients can fetch results, then evicted — table
+entry and job directory both — by a lazy sweep on every table access.
+Active jobs are never evicted.
 """
 
 from __future__ import annotations
@@ -179,10 +184,14 @@ class JobManager:
         workers: int,
         wave_reps: Optional[int] = 1,
         state_dir: Optional[Path] = None,
+        job_ttl: float = 3600.0,
     ) -> None:
+        if job_ttl <= 0:
+            raise ValueError(f"job_ttl must be > 0 seconds, got {job_ttl!r}")
         self.store_root = Path(store_root)
         self.backend = backend
         self.wave_reps = wave_reps
+        self.job_ttl = float(job_ttl)
         self.workers = max(1, int(workers))
         self.executor = ProcessPoolExecutor(max_workers=self.workers)
         self._owns_state_dir = state_dir is None
@@ -195,10 +204,31 @@ class JobManager:
         #: content hash -> active (non-terminal) job id, for coalescing
         self._active: Dict[str, str] = {}
 
+    def _evict_expired(self, now: Optional[float] = None) -> int:
+        """Drop terminal jobs whose retention TTL has lapsed (lazy
+        sweep, run on every table access).  Evicts the table entry and
+        the job directory; active jobs are untouched.  Returns how
+        many jobs were evicted."""
+        now = time.time() if now is None else now
+        expired = [
+            job
+            for job in self.jobs.values()
+            if job.terminal is not None
+            and job.finished is not None
+            and job.finished + self.job_ttl < now
+        ]
+        for job in expired:
+            del self.jobs[job.id]
+            if self._active.get(job.spec_hash) == job.id:
+                del self._active[job.spec_hash]
+            shutil.rmtree(job.job_dir, ignore_errors=True)
+        return len(expired)
+
     def submit(self, loop, spec: ScenarioSpec) -> tuple[Job, bool]:
         """Queue *spec*; returns ``(job, created)`` where ``created``
         is false when an active job for the same content hash was
         coalesced onto instead."""
+        self._evict_expired()
         spec_hash = spec.content_hash()
         active_id = self._active.get(spec_hash)
         if active_id is not None:
@@ -247,6 +277,7 @@ class JobManager:
             del self._active[job.spec_hash]
 
     def get(self, job_id: str) -> Optional[Job]:
+        self._evict_expired()
         return self.jobs.get(job_id)
 
     def cancel(self, job: Job) -> bool:
@@ -265,12 +296,14 @@ class JobManager:
         return True
 
     def counts(self) -> Dict[str, int]:
+        self._evict_expired()
         out = {s: 0 for s in (QUEUED, RUNNING, *TERMINAL)}
         for job in self.jobs.values():
             out[job.state] += 1
         return out
 
     def list(self) -> List[Dict[str, Any]]:
+        self._evict_expired()
         return [
             job.snapshot(with_result=False)
             for job in sorted(self.jobs.values(), key=lambda j: j.created)

@@ -474,18 +474,39 @@ def simulate_butterfly_greedy_batch(
 # processes packets in birth-order chunks instead: a chunk's watermark
 # is its last birth epoch, rows whose arrival at a level exceeds the
 # watermark are parked for a later chunk, and each arc carries its
-# FIFO Lindley prefix state (arrival count + running max) between
-# chunks.  Because every future packet is born at or after the
-# watermark (birth times are sorted) and FIFO ties break by packet id
-# (= birth order), the per-arc service order is exactly the one-shot
-# order, and because ``max`` selects one of its operands exactly, the
-# carried closed form reproduces every departure **bit for bit**
-# (validated against the one-shot path in the tests).  Peak memory is
-# O(chunk + in-flight rows + num_arcs) — bounded by the chunk knob and
-# the topology, independent of the horizon.
+# queue state between chunks.  Because every future packet is born at
+# or after the watermark (birth times are sorted), each arc's arrival
+# stream up to the watermark is complete by the time its level is
+# served, so the carried state continues the one-shot construction
+# exactly.  Peak memory is O(chunk + in-flight rows + num_arcs) —
+# bounded by the chunk knob and the topology, independent of the
+# horizon.
 #
-# FIFO only: a PS server's departures depend on arrivals after the
-# watermark, so PS sample paths do not decompose across chunks.
+# FIFO carries the Lindley prefix state (arrival count + running max)
+# per arc, dense: the whole queue ahead of every arrival is determined
+# at admission, so departures are emitted immediately — even past the
+# watermark — and because ``max`` selects one of its operands exactly,
+# the carried closed form reproduces every departure **bit for bit**
+# (validated against the one-shot path in the tests).
+#
+# PS departures depend on arrivals beyond the chunk, so the carry is
+# the set of in-service customers per arc instead: each busy arc keeps
+# its live fair-share server (:class:`~repro.sim.servers.PSServer` —
+# the in-service arrival epochs and residual work, encoded as fair-
+# share thresholds) across chunk boundaries, departures are emitted
+# only once the watermark passes them (no later arrival can change
+# them: ties at a departure epoch are processed after the departure),
+# and the final chunk's infinite watermark closes every busy period.
+# The carried server replays the exact event order of the one-shot
+# :func:`~repro.sim.servers.ps_departure_times` construction, so the
+# sample path matches the one-shot sweep bit for bit as well (the
+# tests pin <= 1e-9, the engine contract).
+#
+# To keep the per-chunk bookkeeping O(d) instead of O(d^2), rows carry
+# their *level-space* crossing mask (bit ``di`` set iff position ``di``
+# of the global crossing order is still to be crossed): the entry
+# level and each next level are then count-trailing-zeros bit algebra
+# instead of a scan over the remaining dimensions.
 
 
 class _ArcCarry:
@@ -542,19 +563,140 @@ def _serve_fifo_carry(
     return dep
 
 
-def _require_chunkable(discipline: str, chunk_packets: int) -> int:
-    if discipline != "fifo":
-        raise ConfigurationError(
-            "chunked-horizon mode is FIFO-only: a PS server's departures "
-            "depend on arrivals beyond the chunk watermark, so PS sample "
-            "paths do not decompose across chunks"
+class _PsLevelCarry:
+    """Sparse per-arc PS state for one level, carried across chunks.
+
+    ``servers`` maps an arc id to its live fair-share server — the
+    in-service customers' arrival state encoded as departure thresholds
+    (:class:`~repro.sim.servers.PSServer`); ``active`` is the subset of
+    arcs with customers still in service, which must be drained up to
+    every chunk's watermark even when the chunk brings them no new
+    arrivals.  Idle servers are kept (not reset): their fair-share
+    integral is part of the one-shot arithmetic, so keeping them makes
+    the carried construction replay :func:`ps_departure_times` exactly.
+    Memory is O(busy arcs + in-service customers) — topology-bounded.
+    """
+
+    __slots__ = ("servers", "active")
+
+    def __init__(self) -> None:
+        self.servers: Dict[int, "PSServer"] = {}
+        self.active: set = set()
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.active)
+
+    def serve(
+        self,
+        arcs: np.ndarray,
+        times: np.ndarray,
+        pids: np.ndarray,
+        watermark: float,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Feed one chunk's share of a level's PS arrivals and return
+        every departure due by the *watermark* as ``(pids, epochs)``.
+
+        Replays the exact event order of the one-shot construction:
+        before each arrival, every departure due at or before it pops
+        (departures win ties — an arrival coinciding with a departure
+        epoch renders the departing customer zero service), and at the
+        chunk boundary every departure at or before the watermark pops.
+        Later arrivals are all past the watermark, so the emitted
+        epochs are final; customers still in service stay carried.
+        """
+        from repro.sim.servers import PSServer
+
+        dep_pids: List[int] = []
+        dep_times: List[float] = []
+        servers = self.servers
+        if arcs.shape[0]:
+            order = np.lexsort((pids, times, arcs))
+            a_s = arcs[order]
+            t_s = times[order]
+            p_s = pids[order]
+            starts = np.flatnonzero(np.r_[True, a_s[1:] != a_s[:-1]])
+            bounds = np.r_[starts, a_s.shape[0]]
+            for i in range(starts.shape[0]):
+                lo, hi = int(bounds[i]), int(bounds[i + 1])
+                arc = int(a_s[lo])
+                server = servers.get(arc)
+                if server is None:
+                    server = servers[arc] = PSServer()
+                for j in range(lo, hi):
+                    t = float(t_s[j])
+                    nxt = server.next_departure_time()
+                    while nxt is not None and nxt <= t:
+                        dt, cid = server.pop_departure()
+                        dep_pids.append(cid)
+                        dep_times.append(dt)
+                        nxt = server.next_departure_time()
+                    server.arrive(t, customer_id=int(p_s[j]))
+                self.active.add(arc)
+        for arc in sorted(self.active):
+            server = servers[arc]
+            nxt = server.next_departure_time()
+            while nxt is not None and nxt <= watermark:
+                dt, cid = server.pop_departure()
+                dep_pids.append(cid)
+                dep_times.append(dt)
+                nxt = server.next_departure_time()
+            if server.num_active == 0:
+                self.active.discard(arc)
+        return (
+            np.asarray(dep_pids, dtype=np.int64),
+            np.asarray(dep_times, dtype=float),
         )
+
+
+def _require_chunkable(discipline: str, chunk_packets: int) -> int:
+    if discipline not in ("fifo", "ps"):
+        raise ConfigurationError(f"unknown discipline {discipline!r}")
     chunk = int(chunk_packets)
     if chunk < 1:
         raise ConfigurationError(
             f"chunk_packets must be >= 1, got {chunk_packets!r}"
         )
     return chunk
+
+
+def _level_space_diff(
+    diff_vals: np.ndarray, dim_order: Optional[Tuple[int, ...]]
+) -> np.ndarray:
+    """Remap dim-space XOR masks into *level space*: bit ``di`` of the
+    result is bit ``dim_order[di]`` of the input (identity order passes
+    through).  In level space "next level to cross" is count-trailing-
+    zeros, which keeps the chunk bookkeeping O(d) per packet."""
+    if dim_order is None:
+        return diff_vals
+    out = np.zeros_like(diff_vals)
+    for di, dim in enumerate(dim_order):
+        out |= ((diff_vals >> np.int64(dim)) & 1) << np.int64(di)
+    return out
+
+
+def _ctz(values: np.ndarray) -> np.ndarray:
+    """Count trailing zeros of strictly positive int64 values."""
+    return np.bitwise_count((values & -values) - 1).astype(np.int64)
+
+
+def _bucket_by_level(
+    level_in: List[List[Tuple[np.ndarray, np.ndarray, np.ndarray]]],
+    levels: np.ndarray,
+    lo_level: int,
+    pids: np.ndarray,
+    times: np.ndarray,
+    ldiff: np.ndarray,
+) -> None:
+    """Append ``(pids, times, ldiff)`` rows to their per-level input
+    buckets in one stable sort + split (no per-dimension scan)."""
+    order = np.argsort(levels, kind="stable")
+    counts = np.bincount(levels - lo_level)
+    bounds = np.r_[0, np.cumsum(counts)]
+    p_s, t_s, l_s = pids[order], times[order], ldiff[order]
+    for k in np.flatnonzero(counts):
+        lo, hi = bounds[k], bounds[k + 1]
+        level_in[lo_level + k].append((p_s[lo:hi], t_s[lo:hi], l_s[lo:hi]))
 
 
 def simulate_hypercube_greedy_chunked(
@@ -568,91 +710,99 @@ def simulate_hypercube_greedy_chunked(
     """Delivery epochs of :func:`simulate_hypercube_greedy`, computed
     in birth-ordered chunks of at most ``chunk_packets`` packets.
 
-    Bit-identical to the one-shot sweep (FIFO only), with peak memory
-    bounded by the chunk size and the topology instead of the horizon.
+    Matches the one-shot sweep exactly — FIFO bit for bit via the dense
+    Lindley prefix carry, PS by replaying the fair-share construction
+    through carried per-arc in-service state — with peak memory bounded
+    by the chunk size and the topology instead of the horizon.
     """
     chunk = _require_chunkable(discipline, chunk_packets)
     d, n_nodes = cube.d, cube.num_nodes
     if dim_order is None:
-        dim_order = tuple(range(d))
+        order_map: Optional[Tuple[int, ...]] = None
     elif sorted(dim_order) != list(range(d)):
         raise ConfigurationError(
             f"dim_order must be a permutation of range({d}), got {dim_order!r}"
         )
     else:
         dim_order = tuple(int(x) for x in dim_order)
+        order_map = None if dim_order == tuple(range(d)) else dim_order
+    dims = tuple(range(d)) if order_map is None else order_map
     origins = np.asarray(sample.origins, dtype=np.int64)
     dests = np.asarray(sample.destinations, dtype=np.int64)
     times = np.asarray(sample.times, dtype=float)
     n = origins.shape[0]
     diff = origins ^ dests
-    hops = np.bitwise_count(diff).astype(np.int64)
     delivery = times.copy()  # zero-hop packets are delivered at birth
-    if n == 0 or not hops.any():
+    if n == 0 or not diff.any():
         return delivery
-    #: bits crossed before position di of dim_order
+    #: bits (dim space) crossed before position di of the global order
     cum_mask = [np.int64(0)] * (d + 1)
-    for di, dim in enumerate(dim_order):
+    for di, dim in enumerate(dims):
         cum_mask[di + 1] = np.int64(int(cum_mask[di]) | (1 << dim))
-    carry = _ArcCarry(cube.num_arcs)
-    #: per level position: rows parked by an earlier chunk because
-    #: their arrival epoch exceeded its watermark — (pids, arrivals)
-    parked: List[List[Tuple[np.ndarray, np.ndarray]]] = [[] for _ in range(d)]
+    fifo = discipline == "fifo"
+    carry = _ArcCarry(cube.num_arcs) if fifo else None
+    ps_carry = None if fifo else [_PsLevelCarry() for _ in range(d)]
+    empty_i = np.empty(0, dtype=np.int64)
+    empty_f = np.empty(0)
+    #: per level: rows parked by an earlier chunk because their arrival
+    #: epoch exceeded its watermark — (pids, arrivals, level diffs)
+    parked: List[List[Tuple[np.ndarray, np.ndarray, np.ndarray]]] = [
+        [] for _ in range(d)
+    ]
     for lo in range(0, n, chunk):
         hi = min(lo + chunk, n)
         watermark = np.inf if hi >= n else float(times[hi - 1])
         level_in, parked = parked, [[] for _ in range(d)]
-        fresh = np.arange(lo, hi, dtype=np.int64)
-        fresh = fresh[hops[lo:hi] > 0]
-        if fresh.size:
-            # a packet enters at the first dim_order position it must cross
-            entry = np.empty(fresh.size, dtype=np.int64)
-            fdiff = diff[fresh]
-            for di in range(d - 1, -1, -1):
-                m = ((fdiff >> np.int64(dim_order[di])) & 1).astype(bool)
-                entry[m] = di
-            for di in range(d):
-                m = entry == di
-                if m.any():
-                    level_in[di].append((fresh[m], times[fresh[m]]))
+        routed = np.flatnonzero(diff[lo:hi])
+        if routed.size:
+            fresh = routed + lo
+            ld = _level_space_diff(diff[fresh], order_map)
+            # a packet enters at the first position it must cross
+            _bucket_by_level(level_in, _ctz(ld), 0, fresh, times[fresh], ld)
         for di in range(d):
-            if not level_in[di]:
+            if level_in[di]:
+                pids_l = np.concatenate([c[0] for c in level_in[di]])
+                t_l = np.concatenate([c[1] for c in level_in[di]])
+                ld_l = np.concatenate([c[2] for c in level_in[di]])
+                ready = t_l <= watermark
+                if not ready.all():
+                    wait = ~ready
+                    parked[di].append((pids_l[wait], t_l[wait], ld_l[wait]))
+                    pids_l = pids_l[ready]
+                    t_l = t_l[ready]
+                    ld_l = ld_l[ready]
+            elif fifo or not ps_carry[di].busy:
                 continue
-            pids_l = np.concatenate([c[0] for c in level_in[di]])
-            t_l = np.concatenate([c[1] for c in level_in[di]])
-            ready = t_l <= watermark
-            if not ready.all():
-                wait = ~ready
-                parked[di].append((pids_l[wait], t_l[wait]))
-                pids_l = pids_l[ready]
-                t_l = t_l[ready]
-            if pids_l.size == 0:
+            else:
+                pids_l, t_l, ld_l = empty_i, empty_f, empty_i
+            if fifo and pids_l.size == 0:
                 continue
-            pdiff = diff[pids_l]
-            already = pdiff & cum_mask[di]
-            arc_ids = (
-                np.int64(dim_order[di]) * n_nodes + (origins[pids_l] ^ already)
+            already = diff[pids_l] & cum_mask[di]
+            arc_ids = np.int64(dims[di]) * n_nodes + (origins[pids_l] ^ already)
+            if fifo:
+                out_pids = pids_l
+                out_dep = _serve_fifo_carry(arc_ids, t_l, pids_l, 1.0, carry)
+                out_ld = ld_l
+            else:
+                # a busy arc drains up to the watermark even when this
+                # chunk brings it no new arrivals
+                out_pids, out_dep = ps_carry[di].serve(
+                    arc_ids, t_l, pids_l, watermark
+                )
+                if out_pids.size == 0:
+                    continue
+                out_ld = _level_space_diff(diff[out_pids], order_map)
+            rem = out_ld >> np.int64(di + 1)
+            done = rem == 0
+            delivery[out_pids[done]] = out_dep[done]
+            cont = np.flatnonzero(~done)
+            if cont.size == 0:
+                continue
+            nxt = di + 1 + _ctz(rem[cont])
+            _bucket_by_level(
+                level_in, nxt, di + 1,
+                out_pids[cont], out_dep[cont], out_ld[cont],
             )
-            dep = _serve_fifo_carry(arc_ids, t_l, pids_l, 1.0, carry)
-            done = (
-                np.bitwise_count(already).astype(np.int64) + 1 == hops[pids_l]
-            )
-            delivery[pids_l[done]] = dep[done]
-            cont = ~done
-            if not cont.any():
-                continue
-            crows = pids_l[cont]
-            cdep = dep[cont]
-            cdiff = pdiff[cont]
-            assigned = np.zeros(crows.size, dtype=bool)
-            for dj in range(di + 1, d):
-                m = ((cdiff >> np.int64(dim_order[dj])) & 1).astype(bool)
-                m &= ~assigned
-                if m.any():
-                    level_in[dj].append((crows[m], cdep[m]))
-                    assigned |= m
-                    if assigned.all():
-                        break
     return delivery
 
 
@@ -676,7 +826,11 @@ def simulate_butterfly_greedy_chunked(
     delivery = times.copy()
     if n == 0 or d == 0:
         return delivery
-    carry = _ArcCarry(bf.num_arcs)
+    fifo = discipline == "fifo"
+    carry = _ArcCarry(bf.num_arcs) if fifo else None
+    ps_carry = None if fifo else [_PsLevelCarry() for _ in range(d)]
+    empty_i = np.empty(0, dtype=np.int64)
+    empty_f = np.empty(0)
     parked: List[List[Tuple[np.ndarray, np.ndarray]]] = [[] for _ in range(d)]
     for lo in range(0, n, chunk):
         hi = min(lo + chunk, n)
@@ -685,28 +839,39 @@ def simulate_butterfly_greedy_chunked(
         fresh = np.arange(lo, hi, dtype=np.int64)
         level_in[0].append((fresh, times[lo:hi]))
         for level in range(d):
-            if not level_in[level]:
+            if level_in[level]:
+                pids_l = np.concatenate([c[0] for c in level_in[level]])
+                t_l = np.concatenate([c[1] for c in level_in[level]])
+                ready = t_l <= watermark
+                if not ready.all():
+                    wait = ~ready
+                    parked[level].append((pids_l[wait], t_l[wait]))
+                    pids_l = pids_l[ready]
+                    t_l = t_l[ready]
+            elif fifo or not ps_carry[level].busy:
                 continue
-            pids_l = np.concatenate([c[0] for c in level_in[level]])
-            t_l = np.concatenate([c[1] for c in level_in[level]])
-            ready = t_l <= watermark
-            if not ready.all():
-                wait = ~ready
-                parked[level].append((pids_l[wait], t_l[wait]))
-                pids_l = pids_l[ready]
-                t_l = t_l[ready]
-            if pids_l.size == 0:
+            else:
+                pids_l, t_l = empty_i, empty_f
+            if fifo and pids_l.size == 0:
                 continue
             pdiff = diff[pids_l]
             # row address entering `level`: bits below it already applied
             rows_addr = origins[pids_l] ^ (pdiff & np.int64((1 << level) - 1))
             kind = (pdiff >> np.int64(level)) & 1
             arc_ids = level * 2 * rows_per_level + 2 * rows_addr + kind
-            dep = _serve_fifo_carry(arc_ids, t_l, pids_l, 1.0, carry)
-            if level + 1 == d:
-                delivery[pids_l] = dep
+            if fifo:
+                out_pids = pids_l
+                out_dep = _serve_fifo_carry(arc_ids, t_l, pids_l, 1.0, carry)
             else:
-                level_in[level + 1].append((pids_l, dep))
+                out_pids, out_dep = ps_carry[level].serve(
+                    arc_ids, t_l, pids_l, watermark
+                )
+                if out_pids.size == 0:
+                    continue
+            if level + 1 == d:
+                delivery[out_pids] = out_dep
+            else:
+                level_in[level + 1].append((out_pids, out_dep))
     return delivery
 
 

@@ -56,6 +56,11 @@ class FixedPointResult:
     hops: np.ndarray
     #: sweeps needed to reach the fixed point (diagnostics / benchmarks)
     sweeps: int
+    #: total hop-rows scanned across all sweeps — the convergence
+    #: loop's real work metric: with ``rep_blocks``, replications that
+    #: reached their fixed point drop out of later sweeps, so this is
+    #: less than ``sweeps * total_rows`` on mixed-convergence batches
+    sweep_rows: int = 0
 
 
 def simulate_paths_fixed_point(
@@ -84,7 +89,13 @@ def simulate_paths_fixed_point(
     increasing — how the batch entry point stacks R replications.
     Every sweep's sort then runs per block (cache-resident, exactly the
     sorts R standalone solves would do) instead of one large lexsort
-    over the whole stack, with a bit-identical global order.
+    over the whole stack, with a bit-identical global order.  Blocks
+    also converge independently: once a block's sweep moves nothing it
+    is dropped from all later sweeps (its arc ids are disjoint, so no
+    sibling can perturb it), which
+    :attr:`FixedPointResult.sweep_rows` makes observable — on a
+    mixed-convergence batch it is strictly less than
+    ``sweeps * total_rows`` while the sample path stays bit-identical.
     """
     if discipline not in ("fifo", "ps"):
         raise ConfigurationError(f"unknown discipline {discipline!r}")
@@ -98,7 +109,7 @@ def simulate_paths_fixed_point(
     total = int(hops.sum())
     delivery = births.copy()  # zero-hop packets are delivered at birth
     if total == 0:
-        return FixedPointResult(delivery, hops, 0)
+        return FixedPointResult(delivery, hops, 0, 0)
 
     # Flatten the ragged paths: one row per (packet, hop).
     hop_arc = np.fromiter(
@@ -129,14 +140,31 @@ def simulate_paths_fixed_point(
     # cached departures of every other arc remain its discipline
     # applied to its (unchanged) actual arrivals.
     arc_dirty = np.ones(num_arcs, dtype=bool)
+    # Rep-blocked convergence: a block whose sweep moves nothing is at
+    # its fixed point, and block arc-id ranges are disjoint, so nothing
+    # can ever dirty it again — drop its rows out of later sweeps
+    # entirely (the per-sweep dirty gather and moved check are O(active
+    # rows), not O(total)).  The final sample path is bit-identical:
+    # dropped rows are exactly those the dirty mask would exclude.
+    bounds = (
+        np.array([0, total], dtype=np.int64)
+        if rep_blocks is None
+        else np.asarray(rep_blocks, dtype=np.int64)
+    )
+    num_blocks = bounds.shape[0] - 1
+    active_ids = np.arange(num_blocks, dtype=np.int64)
+    act_rows = np.arange(total, dtype=np.int64)
+    act_chained = chained_rows
+    sweep_rows = 0
     for sweep in range(1, max_sweeps + 1):
-        rows = np.flatnonzero(arc_dirty[hop_arc])
+        sweep_rows += int(act_rows.shape[0])
+        rows = act_rows[arc_dirty[hop_arc[act_rows]]]
         # dirty rows keep the stacked layout's rep-major order, so the
         # disjoint-increasing-block structure survives the subsetting
         blocks = (
             None
             if rep_blocks is None
-            else np.searchsorted(rows, rep_blocks)
+            else np.searchsorted(rows, bounds)
         )
         departures[rows], _ = serve_level(
             hop_arc[rows],
@@ -146,15 +174,28 @@ def simulate_paths_fixed_point(
             service,
             blocks=blocks,
         )
-        moved = chained_rows[
-            departures[chained_rows - 1] != arrivals[chained_rows]
+        moved = act_chained[
+            departures[act_chained - 1] != arrivals[act_chained]
         ]
         if moved.size == 0:
             delivery[routed] = departures[last[routed]]
-            return FixedPointResult(delivery, hops, sweep)
+            return FixedPointResult(delivery, hops, sweep, sweep_rows)
         arrivals[moved] = departures[moved - 1]
         arc_dirty[:] = False
         arc_dirty[hop_arc[moved]] = True
+        if num_blocks > 1:
+            moved_ids = np.unique(
+                np.searchsorted(bounds, moved, side="right") - 1
+            )
+            if moved_ids.shape[0] < active_ids.shape[0]:
+                active_ids = moved_ids
+                act_rows = np.concatenate(
+                    [
+                        np.arange(bounds[b], bounds[b + 1], dtype=np.int64)
+                        for b in active_ids
+                    ]
+                )
+                act_chained = act_rows[chained[act_rows]]
     raise SimulationError(
         f"fixed-point simulation did not converge in {max_sweeps} sweeps "
         f"({total} hops); the system is far above saturation"
@@ -178,9 +219,9 @@ def simulate_paths_fixed_point_batch(
     vectorised iteration.  A replication's chained rows and dirty arcs
     never cross the offset boundary, so entry *r* of the result is
     bit-identical to ``simulate_paths_fixed_point(num_arcs,
-    birth_times[r], paths[r], ...).delivery`` (extra sweeps demanded by
-    a slower-converging sibling re-solve only *dirty* arcs, of which a
-    converged replication has none).
+    birth_times[r], paths[r], ...).delivery`` (a converged replication
+    drops out of the remaining sweeps entirely — extra sweeps demanded
+    by a slower-converging sibling never touch its rows).
     """
     reps = len(birth_times)
     if len(paths) != reps:

@@ -129,15 +129,6 @@ class TestChunkedKernels:
         )
         assert m_chk.replication_delays == m_one.replication_delays
 
-    def test_chunked_rejects_ps(self):
-        spec = ScenarioSpec(
-            name="chk-ps", network="hypercube", scheme="greedy", d=4,
-            rho=0.5, horizon=4.0, replications=1, discipline="ps",
-            extra={"chunk_packets": 16},
-        )
-        with pytest.raises(ConfigurationError, match="FIFO"):
-            measure(spec, jobs=1)
-
     def test_chunked_rejects_nonpositive_chunk(self):
         from repro.sim.feedforward import simulate_hypercube_greedy_chunked
         from repro.topology.hypercube import Hypercube
@@ -161,6 +152,148 @@ class TestChunkedKernels:
                 extra={"chunk_packets": 16},
             )
             measure(spec, jobs=1)
+
+
+class TestChunkedPS:
+    """The PS chunk carry: in-service packets carried per arc across
+    chunk boundaries, busy periods closed at the watermark.  Contract:
+    agreement with the one-shot fair-share sweep to <= 1e-9 at every
+    chunk size, on both chunk-composable networks."""
+
+    TOL = 1e-9
+    CHUNKS = (1, 7, 50, 333, 10**6)
+
+    @staticmethod
+    def _one_replication(spec):
+        from repro.rng import as_generator, replication_seeds
+
+        net = spec.network_plugin
+        topology = net.build_topology(spec)
+        seeds = replication_seeds(spec.base_seed, 1, spec.seed_policy)
+        sample = net.build_workload(spec).generate(
+            spec.horizon, as_generator(seeds[0])
+        )
+        return net, topology, sample
+
+    @pytest.mark.parametrize("network,d", [("hypercube", 5), ("butterfly", 4)])
+    def test_ps_chunk_sweep_matches_one_shot(self, network, d):
+        spec = ScenarioSpec(
+            name="chk-ps", network=network, scheme="greedy", d=d,
+            rho=0.6, horizon=8.0, replications=1, base_seed=21,
+            discipline="ps",
+        )
+        net, topology, sample = self._one_replication(spec)
+        assert sample.num_packets > 100
+        one_shot = net.simulate_greedy(topology, spec, sample)
+        for chunk in self.CHUNKS:
+            chunked = net.simulate_greedy_chunked(
+                topology, spec, sample, chunk
+            )
+            err = float(np.max(np.abs(chunked - one_shot)))
+            assert err <= self.TOL, f"chunk={chunk}: max deviation {err}"
+
+    def test_ps_chunk_sweep_with_permuted_dim_order(self):
+        """The carry composes with a permuted global crossing order —
+        the level-space bookkeeping must remap through it."""
+        extra = {"dim_order": (3, 0, 4, 1, 2)}
+        spec = ScenarioSpec(
+            name="chk-ps-ord", network="hypercube", scheme="greedy", d=5,
+            rho=0.6, horizon=8.0, replications=1, base_seed=22,
+            discipline="ps", extra=extra,
+        )
+        net, topology, sample = self._one_replication(spec)
+        one_shot = net.simulate_greedy(topology, spec, sample)
+        for chunk in (1, 29, 10**6):
+            chunked = net.simulate_greedy_chunked(
+                topology, spec, sample, chunk
+            )
+            assert float(np.max(np.abs(chunked - one_shot))) <= self.TOL
+
+    def test_ps_chunked_accepted_end_to_end(self):
+        """The engine no longer rejects chunk_packets + PS: a chunked
+        PS measurement runs and agrees with the one-shot PS run."""
+        spec = ScenarioSpec(
+            name="chk-ps-e2e", network="hypercube", scheme="greedy", d=4,
+            rho=0.5, horizon=6.0, replications=3, base_seed=23,
+            discipline="ps",
+        )
+        m_one = measure(spec, jobs=1, batch=False)
+        m_chk = measure(
+            spec.replace(extra={"chunk_packets": 16}), jobs=1, batch=True
+        )
+        for a, b in zip(m_chk.replication_delays, m_one.replication_delays):
+            assert abs(a - b) <= self.TOL
+
+
+class TestRepBlockedConvergence:
+    """The fixed-point solver's rep-blocked convergence: a replication
+    that reaches its fixed point drops out of the remaining sweeps
+    (observable via FixedPointResult.sweep_rows) while the final sample
+    paths stay bit-identical to the standalone solves."""
+
+    @staticmethod
+    def _mixed_reps():
+        """Two replications with deliberately heterogeneous convergence:
+        a single-hop fast one and a long shared-arc chain."""
+        rng = np.random.default_rng(17)
+        num_arcs = 10
+        fast = (
+            np.sort(rng.uniform(0.0, 5.0, 4)),
+            [[int(rng.integers(0, num_arcs))] for _ in range(4)],
+        )
+        slow_paths = [
+            [int((s + k) % num_arcs) for k in range(int(rng.integers(4, 9)))]
+            for s in rng.integers(0, num_arcs, 80)
+        ]
+        slow = (np.sort(rng.uniform(0.0, 10.0, 80)), slow_paths)
+        return num_arcs, [fast, slow]
+
+    @pytest.mark.parametrize("discipline", ["fifo", "ps"])
+    def test_batch_bit_identical_with_fewer_sweep_rows(self, discipline):
+        from repro.sim.fixedpoint import (
+            simulate_paths_fixed_point,
+            simulate_paths_fixed_point_batch,
+        )
+
+        num_arcs, reps = self._mixed_reps()
+        solo = [
+            simulate_paths_fixed_point(
+                num_arcs, births, paths, discipline=discipline
+            )
+            for births, paths in reps
+        ]
+        assert solo[0].sweeps < solo[1].sweeps  # genuinely heterogeneous
+        batch = simulate_paths_fixed_point_batch(
+            num_arcs,
+            [r[0] for r in reps],
+            [r[1] for r in reps],
+            discipline=discipline,
+        )
+        for r in range(len(reps)):
+            assert np.array_equal(batch[r], solo[r].delivery)
+
+    def test_sweep_rows_counts_only_active_blocks(self):
+        from repro.sim.fixedpoint import simulate_paths_fixed_point
+
+        num_arcs, reps = self._mixed_reps()
+        births = np.concatenate([r[0] for r in reps])
+        stacked = [list(p) for p in reps[0][1]] + [
+            [a + num_arcs for a in p] for p in reps[1][1]
+        ]
+        total = sum(len(p) for p in stacked)
+        rep_blocks = np.array(
+            [0, sum(len(p) for p in reps[0][1]), total], dtype=np.int64
+        )
+        res = simulate_paths_fixed_point(
+            num_arcs * 2, births, stacked, rep_blocks=rep_blocks
+        )
+        # the fast block converged early and was dropped: strictly
+        # fewer rows swept than sweeps * total
+        assert res.sweep_rows < res.sweeps * total
+        # and without rep_blocks every sweep scans every row
+        flat = simulate_paths_fixed_point(num_arcs * 2, births, stacked)
+        assert flat.sweep_rows == flat.sweeps * total
+        assert np.array_equal(flat.delivery, res.delivery)
 
 
 class TestBoundedMemory:

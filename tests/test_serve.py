@@ -258,3 +258,46 @@ class TestCancelAndResume:
         _poll_terminal(base, body["job"])
         status, ack = _request("DELETE", f"{base}/v1/jobs/{body['job']}")
         assert status == 409 and ack["cancelled"] is False
+
+
+class TestJobRetention:
+    """Terminal jobs are retained for ``job_ttl`` seconds and then
+    evicted (table entry and job directory); active jobs survive the
+    sweep untouched."""
+
+    def test_done_job_404s_after_ttl_while_running_job_survives(
+        self, tmp_path
+    ):
+        thread = ServerThread(
+            cache_dir=tmp_path / "cache", workers=2, job_ttl=0.6
+        ).start()
+        try:
+            base = thread.base_url
+            status, body = _request("POST", f"{base}/v1/measure", SPEC)
+            assert status == 202
+            done_id = body["job"]
+            _poll_terminal(base, done_id)
+            status, body = _request("GET", f"{base}/v1/jobs/{done_id}")
+            assert status == 200 and body["state"] == "done"
+            done_dir = thread.server.manager.jobs[done_id].job_dir
+            assert done_dir.exists()
+            # a long-running sibling, still active when the TTL lapses
+            big = {"name": "serve-ttl-big", "d": 6, "rho": 0.8,
+                   "horizon": 2000.0, "replications": 60}
+            status, body = _request("POST", f"{base}/v1/measure", big)
+            assert status == 202
+            run_id = body["job"]
+            time.sleep(0.9)  # > job_ttl since the first job finished
+            assert _request("GET", f"{base}/v1/jobs/{done_id}")[0] == 404
+            assert not done_dir.exists()
+            status, body = _request("GET", f"{base}/v1/jobs/{run_id}")
+            assert status == 200 and body["state"] not in TERMINAL
+            _request("DELETE", f"{base}/v1/jobs/{run_id}")
+        finally:
+            thread.stop()
+
+    def test_manager_rejects_nonpositive_ttl(self, tmp_path):
+        from repro.serve.jobs import JobManager
+
+        with pytest.raises(ValueError, match="job_ttl"):
+            JobManager(tmp_path, "locked", 1, job_ttl=0.0)
