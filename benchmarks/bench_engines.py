@@ -28,6 +28,15 @@ wall-clock and memory profile of the replication fan-out for one
 * ``chunked_ps`` — the PS chunk carry on the same cell (one
   replication): max abs deviation of the chunked fair-share
   construction from the one-shot PS sweep, pinned ≤ 1e-9.
+* ``event_s`` / ``event_batched_s`` — the replication-batched event
+  calendar on a **sparse cyclic-scheme cell** (``random_order``: the
+  server graph is cyclic, so only the event engine can run it):
+  sequential per-replication calendars vs all replications stacked
+  into one arc-offset calendar.  The merged calendar is R times
+  denser, which is where the windowed FIFO core's per-window cost
+  amortises — ``event_batched_vs_event = event_s / event_batched_s``
+  is pinned ≥ 2.0, with per-replication results bit-identical by
+  construction (asserted).
 
 Every path produces **bit-identical** measurements (asserted — the
 golden-pinned contract), so the comparison is pure wall clock.  The
@@ -73,6 +82,13 @@ MEM_CHUNK = 4096
 
 #: chunk used for the wall-clock column on the pinned cell
 TIMING_CHUNK = 32768
+
+#: sparse cyclic-scheme cell for the batched event calendar: low load
+#: and a long horizon make the per-replication calendar sparse (few
+#: events per service window), the regime where merging R replications
+#: into one denser calendar pays the most
+FULL_EVENT = dict(d=4, rho=0.3, horizon=400.0, replications=32)
+QUICK_EVENT = dict(d=4, rho=0.3, horizon=120.0, replications=16)
 
 REPEATS = 5  # best-of timings
 
@@ -200,6 +216,14 @@ def run_experiment(quick=False):
     chunk_spec = spec.replace(extra={"chunk_packets": TIMING_CHUNK})
     chk_s, chk_m = _best_of(lambda: measure(chunk_spec, jobs=1, batch=True))
 
+    event_params = QUICK_EVENT if quick else FULL_EVENT
+    event_spec = ScenarioSpec(
+        name="bench-engines-event", scheme="random_order", base_seed=0,
+        seed_policy="spawn", **event_params
+    )
+    ev_s, ev_m = _best_of(lambda: measure(event_spec, jobs=1, batch=False))
+    evb_s, evb_m = _best_of(lambda: measure(event_spec, jobs=1, batch=True))
+
     bit_identical = seed_m == seq_m == bat_m and (
         par_m is None or par_m == bat_m
     )
@@ -250,6 +274,21 @@ def run_experiment(quick=False):
         "bit_identical": bool(bit_identical),
         "chunked_bit_identical": bool(chunked_identical),
         "per_replication_bit_identical": bool(per_rep_identical),
+        "event_spec": {
+            "network": event_spec.network,
+            "scheme": event_spec.scheme,
+            "resolved_engine": "event",
+            "d": event_spec.d,
+            "rho": event_spec.rho,
+            "horizon": event_spec.horizon,
+            "replications": event_spec.replications,
+            "seed_policy": event_spec.seed_policy,
+        },
+        "event_num_packets": evb_m.num_packets,
+        "event_s": round(ev_s, 4),
+        "event_batched_s": round(evb_s, 4),
+        "event_batched_vs_event": round(ev_s / evb_s, 2),
+        "event_bit_identical": bool(ev_m == evb_m),
         "memory": _memory_peaks(QUICK_MEM if quick else FULL_MEM),
         "chunked_ps": _chunked_ps_agreement(params, TIMING_CHUNK),
     }
@@ -281,6 +320,8 @@ def test_engines_benchmark():
     assert results["memory"]["bit_identical"]
     assert results["chunked_ps"]["within_tolerance"]
     assert results["speedup_vs_seed"] > 1.0
+    assert results["event_bit_identical"]
+    assert results["event_batched_vs_event"] > 1.0
     print(f"\n[written to {path}]")
 
 
@@ -294,6 +335,7 @@ if __name__ == "__main__":
         results["bit_identical"]
         and results["chunked_bit_identical"]
         and results["per_replication_bit_identical"]
+        and results["event_bit_identical"]
         and results["memory"]["bit_identical"]
     ):
         sys.exit("FAIL: execution paths are not bit-identical")
@@ -303,5 +345,7 @@ if __name__ == "__main__":
         sys.exit("FAIL: batched path is not >= 3x the seed fan-out")
     if not quick and results["batched_vs_sequential"] < 1.0:
         sys.exit("FAIL: batched path is slower than sequential fan-out")
-    if not quick and results["chunked_vs_sequential"] < 0.6:
-        sys.exit("FAIL: chunked-horizon overhead regressed below 0.6x")
+    if not quick and results["chunked_vs_sequential"] < 0.9:
+        sys.exit("FAIL: chunked-horizon overhead regressed below 0.9x")
+    if not quick and results["event_batched_vs_event"] < 2.0:
+        sys.exit("FAIL: batched event calendar is not >= 2x sequential")

@@ -135,14 +135,16 @@ def run_replication(
 #: ReplicationOutput per replication, in seed order:
 #:
 #: * ``("seq", spec, seeds)`` — a plain per-seed loop
-#: * ``("batch", spec, seeds, runner_or_None)`` — one stacked engine
-#:   computation; the resolved runner rides along only in process
-#:   (closures do not cross the pool — workers rebuild from the spec)
+#: * ``("batch", spec, seeds, runner_or_None, cpu)`` — one stacked
+#:   engine computation; the resolved runner rides along only in
+#:   process (closures do not cross the pool — workers rebuild from
+#:   the spec)
 #: * ``("shm", spec, path, bounds, horizons, lo, hi, cpu)`` —
 #:   replications ``lo:hi`` of a shared pre-generated workload file
-#:   (see :func:`_share_workloads` for the layout); ``cpu`` is the
-#:   core the executing worker pins itself to (``pin_workers``), or
-#:   ``None``
+#:   (see :func:`_share_workloads` for the layout)
+#:
+#: ``cpu`` is the core the executing worker pins itself to
+#: (``pin_workers``), or ``None``
 _Task = Tuple[Any, ...]
 
 
@@ -158,6 +160,17 @@ def _worker_cpus(pin_workers: bool) -> Optional[List[int]]:
     return cpus or None
 
 
+def _pin_to_cpu(cpu: Optional[int]) -> None:
+    """Pin the executing worker to *cpu* (no-op on ``None`` or where
+    the platform lacks CPU affinity)."""
+    if cpu is None:
+        return
+    try:
+        os.sched_setaffinity(0, {int(cpu)})
+    except (AttributeError, OSError):  # pragma: no cover - no-op
+        pass
+
+
 def _run_shm_task(task: _Task) -> List[ReplicationOutput]:
     """Attach the shared workload file and solve replications
     ``lo:hi`` as one stacked computation."""
@@ -165,11 +178,7 @@ def _run_shm_task(task: _Task) -> List[ReplicationOutput]:
     from repro.traffic.workload import TrafficSample
 
     _, spec, path, bounds, horizons, lo, hi, cpu = task
-    if cpu is not None:
-        try:
-            os.sched_setaffinity(0, {int(cpu)})
-        except (AttributeError, OSError):  # pragma: no cover - no-op
-            pass
+    _pin_to_cpu(cpu)
     total = bounds[-1]
     times = np.memmap(path, dtype=np.float64, mode="r", shape=(total,))
     origins = np.memmap(
@@ -201,7 +210,8 @@ def _run_task(task: _Task) -> List[ReplicationOutput]:
     if kind == "shm":
         return _run_shm_task(task)
     if kind == "batch":
-        _, spec, seeds, runner = task
+        _, spec, seeds, runner, cpu = task
+        _pin_to_cpu(cpu)
         if runner is None:
             runner = spec.plugin.batch_runner(spec)
         if runner is not None:
@@ -445,10 +455,11 @@ def measure_many(
     :class:`MeasureProgress` per spec up front (its cached count) and
     after every wave.
 
-    *pin_workers* gives each shared-workload task a core (round-robin
-    over the process's CPU affinity set) that the executing worker
-    pins itself to with :func:`os.sched_setaffinity` — steadier cache
-    residency for the zero-copy memmap slices on multi-core hosts.  A
+    *pin_workers* gives each shared-workload and chunked-batch task a
+    core (round-robin over the process's CPU affinity set) that the
+    executing worker pins itself to with :func:`os.sched_setaffinity`
+    — steadier cache residency for the stacked kernels and the
+    zero-copy memmap slices on multi-core hosts.  A
     runner-level knob, not a spec option: it cannot change a content
     hash or a cache cell, and it is a no-op where unsupported.
     """
@@ -524,8 +535,9 @@ def measure_many(
                 for lo, hi in _chunk_bounds(
                     len(missing_seeds), 1 if jobs <= 1 else jobs, wave_reps
                 ):
+                    cpu = None if cpus is None else cpus[len(tasks) % len(cpus)]
                     tasks.append(
-                        ("batch", spec, tuple(missing_seeds[lo:hi]), payload)
+                        ("batch", spec, tuple(missing_seeds[lo:hi]), payload, cpu)
                     )
                     meta.append((slot_idx, tuple(missing[lo:hi])))
 

@@ -20,12 +20,14 @@ measurable.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 from repro.rng import SeedLike, as_generator
 from repro.sim.eventsim import (
     EventSimResult,
-    hypercube_packet_paths,
+    FlatPaths,
+    hypercube_arcs_flat,
+    hypercube_dims_flat,
     simulate_paths_event_driven,
 )
 from repro.sim.feedforward import FeedForwardResult, simulate_hypercube_greedy
@@ -48,6 +50,35 @@ def simulate_fixed_order(
     return simulate_hypercube_greedy(cube, sample, dim_order=dim_order)
 
 
+def _random_order_paths(
+    cube: Hypercube, sample: TrafficSample, gen
+) -> FlatPaths:
+    """Flat arc paths with an independent random dimension order per
+    packet.
+
+    RNG contract (golden-pinned): one shuffle per packet in packet
+    order.  ``Generator.shuffle`` on a slice view of the packed
+    dimension array consumes the stream exactly as the historical
+    per-packet list shuffle did (and a length-``<= 1`` shuffle consumes
+    nothing, so those packets are skipped); only the path *assembly*
+    around the shuffles is vectorised.
+    """
+    dims_flat, start = hypercube_dims_flat(
+        cube.d, sample.origins, sample.destinations
+    )
+    shuffle = gen.shuffle
+    st = start.tolist()
+    for i in range(sample.num_packets):
+        s = st[i]
+        e = st[i + 1]
+        if e - s > 1:
+            shuffle(dims_flat[s:e])
+    arcs = hypercube_arcs_flat(
+        cube.num_nodes, sample.origins, dims_flat, start
+    )
+    return FlatPaths(arcs, start)
+
+
 def simulate_random_order(
     cube: Hypercube,
     sample: TrafficSample,
@@ -62,14 +93,7 @@ def simulate_random_order(
     used.  Delivery times come back aligned with the sample's packets.
     """
     gen = as_generator(rng)
-    orders: List[List[int]] = []
-    for i in range(sample.num_packets):
-        dims = cube.dims_to_cross(
-            int(sample.origins[i]), int(sample.destinations[i])
-        )
-        gen.shuffle(dims)
-        orders.append(dims)
-    paths = hypercube_packet_paths(cube, sample, orders=orders)
+    paths = _random_order_paths(cube, sample, gen)
     return simulate_paths_event_driven(
         cube.num_arcs,
         sample.times,
@@ -129,3 +153,42 @@ class RandomOrderPlugin(SchemePlugin):
             )
 
         return run
+
+    def batch_runner(self, spec: "ScenarioSpec"):
+        """Stack R replications into one event calendar.
+
+        Workloads draw through ``build_workload_batch`` (each from its
+        own seed's stream), the per-packet shuffles follow from the
+        same stream — exactly the sequential RNG order — and the R
+        path sets run as one arc-offset batch.  ``batch_engine`` stays
+        ``None``: the shuffles consume the replication stream *after*
+        the workload draw, so the shared-workload shm decomposition
+        (which reconstructs state from published samples alone) cannot
+        reproduce them; at ``jobs > 1`` the runner composes this
+        batch runner through chunked batch tasks instead.
+        """
+        from repro.engines.api import batch_output
+        from repro.sim.eventsim import simulate_paths_event_driven_batch
+
+        cube = Hypercube(spec.d)
+
+        def run_batch(seeds):
+            gens = [as_generator(seed) for seed in seeds]
+            samples = spec.network_plugin.build_workload_batch(
+                spec, spec.horizon, gens
+            )
+            paths = [
+                _random_order_paths(cube, sample, gen)
+                for sample, gen in zip(samples, gens)
+            ]
+            deliveries = simulate_paths_event_driven_batch(
+                cube.num_arcs,
+                [sample.times for sample in samples],
+                paths,
+            )
+            return [
+                batch_output(spec, sample, delivery)
+                for sample, delivery in zip(samples, deliveries)
+            ]
+
+        return run_batch

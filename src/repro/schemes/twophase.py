@@ -29,7 +29,13 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike, as_generator
-from repro.sim.eventsim import EventSimResult, simulate_paths_event_driven
+from repro.sim.eventsim import (
+    EventSimResult,
+    FlatPaths,
+    hypercube_arcs_flat,
+    hypercube_dims_flat,
+    simulate_paths_event_driven,
+)
 from repro.sim.measurement import DelayRecord
 from repro.topology.hypercube import Hypercube
 from repro.traffic.workload import TrafficSample
@@ -96,23 +102,30 @@ class TwoPhaseScheme:
 
     def _paths(
         self, sample: TrafficSample, intermediates: np.ndarray
-    ) -> List[List[int]]:
-        n_nodes = self.cube.num_nodes
-        paths: List[List[int]] = []
-        for i in range(sample.num_packets):
-            x = int(sample.origins[i])
-            w = int(intermediates[i])
-            z = int(sample.destinations[i])
-            arcs: List[int] = []
-            cur = x
-            for j in self.cube.dims_to_cross(x, w):
-                arcs.append(j * n_nodes + cur)
-                cur ^= 1 << j
-            for j in self.cube.dims_to_cross(w, z):
-                arcs.append(j * n_nodes + cur)
-                cur ^= 1 << j
-            paths.append(arcs)
-        return paths
+    ) -> FlatPaths:
+        """Flat phase-1 + phase-2 arc paths.
+
+        Both phases build in one pass: rows ``2i``/``2i + 1`` of an
+        interleaved node table hold packet *i*'s phase-1 and phase-2
+        hops, so the flat dimension array lists each packet's phase-1
+        crossings immediately followed by its phase-2 crossings, and
+        taking every other ``start`` entry merges the two segments.
+        """
+        origins = np.asarray(sample.origins, np.int64)
+        inter = np.asarray(intermediates, np.int64)
+        dests = np.asarray(sample.destinations, np.int64)
+        n = origins.shape[0]
+        seg_from = np.empty(2 * n, np.int64)
+        seg_from[0::2] = origins
+        seg_from[1::2] = inter
+        seg_to = np.empty(2 * n, np.int64)
+        seg_to[0::2] = inter
+        seg_to[1::2] = dests
+        dims_flat, seg_start = hypercube_dims_flat(self.d, seg_from, seg_to)
+        arcs = hypercube_arcs_flat(
+            self.cube.num_nodes, seg_from, dims_flat, seg_start
+        )
+        return FlatPaths(arcs, seg_start[0::2])
 
     def route(self, sample: TrafficSample, rng: SeedLike = None) -> TwoPhaseResult:
         """Pick uniform intermediates for pre-sampled traffic and route
@@ -245,3 +258,57 @@ class TwoPhasePlugin(SchemePlugin):
             )
 
         return run
+
+    def batch_runner(self, spec: "ScenarioSpec"):
+        """Stack R replications into one event calendar.
+
+        Same seed-for-seed contract as :meth:`prepare`: each stream
+        draws its workload (via ``build_workload_batch``), then its
+        intermediates, then the R path sets run as one arc-offset
+        batch.  The ``mean_hops`` side metric is recomputed per
+        replication from the flat paths — bit-identical to the
+        sequential ``TwoPhaseResult.mean_hops``.  ``batch_engine``
+        stays ``None``: the intermediates draw follows the workload on
+        the replication stream, which the shared-workload shm route
+        (samples only, no generator state) cannot replay; ``jobs > 1``
+        composes through chunked batch tasks instead.
+        """
+        from repro.sim.eventsim import simulate_paths_event_driven_batch
+        from repro.sim.run_spec import ReplicationOutput
+
+        scheme = TwoPhaseScheme(d=spec.d, lam=spec.resolved_lam)
+
+        def run_batch(seeds):
+            gens = [as_generator(seed) for seed in seeds]
+            samples = spec.network_plugin.build_workload_batch(
+                spec, spec.horizon, gens
+            )
+            paths = []
+            for sample, gen in zip(samples, gens):
+                intermediates = gen.integers(
+                    0, scheme.cube.num_nodes,
+                    size=sample.num_packets, dtype=np.int64,
+                )
+                paths.append(scheme._paths(sample, intermediates))
+            deliveries = simulate_paths_event_driven_batch(
+                scheme.cube.num_arcs,
+                [sample.times for sample in samples],
+                paths,
+            )
+            outputs = []
+            for sample, delivery, fp in zip(samples, deliveries, paths):
+                hops = fp.hops()
+                mean_hops = float(hops.mean()) if len(hops) else 0.0
+                out = steady_output(
+                    spec,
+                    DelayRecord(sample.times, delivery, sample.horizon),
+                    metrics=(("mean_hops", mean_hops),),
+                )
+                outputs.append(
+                    ReplicationOutput(
+                        out.mean_delay, out.num_packets, out.metrics, None
+                    )
+                )
+            return outputs
+
+        return run_batch

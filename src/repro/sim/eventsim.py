@@ -1,7 +1,7 @@
 """Event-driven network simulator (FIFO and PS disciplines).
 
-This is the classical engine: a single chronological event heap, per-arc
-server state, packets following explicit precomputed arc paths.  It is
+This is the classical engine: chronological event order, per-arc server
+state, packets following explicit precomputed arc paths.  It is
 deliberately independent of the levelled structure, so it can simulate
 
 * the canonical greedy scheme (cross-validating the fast feed-forward
@@ -9,47 +9,153 @@ deliberately independent of the levelled structure, so it can simulate
 * **non-levelled** schemes such as per-packet random dimension order
   (the E13 ablation), which the feed-forward engine cannot express.
 
+The state is flat preallocated NumPy/array storage — no per-event
+allocation, no per-packet Python objects:
+
+* paths live in a :class:`FlatPaths` packed layout
+  (``flat[start[i]:start[i+1]]`` is packet *i*'s path);
+* per-packet columns (``hop_index``, ``join_time``, delivery) replace
+  the historical ``(pid, hop) -> t_in`` dict, and FIFO queues are an
+  intrusive linked list (one ``next`` slot per packet — a packet waits
+  in at most one queue);
+* the arc log fills preallocated arrays (exactly one row per hop), so
+  ``record_arc_log=True`` costs bounded extra memory, not growing
+  Python lists.
+
+Two cores implement the same sample path bit for bit:
+
+* the **windowed** FIFO core drains *runs* of events per step: every
+  window ``[T, T + service)`` (``T`` the earliest pending event)
+  contains at most one completion per arc, every such completion is due
+  inside the window, and same-window queue joins never change which
+  packet is in service — so each window's completions, forwards, log
+  rows and refills are computed as a handful of vectorised array
+  operations instead of per-event heap traffic;
+* the **heap** core keeps strict event order but packs each event into
+  a single Python int — ``(time-bits, join?, id, version)`` bit fields,
+  IEEE-754 order-preserving time image — over the same flat state.  PS
+  always uses it (a PS departure can cascade across arcs inside one
+  service window); FIFO falls back to it when the calendar is too
+  sparse for windowing to pay (``mode="auto"``).
+
 Tie-breaking matches :mod:`repro.sim.feedforward` exactly: at equal
 times, service completions fire before queue-joins, and queue-joins
 fire in packet-id order.  Consequently FIFO sample paths agree with the
 feed-forward engine to floating-point round-off.
+
+:func:`simulate_paths_event_driven_batch` stacks R independent
+replications into **one** calendar by offsetting replication *r*'s arc
+ids by ``r * num_arcs``: the sub-systems are disjoint, their events
+interleave safely, and each replication's deliveries are bit-identical
+to its own sequential run — while the merged calendar is R times
+denser, exactly what the windowed core wants.
 """
 
 from __future__ import annotations
 
-from collections import deque
+import heapq
+import itertools
+import struct
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.sim.engine import EventCalendar
 from repro.sim.feedforward import ArcLog
-from repro.sim.servers import PSServer
+from repro.sim.servers import PsServerBank
 from repro.topology.butterfly import Butterfly
 from repro.topology.hypercube import Hypercube
 from repro.traffic.workload import TrafficSample
 
 __all__ = [
     "EventSimResult",
+    "FlatPaths",
+    "flatten_paths",
     "simulate_paths_event_driven",
+    "simulate_paths_event_driven_batch",
     "hypercube_packet_paths",
+    "hypercube_dims_flat",
+    "hypercube_arcs_flat",
     "butterfly_packet_paths",
 ]
 
-# event kinds
-_JOIN = 0  # packet joins an arc queue
-_FIFO_DONE = 1  # FIFO service completion at an arc
-_PS_CHECK = 2  # (possibly stale) PS departure check at an arc
+_EMPTY_F = np.empty(0)
+_EMPTY_I = np.empty(0, np.int64)
 
-# priorities: completions strictly before joins at equal times;
-# joins ordered by packet id.
-_PRIO_DONE = -1
+#: events-per-service-window estimate below which ``mode="auto"``
+#: prefers the flat heap core: with almost-empty windows the fixed
+#: per-window cost of the vectorised drains dominates.
+_WINDOW_DENSITY = 16.0
+
+# packed event keys (heap core): a single Python int per event,
+#   ((time_key << 1 | is_join) << 72) | (id << 40..32 bits) | version
+# so integer order == (time, completions-before-joins, id, version).
+# ``id`` is the packet id for joins (joins tie-break in pid order) and
+# the arc id for completions / PS checks; ``version`` is the PS
+# stale-check counter (0 for FIFO).
+_JOIN_BIT = 1 << 72
+_ID_MASK = (1 << 40) - 1
+_VER_MASK = (1 << 32) - 1
+
+_PACK_D = struct.Struct(">d").pack
 
 
-def _prio_join(pid: int) -> int:
-    return int(pid)
+def _time_key(t: float) -> int:
+    """Order-preserving uint64 image of a finite float.
+
+    Non-negative floats map to ``bits | 2^63`` (IEEE-754 bit patterns
+    are already ordered there); negatives flip to ``2^64 - 1 - bits``
+    so more-negative sorts smaller.
+    """
+    b = int.from_bytes(_PACK_D(t), "big")
+    if b < 0x8000000000000000:
+        return b | 0x8000000000000000
+    return 0xFFFFFFFFFFFFFFFF - b
+
+
+@dataclass(frozen=True)
+class FlatPaths:
+    """Packed per-packet arc paths.
+
+    ``flat[start[i]:start[i+1]]`` is packet *i*'s arc path; both arrays
+    are int64 and ``start`` has one trailing entry (``start[-1] ==
+    len(flat)``).  Anywhere a ``Sequence[Sequence[int]]`` of paths is
+    accepted, a ``FlatPaths`` is too — and skips the flattening pass.
+    """
+
+    flat: np.ndarray
+    start: np.ndarray
+
+    @property
+    def num_packets(self) -> int:
+        return self.start.shape[0] - 1
+
+    def hops(self) -> np.ndarray:
+        return np.diff(self.start)
+
+    def __len__(self) -> int:
+        return self.num_packets
+
+    def __getitem__(self, i: int) -> np.ndarray:
+        return self.flat[self.start[i] : self.start[i + 1]]
+
+
+def flatten_paths(
+    paths: Union[FlatPaths, Sequence[Sequence[int]]]
+) -> FlatPaths:
+    """Pack a sequence of per-packet arc paths (no-op on FlatPaths)."""
+    if isinstance(paths, FlatPaths):
+        return paths
+    counts = np.fromiter(
+        (len(p) for p in paths), np.int64, count=len(paths)
+    )
+    start = np.zeros(counts.shape[0] + 1, np.int64)
+    np.cumsum(counts, out=start[1:])
+    flat = np.fromiter(
+        itertools.chain.from_iterable(paths), np.int64, count=int(start[-1])
+    )
+    return FlatPaths(flat, start)
 
 
 @dataclass(frozen=True)
@@ -66,24 +172,41 @@ class EventSimResult:
         return DelayRecord(sample.times, self.delivery, sample.horizon)
 
 
-class _FifoArc:
-    """FIFO queue state for one arc: head of `queue` is in service."""
+class _LogArrays:
+    """Preallocated arc-log columns: exactly one row per hop."""
 
-    __slots__ = ("queue", "busy")
+    __slots__ = ("pid", "arc", "t_in", "t_out", "fill")
 
-    def __init__(self) -> None:
-        self.queue: Deque[int] = deque()
-        self.busy = False
+    def __init__(self, total_hops: int) -> None:
+        self.pid = np.empty(total_hops, np.int64)
+        self.arc = np.empty(total_hops, np.int64)
+        self.t_in = np.empty(total_hops)
+        self.t_out = np.empty(total_hops)
+        self.fill = 0
+
+    def freeze(self) -> ArcLog:
+        return ArcLog(self.pid, self.arc, self.t_in, self.t_out)
+
+
+def _calendar_density(
+    births: np.ndarray, hops: np.ndarray, service: float
+) -> float:
+    """Estimated events per service window (joins + completions)."""
+    active = hops > 0
+    bt = births[active]
+    span = float(bt.max() - bt.min()) if bt.shape[0] else 0.0
+    return 2.0 * float(hops.sum()) / (span / service + 1.0)
 
 
 def simulate_paths_event_driven(
     num_arcs: int,
     birth_times: np.ndarray,
-    paths: Sequence[Sequence[int]],
+    paths: Union[FlatPaths, Sequence[Sequence[int]]],
     *,
     discipline: str = "fifo",
     service: float = 1.0,
     record_arc_log: bool = False,
+    mode: str = "auto",
 ) -> EventSimResult:
     """Simulate packets following explicit arc paths.
 
@@ -94,117 +217,528 @@ def simulate_paths_event_driven(
     birth_times:
         Per-packet injection epochs (any order).
     paths:
-        Per-packet sequences of arc ids; a packet with an empty path is
-        delivered at birth.
+        Per-packet sequences of arc ids (or a :class:`FlatPaths`); a
+        packet with an empty path is delivered at birth.
     discipline:
         ``"fifo"`` or ``"ps"`` applied at every arc.
+    mode:
+        ``"auto"`` (default) picks the FIFO core by calendar density;
+        ``"windows"`` / ``"heap"`` force one.  PS always runs the heap
+        core (its departures cascade across arcs within a window), so
+        ``mode="windows"`` with PS is a configuration error.  All modes
+        produce the same sample path bit for bit.
     """
     if discipline not in ("fifo", "ps"):
         raise ConfigurationError(f"unknown discipline {discipline!r}")
     if service <= 0:
         raise ConfigurationError(f"service must be > 0, got {service}")
+    if mode not in ("auto", "heap", "windows"):
+        raise ConfigurationError(f"unknown event-core mode {mode!r}")
+    if discipline == "ps" and mode == "windows":
+        raise ConfigurationError(
+            "the windowed event core is FIFO-only (PS departures cascade "
+            "across arcs inside one service window); use mode='auto'"
+        )
     births = np.asarray(birth_times, dtype=float)
     n = births.shape[0]
     if len(paths) != n:
         raise ConfigurationError("paths and birth_times must be parallel")
+    fp = flatten_paths(paths)
+    flat, start = fp.flat, fp.start
+    total = int(flat.shape[0])
+    if total:
+        lo = int(flat.min())
+        hi = int(flat.max())
+        if lo < 0 or hi >= num_arcs:
+            bad = lo if lo < 0 else hi
+            raise SimulationError(f"arc id {bad} out of range")
+    hops = np.diff(start)
     delivery = np.empty(n)
-    hop_index = np.zeros(n, dtype=np.int64)
-    hops = np.array([len(pth) for pth in paths], dtype=np.int64)
-    cal = EventCalendar()
-
-    log_pid: List[int] = []
-    log_arc: List[int] = []
-    log_in: List[float] = []
-    log_out: List[float] = []
-
-    fifo_state = (
-        [_FifoArc() for _ in range(num_arcs)] if discipline == "fifo" else None
+    trivial = hops == 0
+    delivery[trivial] = births[trivial]
+    log = _LogArrays(total) if record_arc_log else None
+    if total:
+        if discipline == "ps":
+            _ps_heap_core(
+                num_arcs, births, flat, start, hops, service, delivery, log
+            )
+        elif mode == "heap" or (
+            mode == "auto"
+            and _calendar_density(births, hops, service) < _WINDOW_DENSITY
+        ):
+            _fifo_heap_core(
+                num_arcs, births, flat, start, hops, service, delivery, log
+            )
+        else:
+            _fifo_window_core(
+                num_arcs, births, flat, start, hops, service, delivery, log
+            )
+        if log is not None and log.fill != total:  # pragma: no cover
+            raise SimulationError("some packets did not complete their paths")
+    return EventSimResult(
+        delivery, hops, log.freeze() if log is not None else None
     )
-    ps_state = [PSServer() for _ in range(num_arcs)] if discipline == "ps" else None
-    ps_version = [0] * num_arcs
-    join_time: dict[Tuple[int, int], float] = {}  # (pid, hop) -> t_in
 
-    for pid in range(n):
-        if hops[pid] == 0:
-            delivery[pid] = births[pid]
+
+def simulate_paths_event_driven_batch(
+    num_arcs: int,
+    birth_times: Sequence[np.ndarray],
+    paths: Sequence[Union[FlatPaths, Sequence[Sequence[int]]]],
+    *,
+    discipline: str = "fifo",
+    service: float = 1.0,
+    mode: str = "auto",
+) -> List[np.ndarray]:
+    """Delivery epochs of R independent replications as ONE calendar.
+
+    Replication *r*'s arc ids are offset by ``r * num_arcs``, making
+    the R sub-systems disjoint: their events interleave safely in a
+    single merged run whose calendar is R times denser (which is where
+    the windowed core's per-window cost amortises).  Entry *r* of the
+    result is **bit-identical** to
+
+    ``simulate_paths_event_driven(num_arcs, birth_times[r], paths[r], ...)``
+
+    because every computed epoch is a per-arc chain of the same float
+    operations — the merged calendar changes only the event interleave
+    across (independent) replications, never the arithmetic within one.
+    """
+    reps = len(birth_times)
+    if len(paths) != reps:
+        raise ConfigurationError("paths and birth_times must be parallel")
+    if reps == 0:
+        return []
+    births_list = [np.asarray(b, dtype=float) for b in birth_times]
+    flats = [flatten_paths(p) for p in paths]
+    for b, f in zip(births_list, flats):
+        if f.num_packets != b.shape[0]:
+            raise ConfigurationError("paths and birth_times must be parallel")
+        if f.flat.shape[0]:
+            lo = int(f.flat.min())
+            hi = int(f.flat.max())
+            if lo < 0 or hi >= num_arcs:
+                bad = lo if lo < 0 else hi
+                raise SimulationError(f"arc id {bad} out of range")
+    merged_flat = np.concatenate(
+        [f.flat + r * num_arcs for r, f in enumerate(flats)]
+    )
+    starts = []
+    hop_off = 0
+    for f in flats:
+        starts.append(f.start[:-1] + hop_off)
+        hop_off += int(f.start[-1])
+    starts.append(np.array([hop_off], np.int64))
+    merged = FlatPaths(merged_flat, np.concatenate(starts))
+    result = simulate_paths_event_driven(
+        num_arcs * reps,
+        np.concatenate(births_list),
+        merged,
+        discipline=discipline,
+        service=service,
+        mode=mode,
+    )
+    out: List[np.ndarray] = []
+    offset = 0
+    for b in births_list:
+        out.append(result.delivery[offset : offset + b.shape[0]].copy())
+        offset += b.shape[0]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the windowed FIFO core
+# ---------------------------------------------------------------------------
+
+
+def _fifo_window_core(
+    num_arcs: int,
+    births: np.ndarray,
+    path_flat: np.ndarray,
+    path_start: np.ndarray,
+    hops: np.ndarray,
+    service: float,
+    delivery: np.ndarray,
+    log: Optional[_LogArrays],
+) -> None:
+    """Vectorised drains of same-window event runs.
+
+    Window invariants (``T`` = earliest pending event, window =
+    ``[T, T + service)``):
+
+    * at most one completion per arc falls in the window (the refill
+      after a completion at ``t`` lands at ``t + service >= T +
+      service``), and every arc busy at ``T`` has its completion due
+      inside it (service started before ``T``);
+    * completions are independent of same-window joins: the packet in
+      service is the queue head, joins append to the tail of a
+      non-empty queue;
+    * each packet joins at most one queue per window (its next join is
+      at its completion epoch, beyond the window end);
+
+    so all completions pop as one gather/scatter, all joins (births +
+    forwards) splice into the intrusive queues as one segmented pass,
+    and refills are decided per arc from the spliced state.
+    """
+    record = log is not None
+    hop_index = np.zeros(births.shape[0], np.int64)
+    cur_join = np.zeros(births.shape[0])
+    nxt = np.full(births.shape[0], -1, np.int64)
+    q_head = np.full(num_arcs, -1, np.int64)
+    q_tail = np.full(num_arcs, -1, np.int64)
+    q_len = np.zeros(num_arcs, np.int64)
+    # per-window scratch: which arcs completed this window, and when
+    arc_stamp = np.zeros(num_arcs, np.int64)
+    arc_done_t = np.zeros(num_arcs)
+
+    bidx = np.flatnonzero(hops > 0)
+    order = np.argsort(births[bidx], kind="stable")
+    bp = bidx[order]
+    bt = births[bidx][order]
+    nb = bp.shape[0]
+    ptr = 0
+    ct = _EMPTY_F  # pending completions: times ...
+    ca = _EMPTY_I  # ... and their arcs (the "carry")
+    w = 0
+    while ptr < nb or ct.shape[0]:
+        w += 1
+        tmin = bt[ptr] if ptr < nb else np.inf
+        if ct.shape[0]:
+            cmin = ct.min()
+            if cmin < tmin:
+                tmin = cmin
+        wend = tmin + service
+        # completions due in this window, chronological (ties by arc)
+        nd = 0
+        if ct.shape[0]:
+            due = ct < wend
+            d_t = ct[due]
+            d_a = ca[due]
+            ct = ct[~due]
+            ca = ca[~due]
+            nd = d_t.shape[0]
+            if nd > 1:
+                o2 = np.lexsort((d_a, d_t))
+                d_t = d_t[o2]
+                d_a = d_a[o2]
+        # births entering this window (bt sorted)
+        j = ptr + int(np.searchsorted(bt[ptr:], wend, side="left"))
+        b_p = bp[ptr:j]
+        b_t = bt[ptr:j]
+        ptr = j
+        # pop every completed head; forward or deliver
+        if nd:
+            len0 = q_len[d_a]
+            h = q_head[d_a]
+            q_head[d_a] = nxt[h]
+            len1 = len0 - 1
+            q_len[d_a] = len1
+            if record:
+                fill = log.fill
+                log.pid[fill : fill + nd] = h
+                log.arc[fill : fill + nd] = d_a
+                log.t_in[fill : fill + nd] = cur_join[h]
+                log.t_out[fill : fill + nd] = d_t
+                log.fill = fill + nd
+            hop_index[h] += 1
+            hi = hop_index[h]
+            fin = hi == hops[h]
+            delivery[h[fin]] = d_t[fin]
+            fwd = ~fin
+            f_p = h[fwd]
+            f_t = d_t[fwd]
+            f_a = path_flat[path_start[f_p] + hi[fwd]]
+            arc_stamp[d_a] = w
+            arc_done_t[d_a] = d_t
         else:
-            cal.schedule(births[pid], (_JOIN, pid), priority=_prio_join(pid))
-
-    def _forward(pid: int, t: float) -> None:
-        """Packet finished a hop at time t: advance or deliver."""
-        hop_index[pid] += 1
-        if hop_index[pid] >= hops[pid]:
-            delivery[pid] = t
+            f_p = _EMPTY_I
+            f_t = _EMPTY_F
+            f_a = _EMPTY_I
+        # all joins of the window (births + forwards), grouped by arc,
+        # chronological within an arc (ties by pid)
+        if b_p.shape[0]:
+            j_p = np.concatenate((b_p, f_p))
+            j_t = np.concatenate((b_t, f_t))
+            j_a = np.concatenate((path_flat[path_start[b_p]], f_a))
         else:
-            cal.schedule(t, (_JOIN, pid), priority=_prio_join(pid))
-
-    def _record(pid: int, arc: int, t_in: float, t_out: float) -> None:
-        if record_arc_log:
-            log_pid.append(pid)
-            log_arc.append(arc)
-            log_in.append(t_in)
-            log_out.append(t_out)
-
-    while len(cal):
-        t, payload = cal.pop()
-        kind = payload[0]
-        if kind == _JOIN:
-            pid = payload[1]
-            arc = paths[pid][hop_index[pid]]
-            if not 0 <= arc < num_arcs:
-                raise SimulationError(f"arc id {arc} out of range")
-            if record_arc_log:
-                join_time[(pid, int(hop_index[pid]))] = t
-            if discipline == "fifo":
-                st = fifo_state[arc]
-                st.queue.append(pid)
-                if not st.busy:
-                    st.busy = True
-                    cal.schedule(t + service, (_FIFO_DONE, arc), priority=_PRIO_DONE)
+            j_p, j_t, j_a = f_p, f_t, f_a
+        nj = j_p.shape[0]
+        if nj:
+            o3 = np.lexsort((j_p, j_t, j_a))
+            j_p = j_p[o3]
+            j_t = j_t[o3]
+            j_a = j_a[o3]
+            cur_join[j_p] = j_t
+            newseg = np.empty(nj, bool)
+            newseg[0] = True
+            np.not_equal(j_a[1:], j_a[:-1], out=newseg[1:])
+            seg_start = np.flatnonzero(newseg)
+            u_arcs = j_a[seg_start]
+            seg_end = np.append(seg_start[1:], nj)
+            counts = seg_end - seg_start
+            # splice each arc's joins into its intrusive queue
+            same = ~newseg[1:]
+            nxt[j_p[:-1][same]] = j_p[1:][same]
+            first = j_p[seg_start]
+            last = j_p[seg_end - 1]
+            len_pre = q_len[u_arcs]
+            em = len_pre == 0
+            q_head[u_arcs[em]] = first[em]
+            ne = ~em
+            nxt[q_tail[u_arcs[ne]]] = first[ne]
+            q_tail[u_arcs] = last
+            q_len[u_arcs] = len_pre + counts
+            # arcs idle at window start (no completion, empty queue):
+            # their first join starts service immediately
+            no_d = (arc_stamp[u_arcs] != w) & em
+            new_a0 = u_arcs[no_d]
+            new_t0 = j_t[seg_start[no_d]] + service
+            # per join-arc: did any join land before the arc's
+            # completion epoch? (logical OR per segment)
+            any_before = np.maximum.reduceat(
+                (arc_stamp[j_a] == w) & (j_t < arc_done_t[j_a]), seg_start
+            )
+        else:
+            new_a0 = _EMPTY_I
+            new_t0 = _EMPTY_F
+        # arcs that completed: refill from the spliced queue state
+        if nd:
+            if nj:
+                pos = np.searchsorted(u_arcs, d_a)
+                posc = np.minimum(pos, u_arcs.shape[0] - 1)
+                hasj = u_arcs[posc] == d_a
+                before = hasj & any_before[posc]
+                # non-empty after the pop, or a join slipped in before
+                # the completion epoch -> next service starts at d_t;
+                # else the earliest join (>= d_t) starts it
+                busy_again = (len1 > 0) | before
+                refill_t = j_t[seg_start[posc]]
+                new_t1 = np.where(busy_again, d_t, refill_t) + service
+                valid = busy_again | hasj
             else:
-                srv = ps_state[arc]
-                srv.arrive(t, customer_id=pid, work=service)
-                ps_version[arc] += 1
-                nxt = srv.next_departure_time()
-                cal.schedule(
-                    nxt, (_PS_CHECK, arc, ps_version[arc]), priority=_PRIO_DONE
-                )
-        elif kind == _FIFO_DONE:
-            arc = payload[1]
-            st = fifo_state[arc]
-            pid = st.queue.popleft()
-            _record(pid, arc, join_time.pop((pid, int(hop_index[pid])), np.nan), t)
-            _forward(pid, t)
-            if st.queue:
-                cal.schedule(t + service, (_FIFO_DONE, arc), priority=_PRIO_DONE)
+                busy_again = len1 > 0
+                new_t1 = d_t + service
+                valid = busy_again
+            new_a1 = d_a[valid]
+            new_t1 = new_t1[valid]
+        else:
+            new_a1 = _EMPTY_I
+            new_t1 = _EMPTY_F
+        ct = np.concatenate((ct, new_t0, new_t1))
+        ca = np.concatenate((ca, new_a0, new_a1))
+
+
+# ---------------------------------------------------------------------------
+# the flat heap cores (packed int64-key events, no per-event allocation)
+# ---------------------------------------------------------------------------
+
+
+def _fifo_heap_core(
+    num_arcs: int,
+    births: np.ndarray,
+    path_flat: np.ndarray,
+    path_start: np.ndarray,
+    hops: np.ndarray,
+    service: float,
+    delivery: np.ndarray,
+    log: Optional[_LogArrays],
+) -> None:
+    """Strict event order over flat state: one packed int per event."""
+    n = births.shape[0]
+    flat_l = path_flat.tolist()
+    start_l = path_start.tolist()
+    hops_l = hops.tolist()
+    join_t = births.tolist()  # per-packet join epoch of the current hop
+    hop_i = [0] * n
+    nxt = [0] * n
+    q_head = [0] * num_arcs
+    q_tail = [0] * num_arcs
+    q_len = [0] * num_arcs
+    done_t = [0.0] * num_arcs  # the (single) outstanding completion
+    record = log is not None
+    heap = [
+        (_time_key(join_t[p]) << 73) | _JOIN_BIT | (p << 32)
+        for p in range(n)
+        if hops_l[p]
+    ]
+    heapq.heapify(heap)
+    pop = heapq.heappop
+    push = heapq.heappush
+    tkey = _time_key
+    fill = 0
+    while heap:
+        key = pop(heap)
+        if key & _JOIN_BIT:
+            p = (key >> 32) & _ID_MASK
+            t = join_t[p]
+            a = flat_l[start_l[p] + hop_i[p]]
+            if q_len[a]:
+                nxt[q_tail[a]] = p
+                q_tail[a] = p
+                q_len[a] += 1
             else:
-                st.busy = False
-        else:  # _PS_CHECK
-            arc, version = payload[1], payload[2]
-            if version != ps_version[arc]:
+                q_head[a] = p
+                q_tail[a] = p
+                q_len[a] = 1
+                td = t + service
+                done_t[a] = td
+                push(heap, (tkey(td) << 73) | (a << 32))
+        else:
+            a = (key >> 32) & _ID_MASK
+            t = done_t[a]
+            p = q_head[a]
+            q_head[a] = nxt[p]
+            q_len[a] -= 1
+            if record:
+                log.pid[fill] = p
+                log.arc[fill] = a
+                log.t_in[fill] = join_t[p]
+                log.t_out[fill] = t
+                fill += 1
+            hop_i[p] += 1
+            if hop_i[p] == hops_l[p]:
+                delivery[p] = t
+            else:
+                join_t[p] = t
+                push(heap, (tkey(t) << 73) | _JOIN_BIT | (p << 32))
+            if q_len[a]:
+                td = t + service
+                done_t[a] = td
+                push(heap, (tkey(td) << 73) | (a << 32))
+    if record:
+        log.fill = fill
+
+
+def _ps_heap_core(
+    num_arcs: int,
+    births: np.ndarray,
+    path_flat: np.ndarray,
+    path_start: np.ndarray,
+    hops: np.ndarray,
+    service: float,
+    delivery: np.ndarray,
+    log: Optional[_LogArrays],
+) -> None:
+    """PS over flat state: versioned departure checks, packed keys.
+
+    An arrival reschedules its arc's next departure, bumping the arc's
+    version; a popped check whose version is stale is skipped.  Server
+    arithmetic is :class:`repro.sim.servers.PsServerBank` — op-for-op
+    the :class:`~repro.sim.servers.PSServer` update rules, so sample
+    paths are bit-identical to the historical per-object engine.
+    """
+    n = births.shape[0]
+    flat_l = path_flat.tolist()
+    start_l = path_start.tolist()
+    hops_l = hops.tolist()
+    join_t = births.tolist()
+    hop_i = [0] * n
+    bank = PsServerBank(num_arcs, n)
+    ver = [0] * num_arcs
+    record = log is not None
+    heap = [
+        (_time_key(join_t[p]) << 73) | _JOIN_BIT | (p << 32)
+        for p in range(n)
+        if hops_l[p]
+    ]
+    heapq.heapify(heap)
+    pop = heapq.heappop
+    push = heapq.heappush
+    tkey = _time_key
+    fill = 0
+    while heap:
+        key = pop(heap)
+        if key & _JOIN_BIT:
+            p = (key >> 32) & _ID_MASK
+            t = join_t[p]
+            a = flat_l[start_l[p] + hop_i[p]]
+            bank.arrive(a, t, p, service)
+            v = ver[a] + 1
+            ver[a] = v
+            td = bank.next_departure(a)
+            push(
+                heap,
+                (tkey(td) << 73) | (a << 32) | (v & _VER_MASK),
+            )
+        else:
+            a = (key >> 32) & _ID_MASK
+            if (key & _VER_MASK) != (ver[a] & _VER_MASK):
                 continue  # stale: an arrival rescheduled this departure
-            srv = ps_state[arc]
-            dep_t, pid = srv.pop_departure()
-            _record(pid, arc, join_time.pop((pid, int(hop_index[pid])), np.nan), dep_t)
-            _forward(pid, dep_t)
-            ps_version[arc] += 1
-            nxt = srv.next_departure_time()
-            if nxt is not None:
-                cal.schedule(
-                    nxt, (_PS_CHECK, arc, ps_version[arc]), priority=_PRIO_DONE
+            t, p = bank.pop(a)
+            if record:
+                log.pid[fill] = p
+                log.arc[fill] = a
+                log.t_in[fill] = join_t[p]
+                log.t_out[fill] = t
+                fill += 1
+            hop_i[p] += 1
+            if hop_i[p] == hops_l[p]:
+                delivery[p] = t
+            else:
+                join_t[p] = t
+                push(heap, (tkey(t) << 73) | _JOIN_BIT | (p << 32))
+            v = ver[a] + 1
+            ver[a] = v
+            td = bank.next_departure(a)
+            if td is not None:
+                push(
+                    heap,
+                    (tkey(td) << 73) | (a << 32) | (v & _VER_MASK),
                 )
+    if record:
+        log.fill = fill
 
-    if np.any(hop_index != hops):  # pragma: no cover - internal invariant
-        raise SimulationError("some packets did not complete their paths")
-    arc_log = None
-    if record_arc_log:
-        arc_log = ArcLog(
-            np.asarray(log_pid, dtype=np.int64),
-            np.asarray(log_arc, dtype=np.int64),
-            np.asarray(log_in),
-            np.asarray(log_out),
-        )
-    return EventSimResult(delivery, hops, arc_log)
+
+# ---------------------------------------------------------------------------
+# path construction
+# ---------------------------------------------------------------------------
+
+
+def hypercube_dims_flat(
+    d: int, origins: np.ndarray, destinations: np.ndarray
+) -> tuple:
+    """Per-packet differing dimensions, increasing order, packed flat.
+
+    Returns ``(dims_flat, start)``: packet *i* must cross dimensions
+    ``dims_flat[start[i]:start[i+1]]`` (ascending — the canonical
+    greedy order).  One bit-matrix ``nonzero`` instead of a per-packet
+    Python loop.
+    """
+    o = np.asarray(origins, np.int64)
+    z = np.asarray(destinations, np.int64)
+    diff = o ^ z
+    bits = (diff[:, None] >> np.arange(d, dtype=np.int64)) & 1
+    dims = np.nonzero(bits)[1].astype(np.int64, copy=False)
+    start = np.zeros(o.shape[0] + 1, np.int64)
+    np.cumsum(bits.sum(axis=1), out=start[1:])
+    return dims, start
+
+
+def hypercube_arcs_flat(
+    num_nodes: int,
+    origins: np.ndarray,
+    dims_flat: np.ndarray,
+    start: np.ndarray,
+) -> np.ndarray:
+    """Arc ids along the paths crossing ``dims_flat`` in order.
+
+    The node after each crossing is the segment origin XOR the
+    crossings so far — a segmented exclusive XOR prefix, computed with
+    one global ``bitwise_xor.accumulate`` re-based per segment.  Works
+    for any per-packet dimension order (canonical, shuffled, two-phase
+    concatenations), as long as ``start`` marks segment boundaries and
+    ``origins`` holds each segment's starting node.
+    """
+    if dims_flat.shape[0] == 0:
+        return np.zeros(0, np.int64)
+    counts = np.diff(start)
+    tot = np.bitwise_xor.accumulate(np.int64(1) << dims_flat)
+    pre = np.empty_like(tot)
+    pre[0] = 0
+    pre[1:] = tot[:-1]
+    idx = np.minimum(start[:-1], dims_flat.shape[0] - 1)
+    excl = pre ^ np.repeat(pre[idx], counts)
+    cur = np.repeat(np.asarray(origins, np.int64), counts) ^ excl
+    return dims_flat * num_nodes + cur
 
 
 def hypercube_packet_paths(
@@ -216,24 +750,33 @@ def hypercube_packet_paths(
 
     ``orders`` optionally supplies a per-packet dimension crossing
     order (each a permutation of that packet's differing dimensions);
-    default is the canonical increasing order.
+    default is the canonical increasing order, built vectorised.
     """
-    paths: List[List[int]] = []
     n_nodes = cube.num_nodes
+    if orders is None:
+        dims_flat, start = hypercube_dims_flat(
+            cube.d, sample.origins, sample.destinations
+        )
+        arcs = hypercube_arcs_flat(
+            n_nodes, sample.origins, dims_flat, start
+        ).tolist()
+        st = start.tolist()
+        return [
+            arcs[st[i] : st[i + 1]] for i in range(sample.num_packets)
+        ]
+    paths: List[List[int]] = []
     for i in range(sample.num_packets):
         x = int(sample.origins[i])
         z = int(sample.destinations[i])
         dims = cube.dims_to_cross(x, z)
-        if orders is not None:
-            order = list(orders[i])
-            if sorted(order) != dims:
-                raise ConfigurationError(
-                    f"packet {i}: order {order} is not a permutation of {dims}"
-                )
-            dims = order
+        order = list(orders[i])
+        if sorted(order) != dims:
+            raise ConfigurationError(
+                f"packet {i}: order {order} is not a permutation of {dims}"
+            )
         arcs = []
         cur = x
-        for j in dims:
+        for j in order:
             arcs.append(j * n_nodes + cur)
             cur ^= 1 << j
         paths.append(arcs)

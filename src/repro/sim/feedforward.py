@@ -525,6 +525,63 @@ class _ArcCarry:
         self.run = np.full(num_arcs, -np.inf)
 
 
+#: grow-on-demand scratch aranges shared by every carry-kernel call in
+#: the process (workers are processes, so there is no sharing hazard)
+_ARANGE_F = np.empty(0)
+_ARANGE_I = np.empty(0, dtype=np.int64)
+
+
+def _scratch_aranges(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    global _ARANGE_F, _ARANGE_I
+    if _ARANGE_F.shape[0] < n:
+        size = max(n, 2 * _ARANGE_F.shape[0])
+        _ARANGE_F = np.arange(size, dtype=float)
+        _ARANGE_I = np.arange(size, dtype=np.int64)
+    return _ARANGE_F[:n], _ARANGE_I[:n]
+
+
+def _arc_time_pid_order(
+    arcs: np.ndarray, times: np.ndarray, pids: np.ndarray
+) -> np.ndarray:
+    """Permutation putting rows in (arc, time, pid) service order.
+
+    Within one serve call the pids are distinct, so that order is a
+    *unique* permutation — any algorithm producing it matches
+    ``np.lexsort((pids, times, arcs))`` exactly.  This one needs two
+    plain argsorts instead of three stable passes: rank the arrival
+    epochs densely (equal floats share a rank, so exact time ties
+    still fall through to the pid), then argsort a single packed
+    ``(arc, rank, pid)`` int64 key.  Plain argsorts may be unstable,
+    which is safe here precisely because ranks collapse equal times
+    and the packed keys are unique — and they hit NumPy's vectorised
+    quicksort, which the stable kinds cannot use.
+
+    Falls back to ``np.lexsort`` when the packed key would overflow 63
+    bits or any time is negative (the int64 view of an IEEE double is
+    order-preserving only for non-negative values, ``-0.0`` included
+    in the guard since its sign bit is set).
+    """
+    n = arcs.shape[0]
+    t = times if times.flags.c_contiguous else np.ascontiguousarray(times)
+    o_t = np.argsort(t.view(np.int64))
+    t_s = t.view(np.int64)[o_t]
+    if t_s[0] < 0:
+        return np.lexsort((pids, times, arcs))
+    r_sorted = np.empty(n, dtype=np.int64)
+    r_sorted[0] = 0
+    np.cumsum(t_s[1:] != t_s[:-1], out=r_sorted[1:])
+    bits_p = int(pids.max()).bit_length()
+    bits_r = int(r_sorted[-1]).bit_length()
+    bits_a = int(arcs.max()).bit_length()
+    if bits_a + bits_r + bits_p > 63:
+        return np.lexsort((pids, times, arcs))
+    rank = np.empty(n, dtype=np.int64)
+    rank[o_t] = r_sorted
+    key = (arcs << np.int64(bits_r + bits_p)) | (rank << np.int64(bits_p))
+    key |= pids
+    return np.argsort(key)
+
+
 def _serve_fifo_carry(
     arcs: np.ndarray,
     times: np.ndarray,
@@ -539,27 +596,40 @@ def _serve_fifo_carry(
     the running maximum seeds from the carried one.  Chunks split an
     arc's arrival sequence at a boundary that respects the (time, pid)
     service order, and ``max`` selects one of its operands exactly, so
-    no departure epoch moves by a single bit.
+    no departure epoch moves by a single bit.  The carried maximum is
+    folded into each segment's head before the prefix scan — the scan
+    then propagates it to every element, the same multiset maximum the
+    historical post-scan ``np.maximum`` computed.
     """
     n = arcs.shape[0]
     dep = np.empty(n)
     if n == 0:
         return dep
-    order = np.lexsort((pids, times, arcs))
+    order = _arc_time_pid_order(arcs, times, pids)
     a_s = arcs[order]
     t_s = times[order]
-    starts = np.flatnonzero(np.r_[True, a_s[1:] != a_s[:-1]])
-    bounds = np.r_[starts, n]
-    counts = np.diff(bounds)
-    pos = np.arange(n, dtype=np.int64) - np.repeat(starts, counts)
+    head = np.empty(n, dtype=bool)
+    head[0] = True
+    np.not_equal(a_s[1:], a_s[:-1], out=head[1:])
+    starts = np.flatnonzero(head)
+    counts = np.empty(starts.shape[0], dtype=np.int64)
+    np.subtract(starts[1:], starts[:-1], out=counts[:-1])
+    counts[-1] = n - starts[-1]
     uniq = a_s[starts]
     s = float(service)
-    idx = (pos + np.repeat(carry.counts[uniq], counts)).astype(float)
-    run = _segmented_running_max(t_s - s * idx, pos)
-    np.maximum(run, np.repeat(carry.run[uniq], counts), out=run)
+    base = carry.counts[uniq]
+    arange_f, arange_i = _scratch_aranges(n)
+    pos = arange_i - np.repeat(starts, counts)
+    # i + float(base - start) == (i - start) + base exactly: integers
+    # below 2**52 stay exact through the cast and the add
+    idx = arange_f + np.repeat((base - starts).astype(float), counts)
+    vals = t_s - s * idx
+    vals[starts] = np.maximum(vals[starts], carry.run[uniq])
+    run = _segmented_running_max(vals, pos)
     dep[order] = s * (idx + 1.0) + run
-    carry.counts[uniq] += counts
-    carry.run[uniq] = run[bounds[1:] - 1]
+    carry.counts[uniq] = base + counts
+    ends = starts + counts - 1
+    carry.run[uniq] = run[ends]
     return dep
 
 

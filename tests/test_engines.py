@@ -280,6 +280,9 @@ BATCHED_CELLS = [
     greedy_spec("ring", discipline="ps", rho=0.6),
     greedy_spec("torus"),
     greedy_spec(engine="fixedpoint"),
+    greedy_spec(engine="event"),
+    greedy_spec(engine="event", discipline="ps", rho=0.6),
+    greedy_spec("ring", engine="event"),
 ]
 
 
@@ -300,9 +303,12 @@ class TestBatchedFastPath:
         sequential = [run_spec(spec, seed) for seed in seeds]
         assert batched == sequential  # exact: dataclass equality on floats
 
-    def test_event_engine_does_not_batch(self):
+    def test_event_engine_batches(self):
+        """The event calendar declares batching: R replications share
+        one calendar via arc-id offsetting."""
         spec = greedy_spec(engine="event")
-        assert spec.plugin.batch_runner(spec) is None
+        assert get_engine("event").supports_batch(spec)
+        assert spec.plugin.batch_runner(spec) is not None
 
     def test_scheme_owned_loops_do_not_batch(self):
         spec = ScenarioSpec(name="x", scheme="deflection", lam=0.5)

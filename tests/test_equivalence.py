@@ -69,6 +69,35 @@ class TestEngineEquivalence:
         np.testing.assert_allclose(ff.delivery, ev.delivery, atol=1e-9)
 
 
+class TestBatchedEventMatchesFeedForward:
+    """The replication-batched calendar against the level sweep.
+
+    Stacking R replications into one arc-offset calendar must not move
+    any delivery epoch: each replication agrees with the independent
+    feed-forward sweep to 1e-9 under both disciplines (the engine
+    contract the batched route is validated against).
+    """
+
+    @pytest.mark.parametrize("discipline", ["fifo", "ps"])
+    def test_batched_calendar_matches_level_sweep(self, discipline):
+        from repro.sim.eventsim import simulate_paths_event_driven_batch
+
+        cube = Hypercube(4)
+        samples = [
+            _workload_sample(4, 1.4, 0.5, 60.0, seed)[1]
+            for seed in (21, 22, 23, 24)
+        ]
+        deliveries = simulate_paths_event_driven_batch(
+            cube.num_arcs,
+            [s.times for s in samples],
+            [hypercube_packet_paths(cube, s) for s in samples],
+            discipline=discipline,
+        )
+        for s, delivery in zip(samples, deliveries):
+            ff = simulate_hypercube_greedy(cube, s, discipline=discipline)
+            np.testing.assert_allclose(ff.delivery, delivery, atol=1e-9)
+
+
 class TestPhysicalVsNetworkQ:
     """§3.1: the loaded hypercube *is* network Q.
 

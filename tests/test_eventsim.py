@@ -1,14 +1,27 @@
 """Tests for the event-driven engine."""
 
+import tracemalloc
+
 import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.sim.eventsim import (
+    FlatPaths,
+    flatten_paths,
     hypercube_packet_paths,
     simulate_paths_event_driven,
+    simulate_paths_event_driven_batch,
 )
 from repro.traffic.workload import TrafficSample
+
+
+def _random_system(rng, num_arcs=12, n=160, max_hops=5, span=40.0):
+    """A random cyclic-path system: births plus arbitrary arc paths."""
+    births = np.sort(rng.uniform(0.0, span, size=n))
+    hops = rng.integers(0, max_hops + 1, size=n)
+    paths = [list(rng.integers(0, num_arcs, size=h)) for h in hops]
+    return births, paths
 
 
 class TestEventDrivenFifo:
@@ -84,6 +97,142 @@ class TestEventDrivenPS:
             1, np.zeros(3), [[0], [0], [0]], discipline="ps"
         )
         np.testing.assert_allclose(res.delivery, [3.0, 3.0, 3.0])
+
+
+class TestCoreModes:
+    """The heap and windowed FIFO cores are interchangeable bit for bit."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_heap_and_window_cores_agree_exactly(self, seed):
+        rng = np.random.default_rng(seed)
+        births, paths = _random_system(rng)
+        heap = simulate_paths_event_driven(
+            12, births, paths, mode="heap", record_arc_log=True
+        )
+        win = simulate_paths_event_driven(
+            12, births, paths, mode="windows", record_arc_log=True
+        )
+        auto = simulate_paths_event_driven(12, births, paths, mode="auto")
+        assert np.array_equal(heap.delivery, win.delivery)
+        assert np.array_equal(heap.delivery, auto.delivery)
+        # the service history must agree hop for hop, not just at exit
+        for log_a, log_b in ((heap.arc_log, win.arc_log),):
+            order_a = np.lexsort((log_a.arc, log_a.pid, log_a.t_in))
+            order_b = np.lexsort((log_b.arc, log_b.pid, log_b.t_in))
+            for col in ("pid", "arc", "t_in", "t_out"):
+                assert np.array_equal(
+                    getattr(log_a, col)[order_a], getattr(log_b, col)[order_b]
+                ), col
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigurationError):
+            simulate_paths_event_driven(
+                1, np.array([0.0]), [[0]], mode="turbo"
+            )
+
+    def test_ps_rejects_window_mode(self):
+        with pytest.raises(ConfigurationError):
+            simulate_paths_event_driven(
+                1, np.array([0.0]), [[0]], discipline="ps", mode="windows"
+            )
+
+
+class TestBatchedCalendar:
+    """R replications as one arc-offset calendar: per-replication
+    results bit-identical to the sequential runs."""
+
+    @pytest.mark.parametrize("discipline", ["fifo", "ps"])
+    def test_batch_bit_identical_to_sequential(self, discipline):
+        rng = np.random.default_rng(7)
+        reps = [_random_system(rng) for _ in range(4)]
+        batched = simulate_paths_event_driven_batch(
+            12,
+            [b for b, _ in reps],
+            [p for _, p in reps],
+            discipline=discipline,
+        )
+        for (births, paths), delivery in zip(reps, batched):
+            solo = simulate_paths_event_driven(
+                12, births, paths, discipline=discipline
+            )
+            assert np.array_equal(solo.delivery, delivery)
+
+    @pytest.mark.parametrize("mode", ["heap", "windows"])
+    def test_batch_modes_agree(self, mode):
+        rng = np.random.default_rng(11)
+        reps = [_random_system(rng) for _ in range(3)]
+        batched = simulate_paths_event_driven_batch(
+            12, [b for b, _ in reps], [p for _, p in reps], mode=mode
+        )
+        for (births, paths), delivery in zip(reps, batched):
+            solo = simulate_paths_event_driven(12, births, paths)
+            assert np.array_equal(solo.delivery, delivery)
+
+    def test_empty_batch(self):
+        assert simulate_paths_event_driven_batch(3, [], []) == []
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            simulate_paths_event_driven_batch(3, [np.zeros(1)], [])
+
+
+class TestFlatPaths:
+    def test_flatten_roundtrip(self):
+        paths = [[0, 1], [], [2]]
+        fp = flatten_paths(paths)
+        assert fp.num_packets == 3
+        assert [list(fp[i]) for i in range(3)] == paths
+        assert list(fp.hops()) == [2, 0, 1]
+        assert flatten_paths(fp) is fp
+
+    def test_flat_paths_accepted_directly(self):
+        fp = FlatPaths(
+            np.array([0, 0], np.int64), np.array([0, 1, 2], np.int64)
+        )
+        res = simulate_paths_event_driven(1, np.array([0.0, 0.0]), fp)
+        np.testing.assert_allclose(res.delivery, [1.0, 2.0])
+
+
+class TestArcLogPreallocation:
+    """The arc log is preallocated to exactly one row per hop — no
+    growing Python lists, no over-allocation."""
+
+    def test_exact_length_and_dtypes(self):
+        rng = np.random.default_rng(3)
+        births, paths = _random_system(rng)
+        total = sum(len(p) for p in paths)
+        res = simulate_paths_event_driven(
+            12, births, paths, record_arc_log=True
+        )
+        log = res.arc_log
+        assert log.num_hops == total
+        for col, dtype in (
+            ("pid", np.int64),
+            ("arc", np.int64),
+            ("t_in", np.float64),
+            ("t_out", np.float64),
+        ):
+            arr = getattr(log, col)
+            assert arr.shape == (total,)
+            assert arr.dtype == dtype
+
+    def test_log_memory_overhead_is_bounded(self):
+        """Recording the log must cost O(total hops) extra memory —
+        the four columns plus bounded slack, not a per-event pile of
+        Python objects."""
+        rng = np.random.default_rng(5)
+        births, paths = _random_system(rng, num_arcs=24, n=4000, span=400.0)
+        total = sum(len(p) for p in paths)
+        simulate_paths_event_driven(24, births, paths)  # warm caches
+        tracemalloc.start()
+        simulate_paths_event_driven(24, births, paths)
+        _, peak_plain = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        simulate_paths_event_driven(24, births, paths, record_arc_log=True)
+        _, peak_logged = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        columns = 4 * 8 * total  # two int64 + two float64 rows per hop
+        assert peak_logged - peak_plain <= 3 * columns + (1 << 16)
 
 
 class TestPathConstruction:

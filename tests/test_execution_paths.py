@@ -112,6 +112,79 @@ class TestThreeRouteEquivalence:
         assert m_par.replication_delays == m_seq.replication_delays
 
 
+#: event-engine cells: greedy forced onto the calendar engine rides
+#: every route (its shared-workload decomposition rebuilds paths from
+#: the published samples); the cyclic-scheme cells have no shm
+#: decomposition (their scheme RNG follows the workload draw) and
+#: compose through chunked batch tasks at jobs > 1 instead
+EVENT_CELLS = [
+    ScenarioSpec(
+        name="paths-ev-greedy", network="hypercube", scheme="greedy",
+        engine="event", d=4, rho=0.6, horizon=6.0, replications=5,
+        base_seed=21, seed_policy="sequential",
+    ),
+    ScenarioSpec(
+        name="paths-ev-greedy-ps", network="hypercube", scheme="greedy",
+        engine="event", discipline="ps", d=4, rho=0.6, horizon=6.0,
+        replications=4, base_seed=22, seed_policy="spawn",
+    ),
+]
+
+CYCLIC_CELLS = [
+    ScenarioSpec(
+        name="paths-ev-random-order", network="hypercube",
+        scheme="random_order", d=4, rho=0.6, horizon=6.0,
+        replications=5, base_seed=23, seed_policy="sequential",
+    ),
+    ScenarioSpec(
+        name="paths-ev-twophase", network="hypercube", scheme="twophase",
+        d=4, rho=0.6, horizon=6.0, replications=4, base_seed=24,
+        seed_policy="spawn",
+    ),
+]
+
+
+class TestEventRouteEquivalence:
+    """The three-route contract extended to the event calendar."""
+
+    @pytest.mark.parametrize("spec", EVENT_CELLS, ids=lambda s: s.name)
+    def test_event_engine_three_routes_identical(self, spec, tmp_path):
+        """Greedy on the forced event engine: sequential, batched and
+        shared-workload (jobs=2) cells byte-identical."""
+        seq_store = ResultsStore(tmp_path / "seq")
+        m_seq = measure(spec, jobs=1, batch=False, store=seq_store)
+        reference = _cell_bytes(seq_store, spec)
+
+        bat_store = ResultsStore(tmp_path / "bat")
+        m_bat = measure(spec, jobs=1, batch=True, store=bat_store)
+        assert m_bat == m_seq
+        assert _cell_bytes(bat_store, spec) == reference
+
+        par_store = ResultsStore(tmp_path / "par")
+        m_par = measure(spec, jobs=2, batch=True, store=par_store)
+        assert m_par == m_seq
+        assert _cell_bytes(par_store, spec) == reference
+
+    @pytest.mark.parametrize("spec", CYCLIC_CELLS, ids=lambda s: s.name)
+    def test_cyclic_scheme_batched_routes_identical(self, spec, tmp_path):
+        """Cyclic schemes (batch runner, no shm decomposition): the
+        batched calendar and its jobs=2 chunked composition reproduce
+        the sequential cells byte for byte."""
+        seq_store = ResultsStore(tmp_path / "seq")
+        m_seq = measure(spec, jobs=1, batch=False, store=seq_store)
+        reference = _cell_bytes(seq_store, spec)
+
+        bat_store = ResultsStore(tmp_path / "bat")
+        m_bat = measure(spec, jobs=1, batch=True, store=bat_store)
+        assert m_bat == m_seq
+        assert _cell_bytes(bat_store, spec) == reference
+
+        par_store = ResultsStore(tmp_path / "par")
+        m_par = measure(spec, jobs=2, batch=True, store=par_store)
+        assert m_par == m_seq
+        assert _cell_bytes(par_store, spec) == reference
+
+
 class TestChunkedKernels:
     def test_hypercube_chunked_respects_dim_order(self):
         """Chunk composition commutes with a permuted global crossing
